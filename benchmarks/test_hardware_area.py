@@ -1,0 +1,54 @@
+"""Sec. V ("Area Overhead") — hardware area model.
+
+Regenerates the paper's area argument: the per-pixel CE logic shrinks
+from 30 um^2 (65 nm) to ~3.2 um^2 (22 nm) and hides under the APS pixel,
+while the wire-broadcast alternative needs 2N wires per pixel and its
+bundle area overtakes the APS as the tile grows from N = 8 to N = 14.
+"""
+
+import pytest
+
+from repro.hardware import (
+    broadcast_wire_area,
+    broadcast_wire_side,
+    broadcast_wires_per_pixel,
+    ce_logic_area,
+    pixel_area_report,
+)
+
+
+@pytest.mark.benchmark(group="hardware")
+def test_hardware_area_report(benchmark, record_rows):
+    """Area of the CE logic and of the broadcast alternative across tile sizes."""
+
+    def run():
+        rows = []
+        for tile in (4, 8, 14, 16):
+            report = pixel_area_report(node_nm=22.0, tile_size=tile)
+            rows.append({
+                "tile_size": tile,
+                "ce_logic_area_um2": report.ce_logic_area_um2,
+                "broadcast_wires_per_pixel": broadcast_wires_per_pixel(tile),
+                "broadcast_wire_side_um": broadcast_wire_side(tile),
+                "broadcast_wire_area_um2": broadcast_wire_area(tile),
+                "aps_pixel_area_um2": report.aps_pixel_area_um2,
+                "logic_fits_under_pixel": report.logic_fits_under_pixel,
+                "broadcast_exceeds_pixel": report.broadcast_exceeds_pixel,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    record_rows("hardware_area", "Sec. V: area overhead", rows)
+
+    by_tile = {row["tile_size"]: row for row in rows}
+    # Paper data points: 30 um^2 @ 65 nm -> 3.2 um^2 @ 22 nm; wire side
+    # 2.24 um @ N=8 and 3.92 um @ N=14.
+    assert ce_logic_area(65.0) == pytest.approx(30.0)
+    assert ce_logic_area(22.0) == pytest.approx(3.2, rel=0.02)
+    assert by_tile[8]["broadcast_wire_side_um"] == pytest.approx(2.24, rel=0.01)
+    assert by_tile[14]["broadcast_wire_side_um"] == pytest.approx(3.92, rel=0.01)
+    # The shift-register logic always fits under the pixel; the broadcast
+    # alternative stops fitting as the tile grows.
+    assert all(row["logic_fits_under_pixel"] for row in rows)
+    assert not by_tile[8]["broadcast_exceeds_pixel"]
+    assert by_tile[14]["broadcast_exceeds_pixel"]

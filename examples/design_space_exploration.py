@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Design-space exploration around the paper's operating point.
+
+The paper fixes T = 16 exposure slots, an 8 x 8 tile, and a learned
+decorrelated pattern.  This example sweeps the design space a sensor
+architect would explore before committing to silicon:
+
+1. exposure-slot count T  -> compression ratio and edge energy savings,
+2. CE tile size N         -> Sec. V area / wiring / streaming trade-off,
+3. pattern exposure density -> decorrelation vs light throughput,
+4. the energy/accuracy plane with its Pareto front, using Table I-style
+   systems at reproduction scale (analytic energy, no training here).
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from repro.analysis import (
+    build_tradeoff_points,
+    format_text_table,
+    pareto_front,
+    sweep_exposure_density,
+    sweep_exposure_slots,
+    sweep_tile_size,
+)
+
+
+def main():
+    print("== 1. Exposure slots T (paper uses T = 16) ==")
+    print(format_text_table(sweep_exposure_slots((4, 8, 16, 32))))
+
+    print("\n== 2. CE tile size N (paper uses N = 8) ==")
+    print(format_text_table(sweep_tile_size((4, 8, 14, 16))))
+
+    print("\n== 3. Pattern exposure density ==")
+    print(format_text_table(sweep_exposure_density((0.125, 0.25, 0.5, 0.75, 1.0),
+                                                   num_slots=16, tile_size=8,
+                                                   frame_size=32, num_clips=24)))
+
+    print("\n== 4. Energy/accuracy plane (Table I systems, paper accuracies) ==")
+    # Accuracies from Table I (SSV2 column); energies from the edge model.
+    paper_ssv2_accuracy = {
+        "snappix_s": 0.4238,
+        "snappix_b": 0.4521,
+        "svc2d": 0.2305,
+        "c3d": 0.3348,
+        "videomae_st": 0.3984,
+    }
+    model_inputs = {"snappix_s": "ce", "snappix_b": "ce", "svc2d": "ce",
+                    "c3d": "video", "videomae_st": "video"}
+    points = build_tradeoff_points(paper_ssv2_accuracy, model_inputs,
+                                   frame_height=112, frame_width=112,
+                                   num_slots=16, link="passive_wifi")
+    print(format_text_table([point.as_dict() for point in points]))
+    front = pareto_front(points)
+    print("\nPareto-optimal systems (non-dominated on accuracy vs edge energy):")
+    for point in front:
+        print(f"  {point.system:12s} accuracy {point.accuracy:.3f} "
+              f"energy {point.energy_j * 1e6:.2f} uJ/clip")
+
+
+if __name__ == "__main__":
+    main()

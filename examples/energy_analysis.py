@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Edge-energy analysis: sweep compression rate and transmission technology.
+
+Regenerates the Sec. VI-D analysis with the paper's energy constants:
+per-component breakdowns for the short-range (passive WiFi) and
+long-range (LoRa backscatter) scenarios, the edge-GPU scenario, the
+digital-compression comparison, and a sweep of the saving factor over
+the number of exposure slots T.
+
+Run with:  python examples/energy_analysis.py
+"""
+
+from repro.energy import EdgeSensingScenario, paper_energy_summary
+
+
+def print_breakdown(comparison):
+    for report in (comparison.baseline, comparison.snappix):
+        print(f"    {report.system:22s} sensor {report.sensor_energy * 1e6:10.3f} uJ  "
+              f"tx {report.transmission_energy * 1e6:10.3f} uJ  "
+              f"compute {report.compute_energy * 1e6:10.3f} uJ  "
+              f"total {report.total * 1e6:10.3f} uJ")
+    print(f"    -> saving factor: {comparison.saving_factor:.2f}x")
+
+
+def main():
+    print("== Paper geometry: 112x112 pixels, T = 16 exposure slots ==\n")
+    scenario = EdgeSensingScenario(112, 112, 16)
+
+    print("Edge-server, short range (passive WiFi):")
+    print_breakdown(scenario.edge_server("passive_wifi"))
+
+    print("\nEdge-server, long range (LoRa backscatter):")
+    print_breakdown(scenario.edge_server("lora_backscatter"))
+
+    print("\nEdge-GPU scenario (Jetson-class GPU on the edge node):")
+    for baseline in ("videomae_st", "c3d"):
+        comparison = scenario.edge_gpu(baseline_model=baseline)
+        print(f"  vs {baseline}:")
+        print_breakdown(comparison)
+
+    print("\nIn-sensor CE vs digital (JPEG-class) compression:")
+    print_breakdown(scenario.digital_compression_comparison())
+
+    print("\nHeadline factors (paper: 16x read-out, 7.6x short-range, "
+          "15.4x long-range, 1.4x/4.5x edge-GPU):")
+    for key, value in paper_energy_summary().items():
+        print(f"  {key:30s}: {value:6.2f}x")
+
+    print("\nSaving factor vs number of exposure slots (long-range link):")
+    print(f"  {'T':>4} | {'saving':>8}")
+    for slots in (2, 4, 8, 16, 32):
+        sweep = EdgeSensingScenario(112, 112, slots)
+        saving = sweep.edge_server("lora_backscatter").saving_factor
+        print(f"  {slots:>4} | {saving:>7.2f}x")
+
+
+if __name__ == "__main__":
+    main()

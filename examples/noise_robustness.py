@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Noise robustness of CE-based action recognition.
+
+The paper evaluates on noiseless simulated captures.  A real CE sensor
+adds photon shot noise, dark current, read noise, and ADC quantisation
+(all modelled in ``repro.hardware.noise``).  This example trains a small
+CE-optimized ViT on clean coded images, then evaluates it while sweeping
+the sensor's full-well capacity — the dominant noise knob as pixels
+shrink — and reports how much of the clean accuracy survives.
+
+Run with:  python examples/noise_robustness.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_text_table
+from repro.ce import CEConfig, CodedExposureSensor, learn_decorrelated_pattern
+from repro.data import build_dataset, build_pretrain_dataset
+from repro.models import build_snappix_model
+from repro.tasks import (
+    ActionRecognitionTrainer,
+    accuracy_retention,
+    evaluate_under_noise,
+)
+
+FRAME_SIZE = 32
+NUM_SLOTS = 8
+TILE_SIZE = 8
+
+
+def main():
+    print("== 1. Learn the decorrelated pattern and train a small AR model ==")
+    config = CEConfig(num_slots=NUM_SLOTS, tile_size=TILE_SIZE,
+                      frame_height=FRAME_SIZE, frame_width=FRAME_SIZE)
+    pool = build_pretrain_dataset(num_clips=32, num_frames=NUM_SLOTS,
+                                  frame_size=FRAME_SIZE, seed=0)
+    pattern = learn_decorrelated_pattern(pool, config, epochs=5, seed=0).tile_pattern
+    sensor = CodedExposureSensor(config, pattern)
+
+    dataset = build_dataset("ssv2", num_frames=NUM_SLOTS, frame_size=FRAME_SIZE,
+                            train_clips_per_class=12, test_clips_per_class=6, seed=0)
+    model = build_snappix_model("tiny", task="ar", num_classes=dataset.num_classes,
+                                image_size=FRAME_SIZE, seed=0)
+    trainer = ActionRecognitionTrainer(model, dataset, sensor=sensor, epochs=36, lr=2e-3,
+                                       batch_size=8, seed=0)
+    trainer.fit(evaluate_every=0)
+    print(f"  clean test accuracy after training: {trainer.evaluate('test'):.3f}")
+
+    print("\n== 2. Evaluate under sensor noise (full-well capacity sweep) ==")
+    rows = evaluate_under_noise(model, dataset.test_videos, dataset.test_labels,
+                                config, pattern,
+                                full_well_values=(50000.0, 5000.0, 1000.0, 200.0),
+                                seed=0)
+    print(format_text_table(rows))
+
+    print("\n== 3. Fraction of the clean accuracy retained ==")
+    for point, fraction in accuracy_retention(rows).items():
+        print(f"  {point:20s}: {fraction:.2f}")
+    print("\nShot noise averages out across the exposure slots each pixel "
+          "integrates, so CE captures degrade gracefully until the full-well "
+          "capacity becomes very small.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Video reconstruction (REC) from a single coded image.
+
+The low-level task of the paper: recover the full T-frame clip from one
+CE-compressed image, for scenarios where the video is stored for future,
+undefined tasks.  The example compares the learned decorrelated pattern
+against a naive long-exposure pattern in reconstruction PSNR.
+
+Run with:  python examples/video_reconstruction.py
+"""
+
+from dataclasses import replace
+
+from repro.core import PipelineConfig, SnapPixSystem
+from repro.tasks import psnr
+
+
+def run_reconstruction(pattern: str, config: PipelineConfig) -> dict:
+    system = SnapPixSystem(replace(config, pattern=pattern))
+    correlation = system.prepare_pattern()
+    metrics = system.train_reconstruction()
+    return {"pattern": pattern, "correlation": correlation,
+            "psnr": metrics["test_psnr"]}
+
+
+def main():
+    config = PipelineConfig(dataset="ssv2", frame_size=16, num_slots=8,
+                            tile_size=8, model_variant="tiny",
+                            use_pretraining=False, pattern_epochs=5,
+                            finetune_epochs=8, pretrain_clips=24,
+                            train_clips_per_class=6, test_clips_per_class=3)
+
+    print("Reconstructing 8-frame clips from single coded images "
+          "(8x in-sensor compression)\n")
+    rows = [run_reconstruction(p, config)
+            for p in ("decorrelated", "long_exposure", "sparse_random")]
+
+    print(f"{'pattern':>16} | {'pixel correlation':>18} | {'REC PSNR (dB)':>14}")
+    print("-" * 56)
+    for row in rows:
+        print(f"{row['pattern']:>16} | {row['correlation']:>18.3f} | "
+              f"{row['psnr']:>14.2f}")
+
+    best = max(rows, key=lambda row: row["psnr"])
+    print(f"\nBest reconstruction: {best['pattern']} at {best['psnr']:.2f} dB — "
+          "patterns that sample all exposure slots (rather than integrating "
+          "everything into one blur) retain the temporal information the "
+          "decoder needs.")
+
+
+if __name__ == "__main__":
+    main()

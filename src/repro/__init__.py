@@ -1,0 +1,32 @@
+"""SnapPix reproduction: efficient-coding-inspired in-sensor compression for edge vision.
+
+Top-level package layout:
+
+- :mod:`repro.nn` — NumPy autodiff / neural-network substrate.
+- :mod:`repro.ce` — coded-exposure compression (paper Sec. III).
+- :mod:`repro.models` — CE-optimized ViT and baseline vision models (Sec. IV, VI).
+- :mod:`repro.data` — synthetic video dataset substrates.
+- :mod:`repro.pretrain` — coded-image-to-video masked pre-training (Sec. IV).
+- :mod:`repro.tasks` — action recognition and reconstruction tasks.
+- :mod:`repro.energy` — sensor / transmission / compute energy models (Sec. VI-D).
+- :mod:`repro.hardware` — CE pixel functional simulator, area and timing models (Sec. V).
+- :mod:`repro.compression` — digital-domain compression baselines (Sec. VII).
+- :mod:`repro.analysis` — design-space sweeps and result reporting.
+- :mod:`repro.core` — end-to-end SnapPix system orchestration and CLI.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "ce",
+    "models",
+    "data",
+    "pretrain",
+    "tasks",
+    "energy",
+    "hardware",
+    "compression",
+    "analysis",
+    "core",
+]

@@ -1,0 +1,50 @@
+"""``repro.analysis`` — design-space sweeps, trade-off curves, and reporting.
+
+Beyond reproducing the paper's tables and figures, a downstream user of
+an in-sensor compression system needs to know how the design behaves
+*around* the published operating point.  This subpackage provides:
+
+- :mod:`repro.analysis.sweeps` — sweeps over exposure slots ``T``, tile
+  size ``N``, pattern exposure density, and digital-codec quality.
+- :mod:`repro.analysis.tradeoff` — the energy/accuracy plane and its
+  Pareto front.
+- :mod:`repro.analysis.report` — text/markdown/CSV rendering of result rows.
+"""
+
+from .sweeps import (
+    sweep_digital_codec_quality,
+    sweep_exposure_density,
+    sweep_exposure_slots,
+    sweep_tile_size,
+)
+from .tradeoff import (
+    TradeoffPoint,
+    build_tradeoff_points,
+    edge_energy_per_clip,
+    energy_saving_summary,
+    pareto_front,
+)
+from .report import (
+    format_markdown_table,
+    format_paper_comparison,
+    format_text_table,
+    read_csv,
+    write_csv,
+)
+
+__all__ = [
+    "sweep_exposure_slots",
+    "sweep_tile_size",
+    "sweep_exposure_density",
+    "sweep_digital_codec_quality",
+    "TradeoffPoint",
+    "edge_energy_per_clip",
+    "build_tradeoff_points",
+    "pareto_front",
+    "energy_saving_summary",
+    "format_text_table",
+    "format_markdown_table",
+    "format_paper_comparison",
+    "write_csv",
+    "read_csv",
+]

@@ -1,0 +1,113 @@
+"""Result formatting and export helpers.
+
+The benchmark harness and the CLI both produce lists of row
+dictionaries; this module renders them as aligned text tables or GitHub
+markdown, writes/reads them as CSV, and formats paper-vs-measured
+comparisons for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+Row = Dict[str, Union[str, float, int]]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def _column_order(rows: Sequence[Row], columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    order: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in order:
+                order.append(key)
+    return order
+
+
+def format_text_table(rows: Sequence[Row],
+                      columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as an aligned plain-text table (one line per row)."""
+    if not rows:
+        return "(no rows)"
+    columns = _column_order(rows, columns)
+    cells = [[_format_value(row.get(column, "")) for column in columns]
+             for row in rows]
+    widths = [max(len(column), *(len(line[index]) for line in cells))
+              for index, column in enumerate(columns)]
+    header = " | ".join(column.rjust(width)
+                        for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [" | ".join(value.rjust(width) for value, width in zip(line, widths))
+            for line in cells]
+    return "\n".join([header, separator] + body)
+
+
+def format_markdown_table(rows: Sequence[Row],
+                          columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    columns = _column_order(rows, columns)
+    header = "| " + " | ".join(columns) + " |"
+    separator = "|" + "|".join("---" for _ in columns) + "|"
+    body = ["| " + " | ".join(_format_value(row.get(column, ""))
+                              for column in columns) + " |"
+            for row in rows]
+    return "\n".join([header, separator] + body)
+
+
+def write_csv(rows: Sequence[Row], path: Union[str, Path],
+              columns: Optional[Sequence[str]] = None) -> Path:
+    """Write rows to a CSV file; returns the path."""
+    path = Path(path)
+    columns = _column_order(rows, columns) if rows else list(columns or [])
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({column: row.get(column, "") for column in columns})
+    return path
+
+
+def read_csv(path: Union[str, Path]) -> List[Row]:
+    """Read a CSV written by :func:`write_csv`, converting numeric strings back."""
+    path = Path(path)
+    rows: List[Row] = []
+    with open(path, newline="") as handle:
+        for raw in csv.DictReader(handle):
+            row: Row = {}
+            for key, value in raw.items():
+                try:
+                    row[key] = float(value)
+                except (TypeError, ValueError):
+                    row[key] = value
+            rows.append(row)
+    return rows
+
+
+def format_paper_comparison(entries: Sequence[Dict[str, Union[str, float]]]) -> str:
+    """Render paper-reported vs measured values as a markdown table.
+
+    Each entry needs ``quantity``, ``paper``, and ``measured`` keys; an
+    optional ``note`` column is included when present.
+    """
+    if not entries:
+        return "(no entries)"
+    has_notes = any("note" in entry for entry in entries)
+    columns = ["quantity", "paper", "measured"] + (["note"] if has_notes else [])
+    return format_markdown_table(list(entries), columns=columns)

@@ -1,0 +1,184 @@
+"""Design-space sweeps over the SnapPix design choices.
+
+DESIGN.md calls out four design choices whose sensitivity is worth
+quantifying beyond the paper's single operating point:
+
+1. the number of exposure slots ``T`` (compression ratio vs energy saving),
+2. the CE tile size ``N`` (hardware wire/area trade-off of Sec. V),
+3. the exposure density of the pattern (how much light is integrated vs
+   how decorrelated the coded pixels are), and
+4. the digital-codec quality (rate) at which digital compression would
+   match in-sensor CE on transmission volume.
+
+Each sweep returns a list of row dictionaries suitable for the benchmark
+harness's table printer and for CSV export via :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..ce import (
+    CEConfig,
+    coded_pixel_correlation,
+    learn_decorrelated_pattern,
+    random_pattern,
+)
+from ..compression import (
+    DigitalCompressionEnergyModel,
+    JPEGLikeCodec,
+    JPEGLikeConfig,
+)
+from ..data import build_pretrain_dataset
+from ..energy import EdgeSensingScenario
+from ..hardware import FrameRateModel, PatternStreamTiming, ReadoutTiming, \
+    pixel_area_report
+
+
+# ----------------------------------------------------------------------
+# 1. Exposure slots T
+# ----------------------------------------------------------------------
+def sweep_exposure_slots(num_slots_values: Sequence[int] = (4, 8, 16, 32),
+                         frame_size: int = 112,
+                         tile_size: int = 8,
+                         measure_correlation: bool = False,
+                         num_clips: int = 32,
+                         seed: int = 0) -> List[Dict[str, float]]:
+    """Energy and compression consequences of the exposure-slot count ``T``.
+
+    The paper fixes T = 16; this sweep shows how the read-out reduction,
+    short/long-range energy savings, and (optionally) the achievable
+    decorrelation move as T changes.
+    """
+    rows: List[Dict[str, float]] = []
+    for num_slots in num_slots_values:
+        if num_slots < 1:
+            raise ValueError("every num_slots value must be >= 1")
+        scenario = EdgeSensingScenario(frame_size, frame_size, num_slots)
+        row: Dict[str, float] = {
+            "num_slots": float(num_slots),
+            "compression_ratio": float(num_slots),
+            "readout_reduction": scenario.readout_reduction(),
+            "short_range_saving": scenario.edge_server("passive_wifi").saving_factor,
+            "long_range_saving": scenario.edge_server("lora_backscatter").saving_factor,
+        }
+        if measure_correlation:
+            videos = build_pretrain_dataset(num_clips=num_clips,
+                                            num_frames=num_slots,
+                                            frame_size=min(frame_size, 32),
+                                            seed=seed)
+            config = CEConfig(num_slots=num_slots, tile_size=tile_size,
+                              frame_height=min(frame_size, 32),
+                              frame_width=min(frame_size, 32))
+            result = learn_decorrelated_pattern(videos, config, epochs=3, seed=seed)
+            _, correlation, _ = coded_pixel_correlation(videos, result.tile_pattern,
+                                                        tile_size)
+            row["decorrelated_pattern_correlation"] = correlation
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# 2. Tile size N
+# ----------------------------------------------------------------------
+def sweep_tile_size(tile_sizes: Sequence[int] = (4, 8, 14, 16),
+                    node_nm: float = 22.0,
+                    slot_exposure_s: float = 1e-3,
+                    frame_size: int = 112) -> List[Dict[str, float]]:
+    """Hardware consequences of the CE tile size (Sec. V trade-off).
+
+    Larger tiles give the pattern more freedom but make the
+    wire-broadcast alternative quadratically more expensive and lengthen
+    the shift-register load; this sweep reproduces that argument across a
+    range of tile sizes.
+    """
+    rows: List[Dict[str, float]] = []
+    for tile_size in tile_sizes:
+        if tile_size < 1:
+            raise ValueError("every tile size must be >= 1")
+        area = pixel_area_report(node_nm=node_nm, tile_size=tile_size)
+        stream = PatternStreamTiming(tile_size=tile_size)
+        rows.append({
+            "tile_size": float(tile_size),
+            "ce_logic_area_um2": area.ce_logic_area_um2,
+            "broadcast_wire_area_um2": area.broadcast_wire_area_um2,
+            "aps_pixel_area_um2": area.aps_pixel_area_um2,
+            "logic_fits_under_pixel": float(area.logic_fits_under_pixel),
+            "broadcast_exceeds_pixel": float(
+                area.broadcast_wire_area_um2 > area.aps_pixel_area_um2),
+            "shift_register_bits": float(stream.bits_per_load),
+            "pattern_load_time_us": stream.load_time_s * 1e6,
+            "streaming_overhead_fraction":
+                stream.streaming_overhead_fraction(slot_exposure_s),
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# 3. Pattern exposure density
+# ----------------------------------------------------------------------
+def sweep_exposure_density(densities: Sequence[float] = (0.125, 0.25, 0.5, 0.75, 1.0),
+                           num_slots: int = 16, tile_size: int = 8,
+                           frame_size: int = 32, num_clips: int = 32,
+                           seed: int = 0) -> List[Dict[str, float]]:
+    """Coded-pixel correlation as a function of random-pattern exposure density.
+
+    Interpolates between the paper's SPARSE RANDOM (density 1/T), RANDOM
+    (density 0.5), and LONG EXPOSURE (density 1.0) baselines, showing how
+    light throughput trades against decorrelation.
+    """
+    videos = build_pretrain_dataset(num_clips=num_clips, num_frames=num_slots,
+                                    frame_size=frame_size, seed=seed)
+    rng = np.random.default_rng(seed)
+    rows: List[Dict[str, float]] = []
+    for density in densities:
+        if not 0.0 < density <= 1.0:
+            raise ValueError("densities must be in (0, 1]")
+        pattern = random_pattern(num_slots, tile_size, probability=density, rng=rng)
+        _, correlation, loss = coded_pixel_correlation(videos, pattern, tile_size)
+        rows.append({
+            "exposure_density": float(density),
+            "mean_exposures_per_pixel": float(density * num_slots),
+            "correlation": correlation,
+            "decorrelation_loss": loss,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# 4. Digital codec quality vs in-sensor CE
+# ----------------------------------------------------------------------
+def sweep_digital_codec_quality(qualities: Sequence[int] = (10, 25, 50, 75, 90),
+                                frame_size: int = 32, num_slots: int = 16,
+                                num_frames_measured: int = 4,
+                                link: str = "passive_wifi",
+                                seed: int = 0) -> List[Dict[str, float]]:
+    """Energy of JPEG-class digital compression across its quality range.
+
+    For each quality the codec is run on synthetic frames to measure the
+    *actual* compression ratio, which then drives the digital-compression
+    energy model; the row records how far the total edge energy stays
+    above SnapPix's in-sensor CE at matched temporal footage.
+    """
+    videos = build_pretrain_dataset(num_clips=1, num_frames=num_frames_measured,
+                                    frame_size=frame_size, seed=seed)
+    frames = videos[0]
+    rows: List[Dict[str, float]] = []
+    for quality in qualities:
+        codec = JPEGLikeCodec(JPEGLikeConfig(quality=int(quality)))
+        _, encoded_frames = codec.compress_video(frames)
+        ratios = [frame.compression_ratio for frame in encoded_frames]
+        measured_ratio = float(np.mean(ratios))
+        model = DigitalCompressionEnergyModel(frame_size, frame_size, num_slots,
+                                              compression_ratio=measured_ratio)
+        comparison = model.compare_with_in_sensor_ce(link)
+        rows.append({
+            "quality": float(quality),
+            "measured_compression_ratio": measured_ratio,
+            "digital_total_energy_j": comparison.baseline.total,
+            "snappix_total_energy_j": comparison.snappix.total,
+            "ce_saving_factor": comparison.saving_factor,
+        })
+    return rows

@@ -1,0 +1,107 @@
+"""``repro.ce`` — coded-exposure in-sensor compression (paper Secs. II-B, III).
+
+Public API:
+
+- :class:`CEConfig`, :class:`CodedExposureSensor`, :func:`coded_exposure`,
+  :func:`expand_tile_pattern` — the CE operator (Eqn. 1).
+- :func:`make_pattern` and the individual baseline pattern factories
+  (long / short / random / sparse-random / global) — Sec. VI-A baselines.
+- :func:`coded_pixel_correlation`, :func:`pearson_correlation_matrix`,
+  :func:`zero_mean_contrast_encode` — the Fig. 3 measurement pipeline.
+- :class:`DecorrelationPatternLearner`, :func:`learn_decorrelated_pattern`
+  — efficient-coding-inspired pattern learning (Eqn. 2 + STE).
+"""
+
+from .operator import (
+    CEConfig,
+    CodedExposureSensor,
+    FrameMaskSensor,
+    coded_exposure,
+    compression_ratio,
+    expand_tile_pattern,
+    exposure_counts,
+)
+from .patterns import (
+    BASELINE_PATTERNS,
+    global_random_pattern,
+    long_exposure_pattern,
+    make_pattern,
+    pattern_exposure_density,
+    random_pattern,
+    short_exposure_pattern,
+    sparse_random_pattern,
+    validate_pattern,
+)
+from .statistics import (
+    coded_pixel_correlation,
+    extract_tiles,
+    mean_absolute_offdiagonal,
+    mean_squared_offdiagonal,
+    pearson_correlation_matrix,
+    zero_mean_contrast_encode,
+)
+from .decorrelation import (
+    DecorrelationPatternLearner,
+    DecorrelationResult,
+    differentiable_correlation_loss,
+    learn_decorrelated_pattern,
+    straight_through_binarize,
+    video_batch_to_tiles,
+)
+from .analysis import (
+    PatternSummary,
+    code_diversity,
+    compare_patterns,
+    dead_pixel_fraction,
+    mean_pairwise_hamming,
+    pattern_to_text,
+    per_pixel_exposure_counts,
+    per_slot_density,
+    summarize_pattern,
+    temporal_coverage,
+)
+from .io import PatternBundle, load_pattern, save_pattern
+
+__all__ = [
+    "CEConfig",
+    "CodedExposureSensor",
+    "FrameMaskSensor",
+    "coded_exposure",
+    "expand_tile_pattern",
+    "exposure_counts",
+    "compression_ratio",
+    "BASELINE_PATTERNS",
+    "make_pattern",
+    "long_exposure_pattern",
+    "short_exposure_pattern",
+    "random_pattern",
+    "sparse_random_pattern",
+    "global_random_pattern",
+    "pattern_exposure_density",
+    "validate_pattern",
+    "extract_tiles",
+    "zero_mean_contrast_encode",
+    "pearson_correlation_matrix",
+    "mean_squared_offdiagonal",
+    "mean_absolute_offdiagonal",
+    "coded_pixel_correlation",
+    "DecorrelationPatternLearner",
+    "DecorrelationResult",
+    "learn_decorrelated_pattern",
+    "straight_through_binarize",
+    "differentiable_correlation_loss",
+    "video_batch_to_tiles",
+    "PatternSummary",
+    "summarize_pattern",
+    "per_slot_density",
+    "per_pixel_exposure_counts",
+    "temporal_coverage",
+    "dead_pixel_fraction",
+    "mean_pairwise_hamming",
+    "code_diversity",
+    "pattern_to_text",
+    "compare_patterns",
+    "PatternBundle",
+    "save_pattern",
+    "load_pattern",
+]

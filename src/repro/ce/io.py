@@ -1,0 +1,111 @@
+"""Serialisation of coded-exposure patterns.
+
+A learned CE pattern is the deployable artefact of SnapPix's Sec. III
+training stage: it is burned into the sensor's per-pixel pattern storage
+(Sec. V) and reused by every downstream model.  This module round-trips
+patterns (plus the metadata needed to re-create the sensor) through
+either a compressed ``.npz`` file or a human-readable JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .operator import CEConfig
+from .patterns import validate_pattern
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class PatternBundle:
+    """A CE pattern together with the configuration it was trained for."""
+
+    pattern: np.ndarray
+    config: CEConfig
+    metadata: Dict[str, Union[str, float, int]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.pattern = np.asarray(self.pattern, dtype=np.float64)
+        validate_pattern(self.pattern, num_slots=self.config.num_slots)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict:
+        """JSON-serialisable representation of the bundle."""
+        return {
+            "format_version": _FORMAT_VERSION,
+            "pattern": self.pattern.astype(int).tolist(),
+            "config": {
+                "num_slots": self.config.num_slots,
+                "tile_size": self.config.tile_size,
+                "frame_height": self.config.frame_height,
+                "frame_width": self.config.frame_width,
+            },
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PatternBundle":
+        """Inverse of :meth:`as_dict`."""
+        version = payload.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported pattern format version: {version!r}")
+        config_payload = payload["config"]
+        config = CEConfig(num_slots=int(config_payload["num_slots"]),
+                          tile_size=int(config_payload["tile_size"]),
+                          frame_height=int(config_payload["frame_height"]),
+                          frame_width=int(config_payload["frame_width"]))
+        return cls(pattern=np.asarray(payload["pattern"], dtype=np.float64),
+                   config=config, metadata=dict(payload.get("metadata", {})))
+
+
+def save_pattern(bundle: PatternBundle, path: Union[str, Path]) -> Path:
+    """Save a pattern bundle; the format is chosen by the file extension.
+
+    ``.json`` writes a human-readable document; ``.npz`` writes a compact
+    binary archive.  Returns the resolved path.
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(json.dumps(bundle.as_dict(), indent=2))
+    elif path.suffix == ".npz":
+        np.savez_compressed(
+            path,
+            pattern=bundle.pattern,
+            num_slots=bundle.config.num_slots,
+            tile_size=bundle.config.tile_size,
+            frame_height=bundle.config.frame_height,
+            frame_width=bundle.config.frame_width,
+            metadata=json.dumps(dict(bundle.metadata)),
+            format_version=_FORMAT_VERSION,
+        )
+    else:
+        raise ValueError("pattern path must end in .json or .npz")
+    return path
+
+
+def load_pattern(path: Union[str, Path]) -> PatternBundle:
+    """Load a pattern bundle written by :func:`save_pattern`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no pattern file at {path}")
+    if path.suffix == ".json":
+        return PatternBundle.from_dict(json.loads(path.read_text()))
+    if path.suffix == ".npz":
+        with np.load(path, allow_pickle=False) as archive:
+            version = int(archive["format_version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(f"unsupported pattern format version: {version}")
+            config = CEConfig(num_slots=int(archive["num_slots"]),
+                              tile_size=int(archive["tile_size"]),
+                              frame_height=int(archive["frame_height"]),
+                              frame_width=int(archive["frame_width"]))
+            metadata = json.loads(str(archive["metadata"]))
+            return PatternBundle(pattern=np.asarray(archive["pattern"]),
+                                 config=config, metadata=metadata)
+    raise ValueError("pattern path must end in .json or .npz")

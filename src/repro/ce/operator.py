@@ -1,0 +1,220 @@
+"""The coded-exposure (CE) operator — Eqn. 1 of the paper.
+
+CE compresses a ``T x H x W`` video clip into a single ``H x W`` coded
+image by selectively exposing each pixel in a subset of the ``T``
+exposure slots and integrating the exposed values:
+
+    X(i, j) = sum_t M(i, j, t) * Y(i, j, t)
+
+SnapPix constrains the exposure mask ``M`` to be *tile-repetitive*: the
+frame is divided into ``tile x tile`` tiles and every tile shares the
+same per-pixel exposure pattern.  This module provides both the full
+frame-level operator and the tile-repetitive expansion, plus the
+exposure-count normalisation used before feeding coded images to the
+ViT (paper Sec. IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+
+def expand_tile_pattern(tile_pattern: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Tile a per-tile exposure pattern across the full frame.
+
+    Parameters
+    ----------
+    tile_pattern:
+        Binary array of shape ``(T, tile_h, tile_w)``.
+    height, width:
+        Full-frame dimensions; must be multiples of the tile size.
+
+    Returns
+    -------
+    Binary mask of shape ``(T, height, width)``.
+    """
+    tile_pattern = np.asarray(tile_pattern)
+    if tile_pattern.ndim != 3:
+        raise ValueError("tile_pattern must have shape (T, tile_h, tile_w)")
+    _, tile_h, tile_w = tile_pattern.shape
+    if height % tile_h or width % tile_w:
+        raise ValueError(
+            f"frame ({height}x{width}) is not a multiple of tile ({tile_h}x{tile_w})")
+    reps_h, reps_w = height // tile_h, width // tile_w
+    return np.tile(tile_pattern, (1, reps_h, reps_w))
+
+
+def coded_exposure(video: np.ndarray, mask: np.ndarray,
+                   normalize: bool = False) -> np.ndarray:
+    """Apply Eqn. 1: integrate selectively-exposed frames into a coded image.
+
+    Parameters
+    ----------
+    video:
+        ``(T, H, W)`` single clip or ``(B, T, H, W)`` batch of clips.
+    mask:
+        Binary exposure mask of shape ``(T, H, W)``.
+    normalize:
+        If True, divide every pixel by its exposure count (the
+        per-pixel number of open slots), the normalisation used before
+        the ViT.  Pixels with zero exposures stay zero.
+
+    Returns
+    -------
+    Coded image(s) of shape ``(H, W)`` or ``(B, H, W)``.
+    """
+    video = np.asarray(video, dtype=np.float64)
+    mask = np.asarray(mask, dtype=np.float64)
+    squeeze = False
+    if video.ndim == 3:
+        video = video[None]
+        squeeze = True
+    if video.ndim != 4:
+        raise ValueError("video must have shape (T, H, W) or (B, T, H, W)")
+    if video.shape[1:] != mask.shape:
+        raise ValueError(
+            f"mask shape {mask.shape} does not match video frames {video.shape[1:]}")
+    coded = np.einsum("bthw,thw->bhw", video, mask)
+    if normalize:
+        counts = mask.sum(axis=0)
+        coded = np.divide(coded, counts, out=np.zeros_like(coded), where=counts > 0)
+    return coded[0] if squeeze else coded
+
+
+def exposure_counts(mask: np.ndarray) -> np.ndarray:
+    """Per-pixel number of open exposure slots, shape ``(H, W)``."""
+    return np.asarray(mask).sum(axis=0)
+
+
+def compression_ratio(num_slots: int) -> float:
+    """Data reduction factor of CE: T frames become one coded image."""
+    if num_slots < 1:
+        raise ValueError("number of exposure slots must be >= 1")
+    return float(num_slots)
+
+
+@dataclass(frozen=True)
+class CEConfig:
+    """Configuration of the coded-exposure compression stage.
+
+    Attributes
+    ----------
+    num_slots:
+        ``T``, the number of exposure slots integrated into one coded
+        image (the paper evaluates T = 16).
+    tile_size:
+        Side of the square tile the exposure pattern repeats over.  The
+        paper matches this to the ViT patch size (8).
+    frame_height, frame_width:
+        Full-frame resolution (112 x 112 in the paper; smaller in the
+        scaled-down reproduction).
+    normalize_by_exposures:
+        Whether coded pixels are divided by their exposure counts before
+        entering the vision model (paper Sec. IV).
+    """
+
+    num_slots: int = 16
+    tile_size: int = 8
+    frame_height: int = 112
+    frame_width: int = 112
+    normalize_by_exposures: bool = True
+
+    def __post_init__(self):
+        if self.num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+        if self.tile_size < 1:
+            raise ValueError("tile_size must be >= 1")
+        if self.frame_height % self.tile_size or self.frame_width % self.tile_size:
+            raise ValueError("frame dimensions must be multiples of tile_size")
+
+    @property
+    def pixels_per_tile(self) -> int:
+        """``P`` in Eqn. 2."""
+        return self.tile_size * self.tile_size
+
+    @property
+    def tiles_per_frame(self) -> int:
+        return (self.frame_height // self.tile_size) * (self.frame_width // self.tile_size)
+
+    @property
+    def compression_ratio(self) -> float:
+        return compression_ratio(self.num_slots)
+
+
+class CodedExposureSensor:
+    """Algorithmic model of a CE-capable image sensor.
+
+    Wraps a tile-repetitive exposure pattern and applies the CE operator
+    to incoming video clips, producing the coded images the rest of the
+    pipeline (vision model, energy model, hardware simulator) consumes.
+    """
+
+    def __init__(self, config: CEConfig, tile_pattern: np.ndarray):
+        tile_pattern = np.asarray(tile_pattern)
+        expected = (config.num_slots, config.tile_size, config.tile_size)
+        if tile_pattern.shape != expected:
+            raise ValueError(
+                f"tile_pattern shape {tile_pattern.shape} != expected {expected}")
+        if not np.isin(tile_pattern, (0, 1)).all():
+            raise ValueError("tile_pattern must be binary")
+        self.config = config
+        self.tile_pattern = tile_pattern.astype(np.float64)
+        self._full_mask = expand_tile_pattern(
+            self.tile_pattern, config.frame_height, config.frame_width)
+
+    @property
+    def full_mask(self) -> np.ndarray:
+        """Frame-level exposure mask of shape ``(T, H, W)``."""
+        return self._full_mask
+
+    def capture(self, video: np.ndarray) -> np.ndarray:
+        """Compress a clip (or a batch of clips) into coded image(s)."""
+        return coded_exposure(video, self._full_mask,
+                              normalize=self.config.normalize_by_exposures)
+
+    def capture_raw(self, video: np.ndarray) -> np.ndarray:
+        """Compress without exposure-count normalisation (raw charge sums)."""
+        return coded_exposure(video, self._full_mask, normalize=False)
+
+    def readout_pixels(self, batch_size: int = 1) -> int:
+        """Number of pixels read out of the sensor per capture."""
+        return batch_size * self.config.frame_height * self.config.frame_width
+
+    def uncompressed_pixels(self, batch_size: int = 1) -> int:
+        """Number of pixels a conventional sensor would read for the same clip."""
+        return self.readout_pixels(batch_size) * self.config.num_slots
+
+
+class FrameMaskSensor:
+    """CE sensor driven by an arbitrary full-frame (non-tile-repetitive) mask.
+
+    Used by the Sec. VI-E ablation that replaces the tile-repetitive
+    pattern with a *global* pattern: the exposure mask varies freely
+    across the whole frame, so the downstream ViT can no longer learn a
+    single shared within-tile variation.
+    """
+
+    def __init__(self, config: CEConfig, full_mask: np.ndarray):
+        full_mask = np.asarray(full_mask)
+        expected = (config.num_slots, config.frame_height, config.frame_width)
+        if full_mask.shape != expected:
+            raise ValueError(f"full_mask shape {full_mask.shape} != expected {expected}")
+        if not np.isin(full_mask, (0, 1)).all():
+            raise ValueError("full_mask must be binary")
+        self.config = config
+        self._full_mask = full_mask.astype(np.float64)
+
+    @property
+    def full_mask(self) -> np.ndarray:
+        return self._full_mask
+
+    def capture(self, video: np.ndarray) -> np.ndarray:
+        """Compress clips with the full-frame mask (Eqn. 1)."""
+        return coded_exposure(video, self._full_mask,
+                              normalize=self.config.normalize_by_exposures)
+
+    def capture_raw(self, video: np.ndarray) -> np.ndarray:
+        return coded_exposure(video, self._full_mask, normalize=False)

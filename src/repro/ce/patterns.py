@@ -1,0 +1,108 @@
+"""Task-agnostic exposure-pattern baselines (paper Sec. VI-A / Fig. 6).
+
+The paper compares its decorrelation-learned pattern against four
+hand-designed task-agnostic patterns, all with ``T = 16`` exposure slots:
+
+- ``LONG EXPOSURE``: every pixel exposed in every slot.
+- ``SHORT EXPOSURE``: every pixel exposed every 8th slot.
+- ``RANDOM``: each pixel exposed independently with probability 0.5 per slot.
+- ``SPARSE RANDOM``: each pixel exposed in exactly one randomly chosen slot.
+
+The ablation (Sec. VI-E) additionally uses a *global* (non-tile-repetitive)
+pattern, produced here by :func:`global_random_pattern`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+
+def long_exposure_pattern(num_slots: int, tile_size: int) -> np.ndarray:
+    """All pixels exposed in all slots (conventional long exposure)."""
+    return np.ones((num_slots, tile_size, tile_size), dtype=np.float64)
+
+
+def short_exposure_pattern(num_slots: int, tile_size: int, period: int = 8) -> np.ndarray:
+    """All pixels exposed once every ``period`` slots (paper: every 8th frame)."""
+    pattern = np.zeros((num_slots, tile_size, tile_size), dtype=np.float64)
+    pattern[::period] = 1.0
+    return pattern
+
+
+def random_pattern(num_slots: int, tile_size: int, probability: float = 0.5,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Each pixel exposed independently with ``probability`` per slot."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    rng = rng or np.random.default_rng(0)
+    return (rng.random((num_slots, tile_size, tile_size)) < probability).astype(np.float64)
+
+
+def sparse_random_pattern(num_slots: int, tile_size: int,
+                          rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Each pixel exposed in exactly one slot chosen uniformly at random."""
+    rng = rng or np.random.default_rng(0)
+    pattern = np.zeros((num_slots, tile_size, tile_size), dtype=np.float64)
+    slots = rng.integers(0, num_slots, size=(tile_size, tile_size))
+    rows, cols = np.meshgrid(np.arange(tile_size), np.arange(tile_size), indexing="ij")
+    pattern[slots, rows, cols] = 1.0
+    return pattern
+
+
+def global_random_pattern(num_slots: int, height: int, width: int,
+                          probability: float = 0.5,
+                          rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """A full-frame random pattern with no tile-repetitive structure.
+
+    Used by the Sec. VI-E ablation ("replacing the tile-repetitive CE
+    pattern with a global pattern").  Because the pattern differs across
+    tiles, the ViT's shared patch embedding can no longer specialise to
+    the within-tile exposure variation, which is exactly the failure
+    mode the paper reports.
+    """
+    rng = rng or np.random.default_rng(0)
+    return (rng.random((num_slots, height, width)) < probability).astype(np.float64)
+
+
+BASELINE_PATTERNS: Dict[str, Callable[..., np.ndarray]] = {
+    "long_exposure": long_exposure_pattern,
+    "short_exposure": short_exposure_pattern,
+    "random": random_pattern,
+    "sparse_random": sparse_random_pattern,
+}
+
+
+def make_pattern(name: str, num_slots: int, tile_size: int,
+                 rng: Optional[np.random.Generator] = None, **kwargs) -> np.ndarray:
+    """Build a named baseline tile pattern.
+
+    ``name`` is one of ``long_exposure``, ``short_exposure``, ``random``,
+    ``sparse_random``.
+    """
+    if name not in BASELINE_PATTERNS:
+        raise KeyError(f"unknown pattern '{name}'; available: {sorted(BASELINE_PATTERNS)}")
+    factory = BASELINE_PATTERNS[name]
+    if name in ("random", "sparse_random"):
+        return factory(num_slots, tile_size, rng=rng, **kwargs)
+    return factory(num_slots, tile_size, **kwargs)
+
+
+def pattern_exposure_density(pattern: np.ndarray) -> float:
+    """Fraction of (slot, pixel) pairs that are exposed."""
+    pattern = np.asarray(pattern)
+    return float(pattern.mean())
+
+
+def validate_pattern(pattern: np.ndarray, num_slots: Optional[int] = None) -> None:
+    """Raise ``ValueError`` if a pattern is not a valid binary exposure mask."""
+    pattern = np.asarray(pattern)
+    if pattern.ndim != 3:
+        raise ValueError("pattern must be 3-D (T, h, w)")
+    if not np.isin(pattern, (0, 1)).all():
+        raise ValueError("pattern must be binary (0/1)")
+    if num_slots is not None and pattern.shape[0] != num_slots:
+        raise ValueError(f"pattern has {pattern.shape[0]} slots, expected {num_slots}")
+    if pattern.sum() == 0:
+        raise ValueError("pattern exposes no pixels (collapsed mask)")

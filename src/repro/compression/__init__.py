@@ -1,0 +1,104 @@
+"""``repro.compression`` — digital-domain compression baselines (paper Sec. VII).
+
+SnapPix compresses *inside the sensor*, before read-out.  The classic
+alternative is digital-domain compression after read-out: a JPEG-class
+transform codec [40], [42] or a learned compressive autoencoder [41].
+This subpackage implements both baselines from scratch so that the
+paper's related-work argument — digital compression saves transmission
+energy only and pays nJ/pixel for the encoder — can be reproduced
+quantitatively on the same energy axis as in-sensor CE.
+
+Public API:
+
+- :class:`JPEGLikeCodec`, :class:`JPEGLikeConfig`, :func:`rate_distortion_curve`
+  — the JPEG-class codec (block DCT + quantisation + zig-zag/RLE + Huffman).
+- :class:`CompressiveAutoencoder`, :class:`AutoencoderTrainer` — the learned
+  compression baseline on the ``repro.nn`` substrate.
+- :class:`DigitalCompressionEnergyModel`, :func:`digital_vs_ce_saving_factor`
+  — edge energy of read-out + digital compression + transmission.
+- Low-level stages: :mod:`repro.compression.dct`,
+  :mod:`repro.compression.quantization`, :mod:`repro.compression.entropy`.
+"""
+
+from .dct import (
+    blocks_to_image,
+    blockwise_dct,
+    blockwise_idct,
+    dct2,
+    dct_matrix,
+    idct2,
+    image_to_blocks,
+    pad_to_block_multiple,
+)
+from .quantization import (
+    JPEG_LUMA_QUANT_TABLE,
+    block_dequantize,
+    block_quantize,
+    quality_scaled_table,
+    uniform_dequantize,
+    uniform_quantize,
+)
+from .entropy import (
+    END_OF_BLOCK,
+    HuffmanCode,
+    inverse_zigzag,
+    run_length_decode,
+    run_length_encode,
+    shannon_entropy_bits,
+    zigzag_indices,
+    zigzag_scan,
+)
+from .jpeg import (
+    EncodedFrame,
+    JPEGLikeCodec,
+    JPEGLikeConfig,
+    RateDistortionPoint,
+    rate_distortion_curve,
+    video_bits_per_pixel,
+)
+from .autoencoder import (
+    AutoencoderConfig,
+    AutoencoderTrainer,
+    AutoencoderTrainingHistory,
+    CompressiveAutoencoder,
+    frames_from_videos,
+)
+from .energy import DigitalCompressionEnergyModel, digital_vs_ce_saving_factor
+
+__all__ = [
+    "dct_matrix",
+    "dct2",
+    "idct2",
+    "pad_to_block_multiple",
+    "image_to_blocks",
+    "blocks_to_image",
+    "blockwise_dct",
+    "blockwise_idct",
+    "JPEG_LUMA_QUANT_TABLE",
+    "quality_scaled_table",
+    "block_quantize",
+    "block_dequantize",
+    "uniform_quantize",
+    "uniform_dequantize",
+    "zigzag_indices",
+    "zigzag_scan",
+    "inverse_zigzag",
+    "run_length_encode",
+    "run_length_decode",
+    "END_OF_BLOCK",
+    "HuffmanCode",
+    "shannon_entropy_bits",
+    "JPEGLikeConfig",
+    "JPEGLikeCodec",
+    "EncodedFrame",
+    "RateDistortionPoint",
+    "rate_distortion_curve",
+    "video_bits_per_pixel",
+    "AutoencoderConfig",
+    "CompressiveAutoencoder",
+    "AutoencoderTrainer",
+    "AutoencoderTrainingHistory",
+    "frames_from_videos",
+    "DigitalCompressionEnergyModel",
+    "digital_vs_ce_saving_factor",
+]

@@ -1,0 +1,207 @@
+"""Learned compressive autoencoder baseline (deep-learning-based compression).
+
+The paper's related work cites deep-learning-based lossy compression
+(Cheng et al. [41]) as the other digital-domain option and notes that it
+is even more compute-hungry than JPEG.  This module implements a compact
+version of that baseline on the ``repro.nn`` substrate: a patch-wise
+encoder to a low-dimensional latent, uniform quantisation with a
+straight-through estimator, and a decoder back to pixels.  The rate is
+measured as the empirical entropy of the quantised latent symbols.
+
+Like the JPEG-class codec, this baseline operates *after* read-out, so
+its energy profile is modelled by
+:class:`repro.compression.DigitalCompressionEnergyModel` with the
+measured compression ratio.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..models.patch import image_to_patches, patches_to_image
+from ..nn import AdamW, Linear, Module, Tensor, clip_grad_norm, no_grad
+from .entropy import shannon_entropy_bits
+from .quantization import uniform_dequantize, uniform_quantize
+
+
+@dataclass(frozen=True)
+class AutoencoderConfig:
+    """Architecture/rate configuration of the compressive autoencoder."""
+
+    patch_size: int = 8
+    latent_dim: int = 8
+    hidden_dim: int = 64
+    quant_step: float = 0.1
+
+    def __post_init__(self):
+        if self.patch_size < 1:
+            raise ValueError("patch_size must be >= 1")
+        if self.latent_dim < 1:
+            raise ValueError("latent_dim must be >= 1")
+        if self.quant_step <= 0:
+            raise ValueError("quant_step must be positive")
+
+    @property
+    def pixels_per_patch(self) -> int:
+        return self.patch_size * self.patch_size
+
+    @property
+    def nominal_compression_ratio(self) -> float:
+        """Dimensionality reduction of the bottleneck (pixels per latent)."""
+        return self.pixels_per_patch / self.latent_dim
+
+
+class CompressiveAutoencoder(Module):
+    """Patch-wise compressive autoencoder with quantised latents."""
+
+    def __init__(self, config: AutoencoderConfig = AutoencoderConfig(),
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.config = config
+        pixels = config.pixels_per_patch
+        self.enc1 = Linear(pixels, config.hidden_dim, rng=rng)
+        self.enc2 = Linear(config.hidden_dim, config.latent_dim, rng=rng)
+        self.dec1 = Linear(config.latent_dim, config.hidden_dim, rng=rng)
+        self.dec2 = Linear(config.hidden_dim, pixels, rng=rng)
+
+    # ------------------------------------------------------------------
+    def encode(self, images: np.ndarray) -> Tensor:
+        """Map ``(B, H, W)`` frames to continuous latents ``(B, N, latent_dim)``."""
+        patches = image_to_patches(images, self.config.patch_size)
+        hidden = self.enc1(Tensor(patches)).gelu()
+        return self.enc2(hidden)
+
+    def quantize_ste(self, latents: Tensor) -> Tensor:
+        """Quantise latents with a straight-through gradient estimator.
+
+        The forward value is the dequantised (rounded) latent; the
+        backward pass treats the rounding as identity, the standard trick
+        for training through a non-differentiable quantiser.
+        """
+        step = self.config.quant_step
+        hard = uniform_dequantize(uniform_quantize(latents.data, step), step)
+        return latents + Tensor(hard - latents.data)
+
+    def decode(self, latents: Tensor, image_shape: Tuple[int, int]) -> Tensor:
+        """Map latents back to ``(B, N, patch_pixels)`` pixel patches."""
+        hidden = self.dec1(latents).gelu()
+        return self.dec2(hidden)
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        """Full compress-decompress pass; returns predicted pixel patches."""
+        images = np.asarray(images, dtype=np.float64)
+        latents = self.quantize_ste(self.encode(images))
+        return self.decode(latents, images.shape[-2:])
+
+    # ------------------------------------------------------------------
+    def reconstruct(self, images: np.ndarray) -> np.ndarray:
+        """Reconstruct frames (no gradients); returns ``(B, H, W)`` in [0, 1]."""
+        images = np.asarray(images, dtype=np.float64)
+        with no_grad():
+            patches = self.forward(images)
+        frames = patches_to_image(patches.data, images.shape[-2:],
+                                  self.config.patch_size)
+        return np.clip(frames, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    def latent_symbols(self, images: np.ndarray) -> np.ndarray:
+        """Quantised latent indices, the symbols an entropy coder would see."""
+        images = np.asarray(images, dtype=np.float64)
+        with no_grad():
+            latents = self.encode(images)
+        return uniform_quantize(latents.data, self.config.quant_step)
+
+    def measured_rate_bits_per_pixel(self, images: np.ndarray) -> float:
+        """Empirical-entropy rate of the quantised latents, in bits per pixel."""
+        images = np.asarray(images, dtype=np.float64)
+        symbols = self.latent_symbols(images).ravel().tolist()
+        bits_per_symbol = shannon_entropy_bits(symbols)
+        pixels = images.shape[-2] * images.shape[-1] * images.shape[0]
+        return bits_per_symbol * len(symbols) / pixels
+
+    def measured_compression_ratio(self, images: np.ndarray,
+                                   raw_bits_per_pixel: float = 8.0) -> float:
+        """Raw bits divided by measured coded bits (clipped to >= 1)."""
+        rate = self.measured_rate_bits_per_pixel(images)
+        if rate <= 0:
+            return float("inf")
+        return max(1.0, raw_bits_per_pixel / rate)
+
+
+@dataclass
+class AutoencoderTrainingHistory:
+    """Per-epoch training records of the compressive autoencoder."""
+
+    losses: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class AutoencoderTrainer:
+    """Trains the compressive autoencoder on a stack of frames."""
+
+    def __init__(self, model: CompressiveAutoencoder, lr: float = 3e-3,
+                 weight_decay: float = 0.0, batch_size: int = 16,
+                 epochs: int = 10, grad_clip: float = 1.0, seed: int = 0):
+        self.model = model
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.grad_clip = grad_clip
+        self.optimizer = AdamW(model.parameters(), lr=lr,
+                               weight_decay=weight_decay)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def train_step(self, frames: np.ndarray) -> float:
+        """One gradient step on a batch of ``(B, H, W)`` frames; returns the loss."""
+        frames = np.asarray(frames, dtype=np.float64)
+        targets = image_to_patches(frames, self.model.config.patch_size)
+        prediction = self.model(frames)
+        diff = prediction - Tensor(targets)
+        loss = (diff * diff).mean()
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.grad_clip:
+            clip_grad_norm(self.model.parameters(), self.grad_clip)
+        self.optimizer.step()
+        return float(loss.data)
+
+    # ------------------------------------------------------------------
+    def fit(self, frames: np.ndarray) -> AutoencoderTrainingHistory:
+        """Train on ``(N, H, W)`` frames for the configured number of epochs."""
+        frames = np.asarray(frames, dtype=np.float64)
+        history = AutoencoderTrainingHistory()
+        for _ in range(self.epochs):
+            start = time.perf_counter()
+            order = self._rng.permutation(len(frames))
+            epoch_losses = []
+            for begin in range(0, len(order), self.batch_size):
+                batch = frames[order[begin:begin + self.batch_size]]
+                epoch_losses.append(self.train_step(batch))
+            history.losses.append(float(np.mean(epoch_losses)))
+            history.epoch_seconds.append(time.perf_counter() - start)
+        return history
+
+    # ------------------------------------------------------------------
+    def evaluate_psnr(self, frames: np.ndarray) -> float:
+        """Reconstruction PSNR (dB) on a held-out frame stack."""
+        from ..tasks.metrics import psnr
+
+        frames = np.asarray(frames, dtype=np.float64)
+        return psnr(self.model.reconstruct(frames), frames)
+
+
+def frames_from_videos(videos: np.ndarray) -> np.ndarray:
+    """Flatten a ``(N, T, H, W)`` clip array into a ``(N*T, H, W)`` frame stack."""
+    videos = np.asarray(videos, dtype=np.float64)
+    if videos.ndim != 4:
+        raise ValueError("videos must have shape (N, T, H, W)")
+    return videos.reshape(-1, videos.shape[-2], videos.shape[-1])

@@ -1,0 +1,111 @@
+"""Block-wise 2-D discrete cosine transform (DCT) used by the digital codec.
+
+The paper's related-work discussion (Sec. VII) compares in-sensor CE
+compression against classic digital-domain compression (JPEG [40]) and
+learned compression [41].  This module provides the transform stage of
+the JPEG-class codec from scratch: an orthonormal DCT-II / DCT-III pair
+and helpers to split an image into fixed-size blocks and put it back
+together.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+
+@lru_cache(maxsize=16)
+def dct_matrix(size: int) -> np.ndarray:
+    """The orthonormal DCT-II matrix ``C`` of the requested size.
+
+    ``C @ x`` computes the 1-D DCT-II of a length-``size`` signal ``x``;
+    because ``C`` is orthonormal, ``C.T @ X`` inverts it (DCT-III).
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    n = np.arange(size)
+    k = n.reshape(-1, 1)
+    matrix = np.cos(np.pi * (2 * n + 1) * k / (2 * size))
+    matrix *= np.sqrt(2.0 / size)
+    matrix[0] /= np.sqrt(2.0)
+    return matrix
+
+
+def dct2(blocks: np.ndarray) -> np.ndarray:
+    """2-D DCT-II over the trailing two axes of ``blocks``.
+
+    Accepts any leading batch shape, e.g. ``(num_blocks, 8, 8)``.
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    if blocks.ndim < 2 or blocks.shape[-1] != blocks.shape[-2]:
+        raise ValueError("blocks must have square trailing dimensions")
+    matrix = dct_matrix(blocks.shape[-1])
+    return matrix @ blocks @ matrix.T
+
+
+def idct2(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`dct2` (2-D DCT-III) over the trailing two axes."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.ndim < 2 or coefficients.shape[-1] != coefficients.shape[-2]:
+        raise ValueError("coefficients must have square trailing dimensions")
+    matrix = dct_matrix(coefficients.shape[-1])
+    return matrix.T @ coefficients @ matrix
+
+
+def pad_to_block_multiple(image: np.ndarray, block_size: int) -> np.ndarray:
+    """Edge-pad the trailing two axes so both are multiples of ``block_size``."""
+    image = np.asarray(image, dtype=np.float64)
+    height, width = image.shape[-2], image.shape[-1]
+    pad_h = (-height) % block_size
+    pad_w = (-width) % block_size
+    if pad_h == 0 and pad_w == 0:
+        return image
+    pad = [(0, 0)] * (image.ndim - 2) + [(0, pad_h), (0, pad_w)]
+    return np.pad(image, pad, mode="edge")
+
+
+def image_to_blocks(image: np.ndarray, block_size: int) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Split a 2-D image into ``(num_blocks, block_size, block_size)`` tiles.
+
+    Returns the block array and the padded image shape needed to invert
+    the split with :func:`blocks_to_image`.  The image is edge-padded if
+    its sides are not multiples of the block size.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError("image must be 2-D (H, W)")
+    padded = pad_to_block_multiple(image, block_size)
+    height, width = padded.shape
+    n_h, n_w = height // block_size, width // block_size
+    blocks = padded.reshape(n_h, block_size, n_w, block_size)
+    blocks = blocks.transpose(0, 2, 1, 3).reshape(n_h * n_w, block_size, block_size)
+    return blocks, (height, width)
+
+
+def blocks_to_image(blocks: np.ndarray, padded_shape: Tuple[int, int],
+                    original_shape: Tuple[int, int]) -> np.ndarray:
+    """Reassemble blocks produced by :func:`image_to_blocks`, cropping any padding."""
+    blocks = np.asarray(blocks, dtype=np.float64)
+    height, width = padded_shape
+    block_size = blocks.shape[-1]
+    n_h, n_w = height // block_size, width // block_size
+    if blocks.shape != (n_h * n_w, block_size, block_size):
+        raise ValueError("block array does not match the padded shape")
+    grid = blocks.reshape(n_h, n_w, block_size, block_size)
+    image = grid.transpose(0, 2, 1, 3).reshape(height, width)
+    return image[:original_shape[0], :original_shape[1]]
+
+
+def blockwise_dct(image: np.ndarray, block_size: int = 8
+                  ) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """DCT of every ``block_size`` x ``block_size`` block of a 2-D image."""
+    blocks, padded_shape = image_to_blocks(image, block_size)
+    return dct2(blocks), padded_shape
+
+
+def blockwise_idct(coefficients: np.ndarray, padded_shape: Tuple[int, int],
+                   original_shape: Tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`blockwise_dct`."""
+    return blocks_to_image(idct2(coefficients), padded_shape, original_shape)

@@ -1,0 +1,121 @@
+"""Energy model of digital-domain compression on the edge node.
+
+The paper's related-work section argues that classic digital compression
+(JPEG-class, [40], [42]) and learned compression [41]:
+
+1. run *after* sensor read-out, so they save none of the ADC/MIPI energy, and
+2. cost nJ/pixel on dedicated hardware — orders of magnitude more than the
+   pJ/pixel scale of sensing itself.
+
+This module quantifies that argument with the same energy-report
+machinery used for the Sec. VI-D scenarios, so the digital baselines can
+be placed on the same energy axis as in-sensor CE compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..energy import constants
+from ..energy.scenarios import EnergyReport, ScenarioComparison
+from ..energy.sensor import SensorEnergyModel
+from ..energy.transmission import WirelessLink, get_link
+
+
+@dataclass(frozen=True)
+class DigitalCompressionEnergyModel:
+    """Edge-node energy of read-out + digital compression + transmission.
+
+    Parameters
+    ----------
+    frame_height, frame_width:
+        Sensor resolution.
+    num_frames:
+        Frames per clip (the same ``T`` as the CE exposure-slot count, so
+        the comparison is at matched temporal footage).
+    compression_ratio:
+        Achieved coded-size reduction (raw bits / coded bits).  Use the
+        measured ratio of :class:`repro.compression.JPEGLikeCodec` or the
+        autoencoder for data-driven numbers.
+    compression_energy_per_pixel:
+        Energy of the encoder per input pixel (J); the paper quotes
+        nJ/pixel for dedicated JPEG hardware [42].
+    """
+
+    frame_height: int
+    frame_width: int
+    num_frames: int
+    compression_ratio: float
+    compression_energy_per_pixel: float = constants.DIGITAL_COMPRESSION_ENERGY_PER_PIXEL
+
+    def __post_init__(self):
+        if self.compression_ratio <= 0:
+            raise ValueError("compression_ratio must be positive")
+        if self.num_frames < 1:
+            raise ValueError("num_frames must be >= 1")
+        if self.compression_energy_per_pixel < 0:
+            raise ValueError("compression_energy_per_pixel must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def pixels_per_clip(self) -> int:
+        return self.frame_height * self.frame_width * self.num_frames
+
+    @property
+    def transmitted_pixel_equivalents(self) -> float:
+        """Compressed clip size expressed in 8-bit-pixel equivalents."""
+        return self.pixels_per_clip / self.compression_ratio
+
+    # ------------------------------------------------------------------
+    def report(self, link: str = "passive_wifi") -> EnergyReport:
+        """Energy of capturing, digitally compressing, and transmitting one clip."""
+        wireless: WirelessLink = get_link(link)
+        sensor = SensorEnergyModel(self.frame_height, self.frame_width,
+                                   self.num_frames)
+        capture = sensor.conventional_capture()
+        compression = self.pixels_per_clip * self.compression_energy_per_pixel
+        transmission = wireless.transmission_energy(
+            int(round(self.transmitted_pixel_equivalents)))
+        return EnergyReport(system="digital_compression",
+                            sensor_energy=capture.total,
+                            transmission_energy=transmission,
+                            compute_energy=compression)
+
+    # ------------------------------------------------------------------
+    def compare_with_in_sensor_ce(self, link: str = "passive_wifi"
+                                  ) -> ScenarioComparison:
+        """Digital compression (baseline) vs SnapPix in-sensor CE at matched T."""
+        wireless: WirelessLink = get_link(link)
+        sensor = SensorEnergyModel(self.frame_height, self.frame_width,
+                                   self.num_frames)
+        ce_capture = sensor.ce_capture()
+        snappix = EnergyReport(
+            system="snappix_ce",
+            sensor_energy=ce_capture.total,
+            transmission_energy=wireless.transmission_energy(
+                sensor.pixels_read_out(coded=True)),
+        )
+        return ScenarioComparison(scenario=f"digital_vs_in_sensor/{link}",
+                                  baseline=self.report(link), snappix=snappix)
+
+    # ------------------------------------------------------------------
+    def breakdown(self, link: str = "passive_wifi") -> Dict[str, float]:
+        """Per-component energy of the digital-compression pipeline (J)."""
+        report = self.report(link)
+        return {
+            "sensor_energy_j": report.sensor_energy,
+            "compression_energy_j": report.compute_energy,
+            "transmission_energy_j": report.transmission_energy,
+            "total_energy_j": report.total,
+            "compression_ratio": self.compression_ratio,
+        }
+
+
+def digital_vs_ce_saving_factor(frame_height: int, frame_width: int,
+                                num_frames: int, compression_ratio: float,
+                                link: str = "passive_wifi") -> float:
+    """Convenience wrapper: how many times less energy in-sensor CE uses."""
+    model = DigitalCompressionEnergyModel(frame_height, frame_width, num_frames,
+                                          compression_ratio)
+    return model.compare_with_in_sensor_ce(link).saving_factor

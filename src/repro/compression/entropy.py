@@ -1,0 +1,180 @@
+"""Entropy-coding stage of the digital compression baselines.
+
+Implements the lossless back end of the JPEG-class codec from scratch:
+zig-zag scanning of quantised DCT blocks, (run, value) run-length coding
+of the zero runs, and a canonical Huffman coder over arbitrary hashable
+symbols.  The Huffman coder produces a real bitstream, so the measured
+bits-per-pixel numbers are actual code lengths rather than entropy
+estimates (an entropy estimate is also provided for analysis).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+#: Sentinel symbol terminating a run-length-coded block (end of block).
+END_OF_BLOCK = ("EOB",)
+
+
+# ----------------------------------------------------------------------
+# Zig-zag scanning
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=16)
+def zigzag_indices(size: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Row/column index arrays visiting a ``size`` x ``size`` block in zig-zag order."""
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    order = sorted(((r + c, (c if (r + c) % 2 == 0 else r), r, c)
+                    for r in range(size) for c in range(size)))
+    rows = tuple(entry[2] for entry in order)
+    cols = tuple(entry[3] for entry in order)
+    return rows, cols
+
+
+def zigzag_scan(block: np.ndarray) -> np.ndarray:
+    """Flatten a square block in zig-zag (low-to-high frequency) order."""
+    block = np.asarray(block)
+    if block.ndim != 2 or block.shape[0] != block.shape[1]:
+        raise ValueError("block must be square and 2-D")
+    rows, cols = zigzag_indices(block.shape[0])
+    return block[np.array(rows), np.array(cols)]
+
+
+def inverse_zigzag(flat: np.ndarray, size: int) -> np.ndarray:
+    """Invert :func:`zigzag_scan` back into a ``size`` x ``size`` block."""
+    flat = np.asarray(flat)
+    if flat.shape != (size * size,):
+        raise ValueError("flat array length must equal size * size")
+    rows, cols = zigzag_indices(size)
+    block = np.zeros((size, size), dtype=flat.dtype)
+    block[np.array(rows), np.array(cols)] = flat
+    return block
+
+
+# ----------------------------------------------------------------------
+# Run-length coding
+# ----------------------------------------------------------------------
+def run_length_encode(coefficients: np.ndarray) -> List[Tuple]:
+    """Encode a 1-D integer sequence as ``(zero_run, value)`` symbols.
+
+    Trailing zeros are replaced by a single :data:`END_OF_BLOCK` symbol,
+    which is what gives JPEG its coding efficiency on sparse
+    high-frequency coefficients.
+    """
+    coefficients = np.asarray(coefficients).ravel()
+    symbols: List[Tuple] = []
+    run = 0
+    last_nonzero = -1
+    nonzero = np.nonzero(coefficients)[0]
+    if len(nonzero):
+        last_nonzero = int(nonzero[-1])
+    for position in range(last_nonzero + 1):
+        value = int(coefficients[position])
+        if value == 0:
+            run += 1
+        else:
+            symbols.append((run, value))
+            run = 0
+    symbols.append(END_OF_BLOCK)
+    return symbols
+
+
+def run_length_decode(symbols: Sequence[Tuple], length: int) -> np.ndarray:
+    """Invert :func:`run_length_encode` into a length-``length`` array."""
+    output = np.zeros(length, dtype=np.int64)
+    position = 0
+    for symbol in symbols:
+        if symbol == END_OF_BLOCK:
+            break
+        run, value = symbol
+        position += int(run)
+        if position >= length:
+            raise ValueError("run-length data overruns the block length")
+        output[position] = int(value)
+        position += 1
+    return output
+
+
+# ----------------------------------------------------------------------
+# Huffman coding
+# ----------------------------------------------------------------------
+@dataclass
+class HuffmanCode:
+    """A prefix code over hashable symbols built from observed frequencies."""
+
+    codebook: Dict[Hashable, str]
+
+    @classmethod
+    def from_symbols(cls, symbols: Sequence[Hashable]) -> "HuffmanCode":
+        """Build a Huffman code from a symbol stream (must be non-empty)."""
+        if not symbols:
+            raise ValueError("cannot build a Huffman code from an empty stream")
+        counts = Counter(symbols)
+        if len(counts) == 1:
+            only = next(iter(counts))
+            return cls(codebook={only: "0"})
+        # Heap entries: (count, tie_breaker, {symbol: code_suffix})
+        heap = [(count, index, {symbol: ""})
+                for index, (symbol, count) in enumerate(counts.items())]
+        heapq.heapify(heap)
+        tie = len(heap)
+        while len(heap) > 1:
+            count_a, _, codes_a = heapq.heappop(heap)
+            count_b, _, codes_b = heapq.heappop(heap)
+            merged = {symbol: "0" + code for symbol, code in codes_a.items()}
+            merged.update({symbol: "1" + code for symbol, code in codes_b.items()})
+            heapq.heappush(heap, (count_a + count_b, tie, merged))
+            tie += 1
+        return cls(codebook=heap[0][2])
+
+    # ------------------------------------------------------------------
+    def encode(self, symbols: Sequence[Hashable]) -> str:
+        """Encode a symbol stream into a bit string (e.g. ``"010110..."``)."""
+        try:
+            return "".join(self.codebook[symbol] for symbol in symbols)
+        except KeyError as error:
+            raise KeyError(f"symbol {error} not in the codebook") from error
+
+    def decode(self, bits: str) -> List[Hashable]:
+        """Decode a bit string produced by :meth:`encode`."""
+        inverse = {code: symbol for symbol, code in self.codebook.items()}
+        symbols: List[Hashable] = []
+        current = ""
+        for bit in bits:
+            current += bit
+            if current in inverse:
+                symbols.append(inverse[current])
+                current = ""
+        if current:
+            raise ValueError("bit string ends mid-codeword")
+        return symbols
+
+    def encoded_length_bits(self, symbols: Sequence[Hashable]) -> int:
+        """Length in bits of the encoded stream, without materialising it."""
+        return sum(len(self.codebook[symbol]) for symbol in symbols)
+
+    @property
+    def mean_code_length(self) -> float:
+        """Mean codeword length over the codebook (unweighted)."""
+        if not self.codebook:
+            return 0.0
+        return float(np.mean([len(code) for code in self.codebook.values()]))
+
+
+def shannon_entropy_bits(symbols: Sequence[Hashable]) -> float:
+    """Shannon entropy (bits/symbol) of the empirical symbol distribution.
+
+    A lower bound on the achievable mean code length; used to sanity-check
+    that the Huffman coder is within one bit/symbol of optimal.
+    """
+    if not symbols:
+        return 0.0
+    counts = np.array(list(Counter(symbols).values()), dtype=np.float64)
+    probabilities = counts / counts.sum()
+    return float(-np.sum(probabilities * np.log2(probabilities)))

@@ -1,0 +1,78 @@
+"""Quantisation stages of the digital compression baselines.
+
+Provides the standard JPEG luminance quantisation table with the IJG
+quality scaling used by every JPEG implementation, plus the uniform
+scalar quantiser used by the learned compressive autoencoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The Annex-K luminance quantisation table of the JPEG standard [40],
+#: expressed for quality 50.
+JPEG_LUMA_QUANT_TABLE = np.array([
+    [16, 11, 10, 16, 24, 40, 51, 61],
+    [12, 12, 14, 19, 26, 58, 60, 55],
+    [14, 13, 16, 24, 40, 57, 69, 56],
+    [14, 17, 22, 29, 51, 87, 80, 62],
+    [18, 22, 37, 56, 68, 109, 103, 77],
+    [24, 35, 55, 64, 81, 104, 113, 92],
+    [49, 64, 78, 87, 103, 121, 120, 101],
+    [72, 92, 95, 98, 112, 100, 103, 99],
+], dtype=np.float64)
+
+
+def quality_scaled_table(quality: int,
+                         base_table: np.ndarray = JPEG_LUMA_QUANT_TABLE) -> np.ndarray:
+    """Scale a quantisation table to a JPEG quality factor in [1, 100].
+
+    Uses the Independent JPEG Group convention: quality 50 returns the
+    base table, higher qualities shrink the steps (less loss), lower
+    qualities grow them (more loss).  Every entry is clipped to [1, 255].
+    """
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be in [1, 100]")
+    base_table = np.asarray(base_table, dtype=np.float64)
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    table = np.floor((base_table * scale + 50.0) / 100.0)
+    return np.clip(table, 1.0, 255.0)
+
+
+def block_quantize(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantise DCT coefficients with a per-frequency step table.
+
+    ``coefficients`` has shape ``(..., B, B)`` and ``table`` shape
+    ``(B, B)``; the result holds integers (stored as int64).
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    table = np.asarray(table, dtype=np.float64)
+    if coefficients.shape[-2:] != table.shape:
+        raise ValueError("table shape must match the coefficient block shape")
+    return np.round(coefficients / table).astype(np.int64)
+
+
+def block_dequantize(quantized: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Invert :func:`block_quantize` (up to the rounding loss)."""
+    quantized = np.asarray(quantized, dtype=np.float64)
+    table = np.asarray(table, dtype=np.float64)
+    if quantized.shape[-2:] != table.shape:
+        raise ValueError("table shape must match the coefficient block shape")
+    return quantized * table
+
+
+def uniform_quantize(values: np.ndarray, step: float) -> np.ndarray:
+    """Uniform scalar quantisation to integer bin indices."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    return np.round(np.asarray(values, dtype=np.float64) / step).astype(np.int64)
+
+
+def uniform_dequantize(indices: np.ndarray, step: float) -> np.ndarray:
+    """Map bin indices back to reconstruction levels (bin centres)."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    return np.asarray(indices, dtype=np.float64) * step

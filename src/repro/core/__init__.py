@@ -1,0 +1,31 @@
+"""``repro.core`` — end-to-end SnapPix pipeline orchestration, experiments, and CLI."""
+
+from .cli import build_parser, main
+from .config import PipelineConfig
+from .system import SnapPixResult, SnapPixSystem
+from .experiments import (
+    FIG6_PATTERNS,
+    TABLE1_MODELS,
+    run_ablation,
+    run_correlation_comparison,
+    run_downsample_comparison,
+    run_pattern_comparison,
+    run_systems_comparison,
+    run_throughput_comparison,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "SnapPixSystem",
+    "SnapPixResult",
+    "FIG6_PATTERNS",
+    "TABLE1_MODELS",
+    "run_pattern_comparison",
+    "run_correlation_comparison",
+    "run_systems_comparison",
+    "run_throughput_comparison",
+    "run_downsample_comparison",
+    "run_ablation",
+    "build_parser",
+    "main",
+]

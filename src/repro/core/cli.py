@@ -1,0 +1,238 @@
+"""Command-line interface of the SnapPix reproduction.
+
+Exposes the main entry points of the library without writing Python::
+
+    python -m repro pattern   --num-slots 16 --tile-size 8 --save pattern.json
+    python -m repro pipeline  --task ar --dataset ssv2 --pattern decorrelated
+    python -m repro energy    --frame-size 112 --num-slots 16
+    python -m repro hardware  --tile-size 8 --node-nm 22
+    python -m repro sweep     slots --csv slots.csv
+    python -m repro correlation --num-slots 16
+
+Every subcommand prints an aligned text table (or a key/value listing)
+built by :mod:`repro.analysis.report`, and returns a process exit code of
+zero on success, so the CLI is scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis import (
+    format_text_table,
+    sweep_digital_codec_quality,
+    sweep_exposure_density,
+    sweep_exposure_slots,
+    sweep_tile_size,
+    write_csv,
+)
+from ..ce import (
+    CEConfig,
+    PatternBundle,
+    learn_decorrelated_pattern,
+    pattern_to_text,
+    save_pattern,
+    summarize_pattern,
+)
+from ..data import build_pretrain_dataset
+from ..energy import EdgeSensingScenario
+from ..hardware import FrameRateModel, PatternStreamTiming, ReadoutTiming, \
+    pixel_area_report
+from .config import PipelineConfig
+from .experiments import run_correlation_comparison
+from .system import SnapPixSystem
+
+SWEEPS = {
+    "slots": sweep_exposure_slots,
+    "tile": sweep_tile_size,
+    "density": sweep_exposure_density,
+    "codec": sweep_digital_codec_quality,
+}
+
+
+def _print_mapping(title: str, mapping: Dict[str, float]) -> None:
+    print(f"=== {title} ===")
+    width = max(len(key) for key in mapping) if mapping else 0
+    for key, value in mapping.items():
+        if isinstance(value, float):
+            print(f"{key.rjust(width)} : {value:.6g}")
+        else:
+            print(f"{key.rjust(width)} : {value}")
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_pattern(args: argparse.Namespace) -> int:
+    config = CEConfig(num_slots=args.num_slots, tile_size=args.tile_size,
+                      frame_height=args.frame_size, frame_width=args.frame_size)
+    videos = build_pretrain_dataset(num_clips=args.clips,
+                                    num_frames=args.num_slots,
+                                    frame_size=args.frame_size, seed=args.seed)
+    result = learn_decorrelated_pattern(videos, config, epochs=args.epochs,
+                                        seed=args.seed)
+    summary = summarize_pattern(result.tile_pattern)
+    _print_mapping("learned decorrelated pattern", summary.as_dict())
+    if args.show:
+        print(pattern_to_text(result.tile_pattern))
+    if args.save:
+        bundle = PatternBundle(pattern=result.tile_pattern, config=config,
+                               metadata={"epochs": args.epochs, "seed": args.seed,
+                                         "clips": args.clips})
+        path = save_pattern(bundle, args.save)
+        print(f"pattern saved to {path}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    config = PipelineConfig(dataset=args.dataset, frame_size=args.frame_size,
+                            num_slots=args.num_slots, tile_size=args.tile_size,
+                            pattern=args.pattern, model_variant=args.variant,
+                            use_pretraining=not args.no_pretrain,
+                            pretrain_epochs=args.pretrain_epochs,
+                            finetune_epochs=args.epochs, seed=args.seed)
+    system = SnapPixSystem(config)
+    result = system.run(task=args.task)
+    _print_mapping(f"SnapPix pipeline ({args.task})", result.as_dict())
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    scenario = EdgeSensingScenario(args.frame_size, args.frame_size,
+                                   args.num_slots)
+    short = scenario.edge_server("passive_wifi")
+    long_range = scenario.edge_server("lora_backscatter")
+    _print_mapping("edge energy (Sec. VI-D)", {
+        "readout_reduction": scenario.readout_reduction(),
+        "transmission_reduction": scenario.transmission_reduction(),
+        "short_range_saving": short.saving_factor,
+        "long_range_saving": long_range.saving_factor,
+        "conventional_short_range_j": short.baseline.total,
+        "snappix_short_range_j": short.snappix.total,
+        "conventional_long_range_j": long_range.baseline.total,
+        "snappix_long_range_j": long_range.snappix.total,
+    })
+    return 0
+
+
+def _cmd_hardware(args: argparse.Namespace) -> int:
+    area = pixel_area_report(node_nm=args.node_nm, tile_size=args.tile_size)
+    timing = FrameRateModel(
+        stream=PatternStreamTiming(tile_size=args.tile_size,
+                                   num_slots=args.num_slots),
+        readout=ReadoutTiming(args.frame_size, args.frame_size),
+        slot_exposure_s=args.slot_exposure_ms * 1e-3)
+    _print_mapping("CE pixel area (Sec. V)", {
+        "ce_logic_area_um2": area.ce_logic_area_um2,
+        "broadcast_wire_area_um2": area.broadcast_wire_area_um2,
+        "aps_pixel_area_um2": area.aps_pixel_area_um2,
+        "logic_fits_under_pixel": float(area.logic_fits_under_pixel),
+    })
+    _print_mapping("CE timing", timing.report())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rows = SWEEPS[args.name]()
+    print(format_text_table(rows))
+    if args.csv:
+        path = write_csv(rows, args.csv)
+        print(f"rows written to {path}")
+    return 0
+
+
+def _cmd_correlation(args: argparse.Namespace) -> int:
+    rows = run_correlation_comparison(num_slots=args.num_slots,
+                                      tile_size=args.tile_size,
+                                      frame_size=args.frame_size,
+                                      num_clips=args.clips,
+                                      pattern_epochs=args.epochs,
+                                      seed=args.seed)
+    print(format_text_table(rows))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SnapPix reproduction: in-sensor CE compression for edge vision")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_geometry(sub, frame_size=32, num_slots=16, tile_size=8):
+        sub.add_argument("--frame-size", type=int, default=frame_size)
+        sub.add_argument("--num-slots", type=int, default=num_slots)
+        sub.add_argument("--tile-size", type=int, default=tile_size)
+        sub.add_argument("--seed", type=int, default=0)
+
+    pattern = subparsers.add_parser("pattern",
+                                    help="learn and inspect a decorrelated CE pattern")
+    add_geometry(pattern)
+    pattern.add_argument("--clips", type=int, default=32,
+                         help="unlabelled clips used for pattern learning")
+    pattern.add_argument("--epochs", type=int, default=5)
+    pattern.add_argument("--save", type=str, default="",
+                         help="write the pattern bundle to this .json/.npz path")
+    pattern.add_argument("--show", action="store_true",
+                         help="print the pattern as text")
+    pattern.set_defaults(func=_cmd_pattern)
+
+    pipeline = subparsers.add_parser("pipeline",
+                                     help="run the end-to-end SnapPix pipeline")
+    add_geometry(pipeline, num_slots=8)
+    pipeline.add_argument("--task", choices=("ar", "rec"), default="ar")
+    pipeline.add_argument("--dataset", choices=("ssv2", "k400", "ucf101"),
+                          default="ssv2")
+    pipeline.add_argument("--pattern", default="decorrelated")
+    pipeline.add_argument("--variant", choices=("tiny", "s", "b"), default="tiny")
+    pipeline.add_argument("--no-pretrain", action="store_true")
+    pipeline.add_argument("--epochs", type=int, default=6)
+    pipeline.add_argument("--pretrain-epochs", type=int, default=2)
+    pipeline.set_defaults(func=_cmd_pipeline)
+
+    energy = subparsers.add_parser("energy", help="print the Sec. VI-D energy report")
+    energy.add_argument("--frame-size", type=int, default=112)
+    energy.add_argument("--num-slots", type=int, default=16)
+    energy.set_defaults(func=_cmd_energy)
+
+    hardware = subparsers.add_parser("hardware",
+                                     help="print the Sec. V area and timing report")
+    hardware.add_argument("--frame-size", type=int, default=112)
+    hardware.add_argument("--num-slots", type=int, default=16)
+    hardware.add_argument("--tile-size", type=int, default=8)
+    hardware.add_argument("--node-nm", type=float, default=22.0)
+    hardware.add_argument("--slot-exposure-ms", type=float, default=1.0)
+    hardware.set_defaults(func=_cmd_hardware)
+
+    sweep = subparsers.add_parser("sweep", help="run a design-space sweep")
+    sweep.add_argument("name", choices=sorted(SWEEPS))
+    sweep.add_argument("--csv", type=str, default="",
+                       help="also write the rows to this CSV path")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    correlation = subparsers.add_parser(
+        "correlation", help="compare the Fig. 6 patterns' coded-pixel correlation")
+    add_geometry(correlation, frame_size=16, num_slots=8, tile_size=4)
+    correlation.add_argument("--clips", type=int, default=16)
+    correlation.add_argument("--epochs", type=int, default=5)
+    correlation.set_defaults(func=_cmd_correlation)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""``repro.data`` — synthetic video dataset substrates and preprocessing.
+
+Stand-ins for the paper's SSV2 / K400 / UCF-101 / K710 datasets, with
+the paper's preprocessing pipeline (grayscale in linear space, shorter
+side resize, centre crop).
+"""
+
+from .synthetic import (
+    MOTION_CLASSES,
+    MotionClass,
+    available_motion_classes,
+    generate_clips,
+    render_clip,
+)
+from .preprocessing import (
+    center_crop,
+    normalize_clip,
+    preprocess_clip,
+    resize_shorter_side,
+    rgb_to_grayscale_linear,
+    srgb_to_linear,
+)
+from .datasets import (
+    DATASET_SPECS,
+    BatchLoader,
+    DatasetSpec,
+    VideoDataset,
+    build_dataset,
+    build_pretrain_dataset,
+)
+from .augmentation import (
+    AugmentationPipeline,
+    additive_gaussian_noise,
+    brightness_contrast_jitter,
+    default_train_pipeline,
+    random_crop,
+    random_erasing,
+    random_horizontal_flip,
+    repeated_augmentation,
+    temporal_jitter,
+    temporal_reverse,
+)
+
+__all__ = [
+    "MOTION_CLASSES",
+    "MotionClass",
+    "available_motion_classes",
+    "generate_clips",
+    "render_clip",
+    "srgb_to_linear",
+    "rgb_to_grayscale_linear",
+    "center_crop",
+    "resize_shorter_side",
+    "normalize_clip",
+    "preprocess_clip",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "VideoDataset",
+    "BatchLoader",
+    "build_dataset",
+    "build_pretrain_dataset",
+    "AugmentationPipeline",
+    "default_train_pipeline",
+    "random_crop",
+    "random_horizontal_flip",
+    "random_erasing",
+    "brightness_contrast_jitter",
+    "additive_gaussian_noise",
+    "temporal_jitter",
+    "temporal_reverse",
+    "repeated_augmentation",
+]

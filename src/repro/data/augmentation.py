@@ -1,0 +1,194 @@
+"""Video data augmentation used by the training recipes.
+
+The paper counts its training epochs as "repeated augmentations x epochs"
+(Sec. VI-A, following VideoMAE v2).  This module provides the standard
+clip augmentations — random spatial crop, horizontal flip, temporal
+jitter, brightness/contrast jitter, additive noise, and random erasing —
+plus the :class:`AugmentationPipeline` / :func:`repeated_augmentation`
+machinery that implements the repeated-augmentation counting.
+
+All operators take and return clips shaped ``(T, H, W)`` (or batches
+``(B, T, H, W)`` where noted) with values in [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+ClipTransform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def _require_clip(clip: np.ndarray) -> np.ndarray:
+    clip = np.asarray(clip, dtype=np.float64)
+    if clip.ndim != 3:
+        raise ValueError("clip must have shape (T, H, W)")
+    return clip
+
+
+# ----------------------------------------------------------------------
+# Spatial augmentations
+# ----------------------------------------------------------------------
+def random_crop(clip: np.ndarray, crop: Tuple[int, int],
+                rng: np.random.Generator) -> np.ndarray:
+    """Crop the same random window from every frame of the clip."""
+    clip = _require_clip(clip)
+    crop_h, crop_w = crop
+    height, width = clip.shape[-2:]
+    if crop_h > height or crop_w > width:
+        raise ValueError(f"crop {crop} larger than frame {(height, width)}")
+    top = int(rng.integers(0, height - crop_h + 1))
+    left = int(rng.integers(0, width - crop_w + 1))
+    return clip[:, top:top + crop_h, left:left + crop_w]
+
+
+def random_horizontal_flip(clip: np.ndarray, rng: np.random.Generator,
+                           probability: float = 0.5) -> np.ndarray:
+    """Flip every frame left-right with the given probability."""
+    clip = _require_clip(clip)
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    if rng.random() < probability:
+        return clip[:, :, ::-1].copy()
+    return clip
+
+
+def random_erasing(clip: np.ndarray, rng: np.random.Generator,
+                   max_fraction: float = 0.25, fill: float = 0.0) -> np.ndarray:
+    """Blank a random rectangle (the same one in every frame) of the clip."""
+    clip = _require_clip(clip).copy()
+    if not 0.0 < max_fraction <= 1.0:
+        raise ValueError("max_fraction must be in (0, 1]")
+    height, width = clip.shape[-2:]
+    erase_h = max(1, int(rng.integers(1, max(2, int(height * max_fraction) + 1))))
+    erase_w = max(1, int(rng.integers(1, max(2, int(width * max_fraction) + 1))))
+    top = int(rng.integers(0, height - erase_h + 1))
+    left = int(rng.integers(0, width - erase_w + 1))
+    clip[:, top:top + erase_h, left:left + erase_w] = fill
+    return clip
+
+
+# ----------------------------------------------------------------------
+# Photometric augmentations
+# ----------------------------------------------------------------------
+def brightness_contrast_jitter(clip: np.ndarray, rng: np.random.Generator,
+                               max_brightness: float = 0.1,
+                               max_contrast: float = 0.2) -> np.ndarray:
+    """Apply a random affine intensity transform, clipping back to [0, 1]."""
+    clip = _require_clip(clip)
+    if max_brightness < 0 or max_contrast < 0:
+        raise ValueError("jitter magnitudes must be non-negative")
+    brightness = rng.uniform(-max_brightness, max_brightness)
+    contrast = 1.0 + rng.uniform(-max_contrast, max_contrast)
+    mean = clip.mean()
+    return np.clip((clip - mean) * contrast + mean + brightness, 0.0, 1.0)
+
+
+def additive_gaussian_noise(clip: np.ndarray, rng: np.random.Generator,
+                            std: float = 0.02) -> np.ndarray:
+    """Add zero-mean Gaussian noise, clipping back to [0, 1]."""
+    clip = _require_clip(clip)
+    if std < 0:
+        raise ValueError("std must be non-negative")
+    if std == 0:
+        return clip
+    return np.clip(clip + rng.normal(0.0, std, size=clip.shape), 0.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Temporal augmentations
+# ----------------------------------------------------------------------
+def temporal_jitter(clip: np.ndarray, num_frames: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Sample ``num_frames`` consecutive frames starting at a random offset."""
+    clip = _require_clip(clip)
+    total = clip.shape[0]
+    if not 1 <= num_frames <= total:
+        raise ValueError("num_frames must be in [1, clip length]")
+    start = int(rng.integers(0, total - num_frames + 1))
+    return clip[start:start + num_frames]
+
+
+def temporal_reverse(clip: np.ndarray, rng: np.random.Generator,
+                     probability: float = 0.0) -> np.ndarray:
+    """Reverse the frame order with the given probability.
+
+    Disabled by default: for motion-defined classes (e.g. "move left" vs
+    "move right" analogs) reversing time changes the label, so this is
+    only safe for label-symmetric datasets.
+    """
+    clip = _require_clip(clip)
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    if rng.random() < probability:
+        return clip[::-1].copy()
+    return clip
+
+
+# ----------------------------------------------------------------------
+# Pipelines
+# ----------------------------------------------------------------------
+@dataclass
+class AugmentationPipeline:
+    """A reproducible sequence of clip transforms.
+
+    Each transform is a callable ``(clip, rng) -> clip``.  The pipeline
+    owns its random generator so repeated calls draw fresh augmentations
+    while the overall stream stays reproducible from the seed.
+    """
+
+    transforms: List[ClipTransform] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self):
+        self._rng = np.random.default_rng(self.seed)
+
+    def __call__(self, clip: np.ndarray) -> np.ndarray:
+        clip = _require_clip(clip)
+        for transform in self.transforms:
+            clip = transform(clip, self._rng)
+        return clip
+
+    def apply_batch(self, clips: np.ndarray) -> np.ndarray:
+        """Augment every clip of a ``(B, T, H, W)`` batch independently."""
+        clips = np.asarray(clips, dtype=np.float64)
+        if clips.ndim != 4:
+            raise ValueError("clips must have shape (B, T, H, W)")
+        return np.stack([self(clip) for clip in clips], axis=0)
+
+
+def default_train_pipeline(crop: Optional[Tuple[int, int]] = None,
+                           noise_std: float = 0.01,
+                           seed: int = 0) -> AugmentationPipeline:
+    """The light augmentation recipe used by the reproduction's trainers."""
+    transforms: List[ClipTransform] = []
+    if crop is not None:
+        transforms.append(lambda clip, rng: random_crop(clip, crop, rng))
+    transforms.append(lambda clip, rng: brightness_contrast_jitter(clip, rng))
+    transforms.append(lambda clip, rng: additive_gaussian_noise(clip, rng,
+                                                                std=noise_std))
+    return AugmentationPipeline(transforms=transforms, seed=seed)
+
+
+def repeated_augmentation(videos: np.ndarray, labels: np.ndarray,
+                          pipeline: AugmentationPipeline,
+                          repeats: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand a labelled clip set by drawing ``repeats`` augmentations of each clip.
+
+    This is the "repeated augmentations x epochs" counting the paper uses
+    for its training budgets: one pass over the expanded set costs
+    ``repeats`` nominal epochs.
+    """
+    videos = np.asarray(videos, dtype=np.float64)
+    labels = np.asarray(labels)
+    if videos.ndim != 4:
+        raise ValueError("videos must have shape (B, T, H, W)")
+    if len(videos) != len(labels):
+        raise ValueError("videos and labels must have the same length")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    augmented = [pipeline.apply_batch(videos) for _ in range(repeats)]
+    return (np.concatenate(augmented, axis=0),
+            np.concatenate([labels] * repeats, axis=0))

@@ -1,0 +1,97 @@
+"""Video preprocessing mirroring the paper's pipeline (Sec. VI-A).
+
+The paper downsamples each video's shorter dimension to 112 pixels,
+converts to grayscale in linear space, and centre-crops to 112 x 112.
+The synthetic substrates are already grayscale, but the same operators
+are provided (and tested) so that the pipeline is faithful end to end
+and reusable on real data.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+# ITU-R BT.709 luminance weights, applied in *linear* space as the paper
+# specifies ("convert the videos to grayscale in linear space").
+_LUMA_WEIGHTS = np.array([0.2126, 0.7152, 0.0722])
+_SRGB_THRESHOLD = 0.04045
+
+
+def srgb_to_linear(srgb: np.ndarray) -> np.ndarray:
+    """Invert the sRGB transfer function (gamma) to obtain linear intensities."""
+    srgb = np.asarray(srgb, dtype=np.float64)
+    low = srgb / 12.92
+    high = ((srgb + 0.055) / 1.055) ** 2.4
+    return np.where(srgb <= _SRGB_THRESHOLD, low, high)
+
+
+def rgb_to_grayscale_linear(rgb: np.ndarray, assume_linear: bool = False) -> np.ndarray:
+    """Convert ``(..., 3)`` RGB frames to grayscale in linear space."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    if rgb.shape[-1] != 3:
+        raise ValueError("last dimension must be the RGB channel axis (size 3)")
+    linear = rgb if assume_linear else srgb_to_linear(rgb)
+    return linear @ _LUMA_WEIGHTS
+
+
+def center_crop(frames: np.ndarray, crop: Tuple[int, int]) -> np.ndarray:
+    """Centre-crop the trailing two (spatial) dimensions to ``crop``."""
+    frames = np.asarray(frames)
+    crop_h, crop_w = crop
+    height, width = frames.shape[-2], frames.shape[-1]
+    if crop_h > height or crop_w > width:
+        raise ValueError(f"crop {crop} larger than frame {(height, width)}")
+    top = (height - crop_h) // 2
+    left = (width - crop_w) // 2
+    return frames[..., top:top + crop_h, left:left + crop_w]
+
+
+def resize_shorter_side(frames: np.ndarray, target: int) -> np.ndarray:
+    """Resize so the shorter spatial side equals ``target`` (area averaging /
+    nearest-neighbour hybrid adequate for the synthetic data).
+
+    Uses integer-factor area averaging when downsampling by a whole
+    factor, otherwise nearest-neighbour index mapping.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    height, width = frames.shape[-2], frames.shape[-1]
+    shorter = min(height, width)
+    if shorter == target:
+        return frames
+    scale = target / shorter
+    new_h = max(1, int(round(height * scale)))
+    new_w = max(1, int(round(width * scale)))
+    if shorter % target == 0 and height % (shorter // target) == 0 and \
+            width % (shorter // target) == 0:
+        factor = shorter // target
+        shape = frames.shape[:-2] + (height // factor, factor, width // factor, factor)
+        return frames.reshape(shape).mean(axis=(-1, -3))
+    rows = np.clip((np.arange(new_h) / scale).astype(int), 0, height - 1)
+    cols = np.clip((np.arange(new_w) / scale).astype(int), 0, width - 1)
+    return frames[..., rows[:, None], cols[None, :]]
+
+
+def normalize_clip(clip: np.ndarray) -> np.ndarray:
+    """Scale a clip to [0, 1] (no-op for already-normalised synthetic clips)."""
+    clip = np.asarray(clip, dtype=np.float64)
+    low, high = clip.min(), clip.max()
+    if high <= low:
+        return np.zeros_like(clip)
+    return (clip - low) / (high - low)
+
+
+def preprocess_clip(clip: np.ndarray, target_size: int) -> np.ndarray:
+    """Full paper pipeline: resize shorter side, centre-crop square, clamp to [0,1].
+
+    ``clip`` may be ``(T, H, W)`` grayscale or ``(T, H, W, 3)`` RGB.
+    """
+    clip = np.asarray(clip, dtype=np.float64)
+    if clip.ndim == 4 and clip.shape[-1] == 3:
+        clip = rgb_to_grayscale_linear(clip)
+    if clip.ndim != 3:
+        raise ValueError("clip must be (T, H, W) or (T, H, W, 3)")
+    clip = resize_shorter_side(clip, target_size)
+    clip = center_crop(clip, (target_size, target_size))
+    return np.clip(clip, 0.0, 1.0)

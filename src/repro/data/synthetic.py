@@ -1,0 +1,190 @@
+"""Synthetic motion-defined video generation.
+
+The paper evaluates on Something-Something v2, Kinetics-400, and UCF-101
+— none of which can be downloaded in this offline environment.  The
+substitute implemented here generates grayscale clips whose *class label
+is defined by the motion pattern* of a textured sprite (translate,
+bounce, zoom, rotate-around, oscillate, ...), not by its appearance.
+This preserves the property that matters for evaluating coded-exposure
+compression: a single frame is not sufficient to classify the clip, so
+the compression scheme must retain temporal information — exactly the
+regime SSV2 stresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# Motion programs.  Each returns the sprite centre (row, col) at time u
+# in [0, 1], expressed in normalised coordinates in [0, 1].
+# ----------------------------------------------------------------------
+
+
+def _translate(direction_row: float, direction_col: float) -> Callable[[float], Tuple[float, float]]:
+    # Every translation starts at the frame centre so that no single frame
+    # reveals the class; only the trajectory (i.e. temporal information)
+    # distinguishes e.g. "move left" from "move right" — the property that
+    # makes SSV2-style recognition require temporal reasoning.
+    def motion(u: float) -> Tuple[float, float]:
+        return (0.5 + 0.35 * direction_row * u,
+                0.5 + 0.35 * direction_col * u)
+    return motion
+
+
+def _oscillate(axis: str, cycles: float = 2.0) -> Callable[[float], Tuple[float, float]]:
+    def motion(u: float) -> Tuple[float, float]:
+        offset = 0.3 * np.sin(2 * np.pi * cycles * u)
+        if axis == "row":
+            return (0.5 + offset, 0.5)
+        return (0.5, 0.5 + offset)
+    return motion
+
+
+def _circle(clockwise: bool) -> Callable[[float], Tuple[float, float]]:
+    # A spiral starting at the centre: clockwise and counter-clockwise clips
+    # share every static statistic and differ only in their temporal order.
+    sign = 1.0 if clockwise else -1.0
+
+    def motion(u: float) -> Tuple[float, float]:
+        angle = sign * 2 * np.pi * u
+        radius = 0.32 * u
+        return (0.5 + radius * np.sin(angle), 0.5 + radius * np.cos(angle))
+    return motion
+
+
+def _static() -> Callable[[float], Tuple[float, float]]:
+    def motion(u: float) -> Tuple[float, float]:
+        return (0.5, 0.5)
+    return motion
+
+
+@dataclass(frozen=True)
+class MotionClass:
+    """One action class: a motion program plus a size-over-time program."""
+
+    name: str
+    centre: Callable[[float], Tuple[float, float]]
+    scale: Callable[[float], float]
+
+
+def _constant_scale(value: float = 0.22) -> Callable[[float], float]:
+    return lambda u: value
+
+
+def _zoom(grow: bool) -> Callable[[float], float]:
+    if grow:
+        return lambda u: 0.12 + 0.2 * u
+    return lambda u: 0.32 - 0.2 * u
+
+
+# The catalogue of motion-defined classes.  Ordering is stable so class
+# indices are reproducible.
+MOTION_CLASSES: List[MotionClass] = [
+    MotionClass("move_right", _translate(0.0, 1.0), _constant_scale()),
+    MotionClass("move_left", _translate(0.0, -1.0), _constant_scale()),
+    MotionClass("move_down", _translate(1.0, 0.0), _constant_scale()),
+    MotionClass("move_up", _translate(-1.0, 0.0), _constant_scale()),
+    MotionClass("move_diag_main", _translate(1.0, 1.0), _constant_scale()),
+    MotionClass("move_diag_anti", _translate(1.0, -1.0), _constant_scale()),
+    MotionClass("oscillate_horizontal", _oscillate("col"), _constant_scale()),
+    MotionClass("oscillate_vertical", _oscillate("row"), _constant_scale()),
+    MotionClass("circle_clockwise", _circle(True), _constant_scale()),
+    MotionClass("circle_counterclockwise", _circle(False), _constant_scale()),
+    MotionClass("zoom_in", _static(), _zoom(True)),
+    MotionClass("zoom_out", _static(), _zoom(False)),
+]
+
+
+def available_motion_classes() -> List[str]:
+    """Names of all motion-defined classes, in class-index order."""
+    return [cls.name for cls in MOTION_CLASSES]
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def _textured_background(size: int, rng: np.random.Generator,
+                         smoothness: int = 4) -> np.ndarray:
+    """Low-frequency textured background in [0, 0.5]."""
+    coarse = rng.random((max(2, size // smoothness), max(2, size // smoothness)))
+    background = np.kron(coarse, np.ones((smoothness, smoothness)))[:size, :size]
+    if background.shape != (size, size):
+        padded = np.zeros((size, size))
+        padded[:background.shape[0], :background.shape[1]] = background
+        background = padded
+    return 0.5 * background
+
+
+def _sprite_texture(radius_px: int, rng: np.random.Generator) -> np.ndarray:
+    """A textured, roughly circular sprite patch in [0.4, 1.0]."""
+    diameter = 2 * radius_px + 1
+    yy, xx = np.mgrid[-radius_px:radius_px + 1, -radius_px:radius_px + 1]
+    mask = (xx ** 2 + yy ** 2) <= radius_px ** 2
+    texture = 0.4 + 0.6 * rng.random((diameter, diameter))
+    return texture * mask
+
+
+def render_clip(motion: MotionClass, num_frames: int, size: int,
+                rng: np.random.Generator, noise_std: float = 0.02) -> np.ndarray:
+    """Render one grayscale clip of shape ``(num_frames, size, size)`` in [0, 1]."""
+    background = _textured_background(size, rng)
+    frames = np.empty((num_frames, size, size))
+    sprite_seed = int(rng.integers(0, 2 ** 31))
+    for t in range(num_frames):
+        u = t / max(1, num_frames - 1)
+        row_n, col_n = motion.centre(u)
+        radius = max(2, int(motion.scale(u) * size / 2))
+        # The sprite texture is constant across frames of a clip (the same
+        # object moves), so the texture generator is re-seeded identically
+        # for every frame.
+        sprite = _sprite_texture(radius, np.random.default_rng(sprite_seed))
+        frame = background.copy()
+        centre_row = int(np.clip(row_n, 0.0, 1.0) * (size - 1))
+        centre_col = int(np.clip(col_n, 0.0, 1.0) * (size - 1))
+        r0 = max(0, centre_row - radius)
+        r1 = min(size, centre_row + radius + 1)
+        c0 = max(0, centre_col - radius)
+        c1 = min(size, centre_col + radius + 1)
+        sr0 = r0 - (centre_row - radius)
+        sc0 = c0 - (centre_col - radius)
+        patch = sprite[sr0:sr0 + (r1 - r0), sc0:sc0 + (c1 - c0)]
+        region = frame[r0:r1, c0:c1]
+        frame[r0:r1, c0:c1] = np.where(patch > 0, patch, region)
+        if noise_std > 0:
+            frame = frame + rng.normal(0.0, noise_std, size=frame.shape)
+        frames[t] = np.clip(frame, 0.0, 1.0)
+    return frames
+
+
+def generate_clips(num_clips: int, num_frames: int, size: int,
+                   class_indices: Optional[np.ndarray] = None,
+                   num_classes: int = 10, noise_std: float = 0.02,
+                   seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate a labelled batch of motion-defined clips.
+
+    Returns ``(videos, labels)`` with ``videos`` of shape
+    ``(num_clips, num_frames, size, size)`` and integer ``labels``.
+    """
+    if num_classes > len(MOTION_CLASSES):
+        raise ValueError(
+            f"at most {len(MOTION_CLASSES)} motion classes are available")
+    rng = np.random.default_rng(seed)
+    if class_indices is None:
+        class_indices = rng.integers(0, num_classes, size=num_clips)
+    else:
+        class_indices = np.asarray(class_indices, dtype=np.int64)
+        if class_indices.shape[0] != num_clips:
+            raise ValueError("class_indices length must equal num_clips")
+        if class_indices.max(initial=0) >= num_classes:
+            raise ValueError("class index exceeds num_classes")
+    videos = np.empty((num_clips, num_frames, size, size))
+    for i, label in enumerate(class_indices):
+        videos[i] = render_clip(MOTION_CLASSES[int(label)], num_frames, size, rng,
+                                noise_std=noise_std)
+    return videos, class_indices

@@ -1,0 +1,62 @@
+"""``repro.energy`` — sensing / transmission / compute energy models (Sec. VI-D)."""
+
+from . import constants
+from .sensor import SensorEnergyBreakdown, SensorEnergyModel
+from .pipeline import (
+    EnergyPipeline,
+    PipelineStage,
+    compare_pipelines,
+    conventional_capture_pipeline,
+    digital_compression_pipeline,
+    snappix_ce_pipeline,
+)
+from .transmission import (
+    LORA_BACKSCATTER,
+    PASSIVE_WIFI,
+    WIRELESS_LINKS,
+    WirelessLink,
+    get_link,
+)
+from .compute import (
+    EdgeGPUModel,
+    c3d_flops,
+    conv3d_flops,
+    paper_flop_profiles,
+    transformer_flops,
+    video_vit_flops,
+    vit_flops,
+)
+from .scenarios import (
+    EdgeSensingScenario,
+    EnergyReport,
+    ScenarioComparison,
+    paper_energy_summary,
+)
+
+__all__ = [
+    "constants",
+    "PipelineStage",
+    "EnergyPipeline",
+    "conventional_capture_pipeline",
+    "snappix_ce_pipeline",
+    "digital_compression_pipeline",
+    "compare_pipelines",
+    "SensorEnergyModel",
+    "SensorEnergyBreakdown",
+    "WirelessLink",
+    "PASSIVE_WIFI",
+    "LORA_BACKSCATTER",
+    "WIRELESS_LINKS",
+    "get_link",
+    "EdgeGPUModel",
+    "transformer_flops",
+    "vit_flops",
+    "video_vit_flops",
+    "conv3d_flops",
+    "c3d_flops",
+    "paper_flop_profiles",
+    "EdgeSensingScenario",
+    "EnergyReport",
+    "ScenarioComparison",
+    "paper_energy_summary",
+]

@@ -1,0 +1,125 @@
+"""Analytic FLOP counting and edge-GPU energy model.
+
+Used for the Sec. VI-D scenario in which the edge node carries a mobile
+GPU (Jetson Xavier class) and runs the downstream vision model locally.
+The GPU energy of a batch-1 inference is modelled as
+
+    E = flops * energy_per_flop + static_power * (flops / effective_flops)
+
+i.e. a dynamic term proportional to work plus a static term proportional
+to latency — the reason small models do not save energy proportionally
+to their FLOP reduction at batch size 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from . import constants
+from ..models.vit import ViTConfig
+from ..models.videomae import VideoViTConfig
+
+
+def transformer_flops(num_tokens: int, dim: int, depth: int,
+                      mlp_ratio: float = 4.0) -> float:
+    """Forward-pass FLOPs of a ViT encoder (multiply+add counted as 2).
+
+    Per block: QKV + output projections (8 * N * D^2), attention scores and
+    values (4 * N^2 * D), and the MLP (4 * N * D^2 * mlp_ratio).
+    """
+    if num_tokens < 1 or dim < 1 or depth < 1:
+        raise ValueError("num_tokens, dim, and depth must be positive")
+    per_block = (8 * num_tokens * dim ** 2
+                 + 4 * num_tokens ** 2 * dim
+                 + 2 * 2 * num_tokens * dim * int(dim * mlp_ratio))
+    return float(depth * per_block)
+
+
+def vit_flops(config: ViTConfig) -> float:
+    """FLOPs of a CE-optimized ViT forward pass on one coded image."""
+    tokens = config.num_patches
+    embed = 2 * tokens * (config.in_channels * config.patch_size ** 2) * config.dim
+    return embed + transformer_flops(tokens, config.dim, config.depth,
+                                     config.mlp_ratio)
+
+
+def video_vit_flops(config: VideoViTConfig) -> float:
+    """FLOPs of a VideoMAE-ST-style video transformer on one clip."""
+    tokens = config.num_tokens
+    tube = config.tube_frames * config.patch_size ** 2
+    embed = 2 * tokens * tube * config.dim
+    return embed + transformer_flops(tokens, config.dim, config.depth,
+                                     config.mlp_ratio)
+
+
+def conv3d_flops(frames: int, height: int, width: int, in_channels: int,
+                 out_channels: int, kernel: int = 3) -> float:
+    """FLOPs of one same-padded 3-D convolution layer."""
+    per_output = 2 * in_channels * kernel ** 3
+    outputs = frames * height * width * out_channels
+    return float(per_output * outputs)
+
+
+def c3d_flops(frames: int = 16, height: int = 112, width: int = 112,
+              base_channels: int = 64) -> float:
+    """Approximate FLOPs of a C3D-style network (3 conv stages with pooling)."""
+    total = conv3d_flops(frames, height, width, 1, base_channels)
+    total += conv3d_flops(frames, height // 2, width // 2, base_channels,
+                          base_channels * 2)
+    total += conv3d_flops(frames // 2, height // 4, width // 4, base_channels * 2,
+                          base_channels * 2)
+    return total
+
+
+# Paper-scale FLOP profiles of the systems in Table I (112x112 inputs,
+# 16-frame clips, 8x8 patches).  VideoMAEv2-ST is "adjusted to match
+# SNAPPIX-B's speed", so its profile is pinned to SNAPPIX-B's FLOPs.
+def paper_flop_profiles() -> Dict[str, float]:
+    """FLOPs per inference for the paper-scale models of Table I."""
+    from ..models.vit import PAPER_VIT_BASE, PAPER_VIT_SMALL
+
+    snappix_s = vit_flops(PAPER_VIT_SMALL)
+    snappix_b = vit_flops(PAPER_VIT_BASE)
+    videomae_st = snappix_b  # speed-matched to SNAPPIX-B by construction
+    return {
+        "snappix_s": snappix_s,
+        "snappix_b": snappix_b,
+        "videomae_st": videomae_st,
+        "c3d": c3d_flops(),
+        "svc2d": 4.0 * snappix_s,  # SVC profiled at ~4x slowdown (Sec. IV)
+    }
+
+
+@dataclass(frozen=True)
+class EdgeGPUModel:
+    """Batch-1 inference energy of a Jetson-Xavier-class mobile GPU.
+
+    Latency has a fixed per-inference overhead (batch-1 launches, memory
+    traffic) plus a compute term whose effective throughput depends on
+    the workload kind: dense transformer matmuls run near peak while 3-D
+    convolutions are memory-bound and achieve a fraction of it.
+    """
+
+    energy_per_flop: float = constants.EDGE_GPU_ENERGY_PER_FLOP
+    static_power: float = constants.EDGE_GPU_STATIC_POWER
+    effective_flops: float = constants.EDGE_GPU_EFFECTIVE_FLOPS
+    conv3d_effective_flops: float = constants.EDGE_GPU_CONV3D_EFFECTIVE_FLOPS
+    fixed_overhead_s: float = constants.EDGE_GPU_FIXED_OVERHEAD_S
+
+    def latency(self, flops: float, workload: str = "transformer") -> float:
+        """Seconds per batch-1 inference."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        if workload == "transformer":
+            throughput = self.effective_flops
+        elif workload == "conv3d":
+            throughput = self.conv3d_effective_flops
+        else:
+            raise ValueError("workload must be 'transformer' or 'conv3d'")
+        return self.fixed_overhead_s + flops / throughput
+
+    def inference_energy(self, flops: float, workload: str = "transformer") -> float:
+        """Joules per batch-1 inference."""
+        return (flops * self.energy_per_flop
+                + self.static_power * self.latency(flops, workload))

@@ -1,0 +1,186 @@
+"""End-to-end edge energy scenarios (paper Sec. VI-D).
+
+Three deployment scenarios are modelled:
+
+1. **Edge-server, short range** — the edge node transmits every pixel to a
+   nearby server over passive WiFi (~10 m).
+2. **Edge-server, long range** — transmission uses LoRa backscatter
+   (>100 m), whose per-pixel energy is five orders of magnitude higher.
+3. **Edge-GPU** — the edge node carries a Jetson-class mobile GPU and runs
+   the downstream model locally; only the task output leaves the node.
+
+In all scenarios SnapPix's CE sensor reduces the data leaving the sensor
+by the compression factor ``T``, which reduces both the ADC/MIPI read-out
+energy and the transmission (or GPU input-processing) energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from . import constants
+from .compute import EdgeGPUModel, paper_flop_profiles
+from .sensor import SensorEnergyModel
+from .transmission import WirelessLink, get_link
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of one system capturing (and optionally processing) one clip."""
+
+    system: str
+    sensor_energy: float
+    transmission_energy: float
+    compute_energy: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.sensor_energy + self.transmission_energy + self.compute_energy
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "system": self.system,
+            "sensor_energy_j": self.sensor_energy,
+            "transmission_energy_j": self.transmission_energy,
+            "compute_energy_j": self.compute_energy,
+            "total_energy_j": self.total,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioComparison:
+    """A baseline-vs-SnapPix comparison within one scenario."""
+
+    scenario: str
+    baseline: EnergyReport
+    snappix: EnergyReport
+
+    @property
+    def saving_factor(self) -> float:
+        """How many times less energy SnapPix uses than the baseline."""
+        if self.snappix.total <= 0:
+            return float("inf")
+        return self.baseline.total / self.snappix.total
+
+
+class EdgeSensingScenario:
+    """Builds the Sec. VI-D energy comparisons for a given sensor geometry."""
+
+    def __init__(self, frame_height: int = 112, frame_width: int = 112,
+                 num_slots: int = 16):
+        self.sensor_model = SensorEnergyModel(frame_height, frame_width, num_slots)
+        self.num_slots = num_slots
+
+    # ------------------------------------------------------------------
+    def edge_server(self, link: str = "passive_wifi") -> ScenarioComparison:
+        """Edge-server scenario: all read-out pixels are transmitted upstream."""
+        wireless: WirelessLink = get_link(link)
+        conventional_sensor = self.sensor_model.conventional_capture()
+        ce_sensor = self.sensor_model.ce_capture()
+
+        conventional = EnergyReport(
+            system="conventional_video",
+            sensor_energy=conventional_sensor.total,
+            transmission_energy=wireless.transmission_energy(
+                self.sensor_model.pixels_read_out(coded=False)),
+        )
+        snappix = EnergyReport(
+            system="snappix_ce",
+            sensor_energy=ce_sensor.total,
+            transmission_energy=wireless.transmission_energy(
+                self.sensor_model.pixels_read_out(coded=True)),
+        )
+        return ScenarioComparison(scenario=f"edge_server/{link}",
+                                  baseline=conventional, snappix=snappix)
+
+    # ------------------------------------------------------------------
+    def readout_reduction(self) -> float:
+        """ADC/MIPI energy reduction factor (the paper's 16x for T = 16)."""
+        return self.sensor_model.readout_reduction_factor()
+
+    # ------------------------------------------------------------------
+    def transmission_reduction(self) -> float:
+        """Wireless transmission energy reduction factor (also T)."""
+        return (self.sensor_model.pixels_read_out(coded=False)
+                / self.sensor_model.pixels_read_out(coded=True))
+
+    # ------------------------------------------------------------------
+    def edge_gpu(self, snappix_model: str = "snappix_s",
+                 baseline_model: str = "videomae_st",
+                 gpu: Optional[EdgeGPUModel] = None) -> ScenarioComparison:
+        """Edge-GPU scenario: the downstream model runs on the edge node.
+
+        The baseline runs a video model on the uncompressed clip read out
+        of a conventional sensor; SnapPix runs its (smaller-input) model
+        on the coded image from the CE sensor.  Task outputs (a class
+        label) are negligible to transmit, so transmission energy is zero
+        for both.
+        """
+        gpu = gpu or EdgeGPUModel()
+        flops = paper_flop_profiles()
+        if snappix_model not in flops or baseline_model not in flops:
+            raise KeyError("unknown model name for the edge-GPU scenario")
+        baseline_workload = "conv3d" if baseline_model == "c3d" else "transformer"
+
+        baseline = EnergyReport(
+            system=baseline_model,
+            sensor_energy=self.sensor_model.conventional_capture().total,
+            transmission_energy=0.0,
+            compute_energy=gpu.inference_energy(flops[baseline_model],
+                                                workload=baseline_workload),
+        )
+        snappix = EnergyReport(
+            system=snappix_model,
+            sensor_energy=self.sensor_model.ce_capture().total,
+            transmission_energy=0.0,
+            compute_energy=gpu.inference_energy(flops[snappix_model]),
+        )
+        return ScenarioComparison(scenario=f"edge_gpu/{baseline_model}",
+                                  baseline=baseline, snappix=snappix)
+
+    # ------------------------------------------------------------------
+    def digital_compression_comparison(self) -> ScenarioComparison:
+        """In-sensor CE vs digital (JPEG-class) compression after read-out.
+
+        Digital compression achieves a similar data reduction for the
+        wireless link but (1) cannot reduce the read-out energy, because
+        it operates after the ADC, and (2) costs nJ/pixel of compute —
+        orders of magnitude above the sensing energy (Sec. VII).
+        """
+        pixels_all = self.sensor_model.pixels_read_out(coded=False)
+        pixels_one = self.sensor_model.pixels_read_out(coded=True)
+        wireless = get_link("passive_wifi")
+
+        digital = EnergyReport(
+            system="digital_compression",
+            sensor_energy=self.sensor_model.conventional_capture().total,
+            transmission_energy=wireless.transmission_energy(pixels_one),
+            compute_energy=pixels_all * constants.DIGITAL_COMPRESSION_ENERGY_PER_PIXEL,
+        )
+        snappix = EnergyReport(
+            system="snappix_ce",
+            sensor_energy=self.sensor_model.ce_capture().total,
+            transmission_energy=wireless.transmission_energy(pixels_one),
+        )
+        return ScenarioComparison(scenario="digital_vs_insensor",
+                                  baseline=digital, snappix=snappix)
+
+
+def paper_energy_summary() -> Dict[str, float]:
+    """The headline energy factors of Sec. VI-D at the paper's geometry.
+
+    Returns a dictionary with the read-out reduction, transmission
+    reduction, and the short-range / long-range / edge-GPU saving factors.
+    """
+    scenario = EdgeSensingScenario(frame_height=112, frame_width=112, num_slots=16)
+    return {
+        "readout_reduction": scenario.readout_reduction(),
+        "transmission_reduction": scenario.transmission_reduction(),
+        "short_range_saving": scenario.edge_server("passive_wifi").saving_factor,
+        "long_range_saving": scenario.edge_server("lora_backscatter").saving_factor,
+        "edge_gpu_saving_vs_videomae": scenario.edge_gpu(
+            baseline_model="videomae_st").saving_factor,
+        "edge_gpu_saving_vs_c3d": scenario.edge_gpu(
+            baseline_model="c3d").saving_factor,
+    }

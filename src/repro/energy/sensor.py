@@ -1,0 +1,105 @@
+"""Sensor-side energy model (CamJ-style composition of per-pixel costs).
+
+Models the energy of capturing one clip of ``T`` exposure slots at a
+given resolution, for both a conventional sensor (which reads out every
+frame) and a SnapPix CE sensor (which integrates the slots in the analog
+domain and reads out a single coded image).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import constants
+
+
+@dataclass(frozen=True)
+class SensorEnergyBreakdown:
+    """Per-capture sensor energy, broken into its components (joules)."""
+
+    readout: float
+    exposure: float
+    ce_overhead: float
+
+    @property
+    def total(self) -> float:
+        return self.readout + self.exposure + self.ce_overhead
+
+
+@dataclass(frozen=True)
+class SensorEnergyModel:
+    """Energy model of an image sensor capturing ``num_slots``-frame clips.
+
+    Parameters
+    ----------
+    frame_height, frame_width:
+        Sensor resolution.
+    num_slots:
+        Number of exposure slots (frames) per clip, ``T``.
+    readout_energy_per_pixel:
+        ADC + MIPI energy per read-out pixel (J).
+    exposure_energy_per_pixel:
+        Non-read-out sensing energy per pixel per exposure slot (J).
+    ce_overhead_per_pixel_per_slot:
+        Energy of the CE pattern storage / streaming per pixel per slot (J);
+        only paid by the CE sensor.
+    """
+
+    frame_height: int
+    frame_width: int
+    num_slots: int
+    readout_energy_per_pixel: float = constants.READOUT_ENERGY_PER_PIXEL
+    exposure_energy_per_pixel: float = constants.EXPOSURE_ENERGY_PER_PIXEL
+    ce_overhead_per_pixel_per_slot: float = constants.CE_OVERHEAD_PER_PIXEL_PER_SLOT
+
+    def __post_init__(self):
+        if self.frame_height < 1 or self.frame_width < 1:
+            raise ValueError("frame dimensions must be positive")
+        if self.num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+
+    @property
+    def pixels_per_frame(self) -> int:
+        return self.frame_height * self.frame_width
+
+    # ------------------------------------------------------------------
+    def conventional_capture(self) -> SensorEnergyBreakdown:
+        """Energy of capturing and reading out all ``T`` frames of a clip."""
+        pixels = self.pixels_per_frame
+        return SensorEnergyBreakdown(
+            readout=self.num_slots * pixels * self.readout_energy_per_pixel,
+            exposure=self.num_slots * pixels * self.exposure_energy_per_pixel,
+            ce_overhead=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    def ce_capture(self) -> SensorEnergyBreakdown:
+        """Energy of a SnapPix CE capture: ``T`` exposures, one read-out.
+
+        The pixels are exposed during every slot (analog integration costs
+        the exposure energy each slot) and the per-pixel CE logic is
+        exercised every slot, but the expensive ADC + MIPI read-out happens
+        only once for the single coded image.
+        """
+        pixels = self.pixels_per_frame
+        return SensorEnergyBreakdown(
+            readout=pixels * self.readout_energy_per_pixel,
+            exposure=self.num_slots * pixels * self.exposure_energy_per_pixel,
+            ce_overhead=self.num_slots * pixels * self.ce_overhead_per_pixel_per_slot,
+        )
+
+    # ------------------------------------------------------------------
+    def readout_reduction_factor(self) -> float:
+        """Reduction of ADC/MIPI (read-out) energy of CE vs conventional.
+
+        Equals ``T`` (16x in the paper) because T frames are compressed
+        into one coded image before read-out.
+        """
+        return self.conventional_capture().readout / self.ce_capture().readout
+
+    # ------------------------------------------------------------------
+    def pixels_read_out(self, coded: bool) -> int:
+        """Pixels leaving the sensor per clip capture."""
+        if coded:
+            return self.pixels_per_frame
+        return self.pixels_per_frame * self.num_slots

@@ -1,0 +1,58 @@
+"""Wireless transmission energy models (Sec. VI-D).
+
+Two technologies are modelled, as in the paper:
+
+- short-range (~10 m) passive WiFi at 43.04 pJ per transmitted pixel, and
+- long-range (>100 m) LoRa backscatter at 7.4 uJ per transmitted pixel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from . import constants
+
+
+@dataclass(frozen=True)
+class WirelessLink:
+    """A wireless uplink characterised by its per-pixel transmission energy."""
+
+    name: str
+    energy_per_pixel: float
+    typical_range_m: float
+
+    def __post_init__(self):
+        if self.energy_per_pixel <= 0:
+            raise ValueError("energy_per_pixel must be positive")
+
+    def transmission_energy(self, num_pixels: int) -> float:
+        """Energy (J) to transmit ``num_pixels`` 8-bit pixels."""
+        if num_pixels < 0:
+            raise ValueError("num_pixels must be non-negative")
+        return num_pixels * self.energy_per_pixel
+
+    def transmission_energy_bytes(self, num_bytes: int) -> float:
+        """Energy (J) to transmit ``num_bytes`` (at 8 bits per pixel)."""
+        return self.transmission_energy(num_bytes * 8 // constants.BITS_PER_PIXEL)
+
+
+PASSIVE_WIFI = WirelessLink("passive_wifi",
+                            constants.PASSIVE_WIFI_ENERGY_PER_PIXEL,
+                            typical_range_m=10.0)
+LORA_BACKSCATTER = WirelessLink("lora_backscatter",
+                                constants.LORA_ENERGY_PER_PIXEL,
+                                typical_range_m=100.0)
+
+WIRELESS_LINKS: Dict[str, WirelessLink] = {
+    PASSIVE_WIFI.name: PASSIVE_WIFI,
+    LORA_BACKSCATTER.name: LORA_BACKSCATTER,
+}
+
+
+def get_link(name: str) -> WirelessLink:
+    """Look up a wireless link by name (``passive_wifi`` or ``lora_backscatter``)."""
+    if name not in WIRELESS_LINKS:
+        raise KeyError(f"unknown wireless link '{name}'; "
+                       f"available: {sorted(WIRELESS_LINKS)}")
+    return WIRELESS_LINKS[name]

@@ -1,0 +1,54 @@
+"""``repro.hardware`` — CE pixel functional simulator and area model (paper Sec. V)."""
+
+from .pixel import CEPixel, PixelActivityCounters, TilePatternShiftRegister
+from .sensor_sim import CaptureStats, StackedCESensor
+from .area import (
+    BROADCAST_WIRE_SIDE_UM,
+    CE_LOGIC_AREA_22NM_UM2,
+    CE_LOGIC_AREA_65NM_UM2,
+    REFERENCE_APS_PITCH_UM,
+    SHIFT_REGISTER_WIRES,
+    PixelAreaReport,
+    broadcast_wire_area,
+    broadcast_wire_side,
+    broadcast_wires_per_pixel,
+    ce_logic_area,
+    pixel_area_report,
+    scaling_factor,
+)
+from .timing import (
+    LOADS_PER_SLOT,
+    FrameRateModel,
+    PatternStreamTiming,
+    ReadoutTiming,
+    pattern_streaming_energy_per_pixel,
+)
+from .noise import NoisyCodedExposureSensor, SensorNoiseModel, capture_snr_db
+
+__all__ = [
+    "CEPixel",
+    "PixelActivityCounters",
+    "TilePatternShiftRegister",
+    "StackedCESensor",
+    "CaptureStats",
+    "CE_LOGIC_AREA_65NM_UM2",
+    "CE_LOGIC_AREA_22NM_UM2",
+    "BROADCAST_WIRE_SIDE_UM",
+    "REFERENCE_APS_PITCH_UM",
+    "SHIFT_REGISTER_WIRES",
+    "scaling_factor",
+    "ce_logic_area",
+    "broadcast_wire_side",
+    "broadcast_wire_area",
+    "broadcast_wires_per_pixel",
+    "PixelAreaReport",
+    "pixel_area_report",
+    "LOADS_PER_SLOT",
+    "PatternStreamTiming",
+    "ReadoutTiming",
+    "FrameRateModel",
+    "pattern_streaming_energy_per_pixel",
+    "SensorNoiseModel",
+    "NoisyCodedExposureSensor",
+    "capture_snr_db",
+]

@@ -1,0 +1,163 @@
+"""Sensor noise model for coded-exposure capture.
+
+The paper evaluates CE on noiseless simulated captures; a real 4T APS
+pixel adds photon shot noise, dark current, read noise, and ADC
+quantisation.  This module provides a physically-parameterised noise
+model and a sensor wrapper that injects it into the CE capture path, so
+the robustness of the decorrelated pattern and the downstream model can
+be studied — the natural "future work" extension of the paper.
+
+The model works in normalised intensity units: an input pixel value of
+1.0 corresponds to ``full_well_electrons`` collected photo-electrons in
+one exposure slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..ce import CEConfig, CodedExposureSensor
+
+
+@dataclass(frozen=True)
+class SensorNoiseModel:
+    """Per-capture noise of a CMOS image sensor, in normalised units.
+
+    Parameters
+    ----------
+    full_well_electrons:
+        Photo-electrons corresponding to a normalised intensity of 1.0
+        integrated over a single exposure slot.
+    read_noise_electrons:
+        RMS read-out noise in electrons; applied once per read-out
+        (i.e. once per coded image for a CE sensor).
+    dark_current_electrons_per_slot:
+        Mean dark-signal electrons accumulated per exposure slot.
+    adc_bits:
+        ADC resolution; quantisation maps the final signal onto
+        ``2**adc_bits`` levels over the full-scale range.
+    seed:
+        Seed of the noise generator (captures are reproducible).
+    """
+
+    full_well_electrons: float = 5000.0
+    read_noise_electrons: float = 2.0
+    dark_current_electrons_per_slot: float = 1.0
+    adc_bits: int = 8
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.full_well_electrons <= 0:
+            raise ValueError("full_well_electrons must be positive")
+        if self.read_noise_electrons < 0 or self.dark_current_electrons_per_slot < 0:
+            raise ValueError("noise magnitudes must be non-negative")
+        if not 1 <= self.adc_bits <= 16:
+            raise ValueError("adc_bits must be in [1, 16]")
+
+    # ------------------------------------------------------------------
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def apply(self, signal: np.ndarray, exposures_per_pixel: np.ndarray,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Add noise to an accumulated (un-normalised) coded signal.
+
+        Parameters
+        ----------
+        signal:
+            Accumulated intensity per pixel (sum over exposed slots), in
+            normalised units where 1.0 = one full-well exposure.
+        exposures_per_pixel:
+            How many slots each pixel integrated (drives dark current).
+        """
+        signal = np.asarray(signal, dtype=np.float64)
+        exposures = np.asarray(exposures_per_pixel, dtype=np.float64)
+        rng = rng or self._rng()
+
+        electrons = np.clip(signal, 0.0, None) * self.full_well_electrons
+        dark = exposures * self.dark_current_electrons_per_slot
+        # Shot noise: Poisson statistics of collected photo- and dark electrons.
+        noisy_electrons = rng.poisson(electrons + dark).astype(np.float64)
+        # Read noise: Gaussian, once per read-out.
+        noisy_electrons += rng.normal(0.0, self.read_noise_electrons,
+                                      size=signal.shape)
+        noisy = noisy_electrons / self.full_well_electrons
+
+        # ADC quantisation over the full-scale range of the accumulated signal.
+        max_exposures = max(1.0, float(exposures.max()))
+        levels = 2 ** self.adc_bits - 1
+        step = max_exposures / levels
+        quantised = np.round(np.clip(noisy, 0.0, max_exposures) / step) * step
+        return quantised
+
+    # ------------------------------------------------------------------
+    def snr_db(self, intensity: float, num_exposures: int = 1) -> float:
+        """Analytic shot-noise-limited SNR (dB) at a given intensity.
+
+        Useful to sanity-check the model: SNR grows with the square root
+        of the collected charge, so integrating more exposure slots (as
+        pixels with dense CE codes do) improves SNR.
+        """
+        if not 0.0 < intensity <= 1.0:
+            raise ValueError("intensity must be in (0, 1]")
+        if num_exposures < 1:
+            raise ValueError("num_exposures must be >= 1")
+        electrons = intensity * self.full_well_electrons * num_exposures
+        noise = np.sqrt(electrons
+                        + num_exposures * self.dark_current_electrons_per_slot
+                        + self.read_noise_electrons ** 2)
+        return float(20.0 * np.log10(electrons / noise))
+
+
+class NoisyCodedExposureSensor:
+    """A :class:`CodedExposureSensor` with the noise model in the capture path.
+
+    The noiseless sensor integrates exposed slots and (optionally)
+    normalises by the exposure count; the noisy variant injects shot /
+    dark / read noise and ADC quantisation between integration and
+    normalisation, which is where they occur physically.
+    """
+
+    def __init__(self, config: CEConfig, tile_pattern: np.ndarray,
+                 noise: SensorNoiseModel = SensorNoiseModel()):
+        self.noise = noise
+        self._clean_sensor = CodedExposureSensor(config, tile_pattern)
+        self.config = config
+        self.tile_pattern = self._clean_sensor.tile_pattern
+
+    # ------------------------------------------------------------------
+    @property
+    def exposure_counts_map(self) -> np.ndarray:
+        """Per-pixel exposure counts over the full frame."""
+        return self._clean_sensor.full_mask.sum(axis=0)
+
+    def capture(self, videos: np.ndarray,
+                rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Capture coded images with noise; same interface as the clean sensor."""
+        accumulated = self._clean_sensor.capture_raw(videos)
+        counts = self.exposure_counts_map
+        noisy = self.noise.apply(accumulated, counts, rng=rng)
+        if self.config.normalize_by_exposures:
+            safe_counts = np.maximum(counts, 1.0)
+            return noisy / safe_counts
+        return noisy
+
+    def capture_clean(self, videos: np.ndarray) -> np.ndarray:
+        """The noiseless reference capture (for SNR / degradation studies)."""
+        return self._clean_sensor.capture(videos)
+
+
+def capture_snr_db(noisy: np.ndarray, clean: np.ndarray) -> float:
+    """Empirical SNR (dB) of a noisy capture against its noiseless reference."""
+    noisy = np.asarray(noisy, dtype=np.float64)
+    clean = np.asarray(clean, dtype=np.float64)
+    if noisy.shape != clean.shape:
+        raise ValueError("noisy and clean captures must have the same shape")
+    noise_power = float(np.mean((noisy - clean) ** 2))
+    signal_power = float(np.mean(clean ** 2))
+    if noise_power == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(signal_power / noise_power))

@@ -1,0 +1,153 @@
+"""Functional model of the proposed CE pixel (paper Fig. 5).
+
+The pixel is a stacked design:
+
+- **Top layer**: a 4T active-pixel-sensor (APS) front end with an extra
+  transistor ``M1`` that decouples the photodiode (PD) reset from the
+  floating-diffusion (FD) reset, so the PD can be selectively reset /
+  transferred across multiple exposure slots while the FD integrates the
+  selected exposures.
+- **Bottom layer**: a single D-flip-flop (DFF) buffering the one-bit CE
+  pattern for the current slot, plus two transistors — ``M6`` (pattern
+  reset: the DFF bit gates the PD reset) and ``M7`` (pattern transfer:
+  the DFF bit gates the PD→FD charge transfer).
+
+The simulation is event-level, not electrical: charge is represented as
+the accumulated light value, and each control signal corresponds to one
+method call.  Its purpose is to verify that the hardware protocol of
+Sec. V computes exactly the CE equation (Eqn. 1), and to count the
+control activity (DFF loads, pattern clock cycles) that feeds the energy
+overhead model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class PixelActivityCounters:
+    """Control-activity counters used by the energy overhead model."""
+
+    dff_writes: int = 0
+    pd_resets: int = 0
+    charge_transfers: int = 0
+    readouts: int = 0
+
+
+class CEPixel:
+    """One coded-exposure pixel (top-layer APS + bottom-layer CE logic)."""
+
+    def __init__(self):
+        self.pd_charge = 0.0        # photodiode accumulated charge
+        self.fd_charge = 0.0        # floating diffusion accumulated charge
+        self.dff_bit = 0            # bottom-layer pattern bit
+        self.dff_powered = False    # DFFs are power-gated between uses
+        self.counters = PixelActivityCounters()
+
+    # ------------------------------------------------------------------
+    # Bottom-layer pattern logic
+    # ------------------------------------------------------------------
+    def load_pattern_bit(self, bit: int) -> None:
+        """Latch the CE bit for the upcoming control phase (DFF write)."""
+        if bit not in (0, 1):
+            raise ValueError("CE pattern bit must be 0 or 1")
+        self.dff_bit = bit
+        self.dff_powered = True
+        self.counters.dff_writes += 1
+
+    def power_gate_dff(self) -> None:
+        """Power-gate the DFF between control phases (logic 0 on M1/M3)."""
+        self.dff_powered = False
+
+    # ------------------------------------------------------------------
+    # Control phases of one exposure slot
+    # ------------------------------------------------------------------
+    def pattern_reset(self) -> None:
+        """Assert the *pattern reset* wire (turn on M6).
+
+        If the latched CE bit is 1, the PD is reset through M1 (charge
+        accumulated so far is cleared) so the pixel starts a fresh
+        exposure; if 0, the PD keeps its charge but will simply never be
+        transferred.
+        """
+        if not self.dff_powered:
+            raise RuntimeError("pattern reset asserted while the DFF is power-gated")
+        if self.dff_bit == 1:
+            self.pd_charge = 0.0
+            self.counters.pd_resets += 1
+
+    def expose(self, light: float) -> None:
+        """Integrate incident light during the exposure slot.
+
+        The photodiode integrates regardless of the CE bit; selectivity
+        comes from the reset/transfer gating, not from blocking light.
+        """
+        if light < 0:
+            raise ValueError("light intensity must be non-negative")
+        self.pd_charge += light
+
+    def pattern_transfer(self) -> None:
+        """Assert the *pattern transfer* wire (turn on M7).
+
+        If the latched CE bit is 1, the PD charge is transferred through
+        M3 onto the FD (which accumulates across slots); otherwise the FD
+        is left untouched.
+        """
+        if not self.dff_powered:
+            raise RuntimeError("pattern transfer asserted while the DFF is power-gated")
+        if self.dff_bit == 1:
+            self.fd_charge += self.pd_charge
+            self.pd_charge = 0.0
+            self.counters.charge_transfers += 1
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    def readout(self) -> float:
+        """Read the FD voltage (row select, M4/M5) and reset the pixel."""
+        value = self.fd_charge
+        self.fd_charge = 0.0
+        self.pd_charge = 0.0
+        self.counters.readouts += 1
+        return value
+
+
+class TilePatternShiftRegister:
+    """The per-tile DFF chain that streams CE pattern bits into the pixels.
+
+    The DFFs of all pixels in a tile are connected head-to-tail; loading
+    one slot's pattern takes ``pixels_per_tile`` pattern-clock cycles, and
+    only four wires (pattern in / clk / reset / transfer) are needed per
+    tile regardless of tile size — the property that keeps the wire area
+    constant (Sec. V).
+    """
+
+    def __init__(self, pixels: List[CEPixel]):
+        if not pixels:
+            raise ValueError("a tile must contain at least one pixel")
+        self.pixels = pixels
+        self.clock_cycles = 0
+
+    def stream_in(self, bits: List[int]) -> None:
+        """Shift a full tile pattern in, one bit per clock cycle.
+
+        ``bits[0]`` ends up in the *last* pixel of the chain (it is pushed
+        the furthest), matching shift-register semantics; callers that
+        want ``bits[i]`` to land in ``pixels[i]`` should pass the bits in
+        reverse chain order, which :class:`StackedCESensor` does.
+        """
+        if len(bits) != len(self.pixels):
+            raise ValueError("number of bits must equal number of pixels in the tile")
+        # Model the shift: after P cycles, bit j sits in pixel P-1-j.
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ValueError("CE pattern bits must be 0 or 1")
+            self.clock_cycles += 1
+        for pixel, bit in zip(self.pixels, reversed(bits)):
+            pixel.load_pattern_bit(int(bit))
+
+    def power_gate(self) -> None:
+        for pixel in self.pixels:
+            pixel.power_gate_dff()

@@ -1,0 +1,167 @@
+"""Slot-level functional simulation of the stacked CE image sensor (Sec. V).
+
+The simulator instantiates one :class:`~repro.hardware.pixel.CEPixel` per
+sensor pixel, wires each tile's bottom-layer DFFs into a shift register,
+and executes the per-slot control protocol of the paper:
+
+1. stream the slot's tile pattern into the DFFs (``pixels_per_tile``
+   pattern-clock cycles),
+2. assert *pattern reset* (CE bit 1 -> PD reset, ready to expose),
+3. expose for the slot (every PD integrates its incident light),
+4. stream the same pattern in again,
+5. assert *pattern transfer* (CE bit 1 -> PD charge moves onto the FD),
+6. power-gate the DFFs until the next slot.
+
+After all ``T`` slots, a single read-out produces the coded image.  The
+simulation exists to verify that this hardware protocol computes exactly
+Eqn. 1 (the test suite checks it against :func:`repro.ce.coded_exposure`)
+and to report the control activity used by the CE energy-overhead model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..ce.operator import CEConfig, expand_tile_pattern
+from .pixel import CEPixel, TilePatternShiftRegister
+
+
+@dataclass(frozen=True)
+class CaptureStats:
+    """Control-activity statistics of one CE capture."""
+
+    pattern_clock_cycles: int
+    dff_writes: int
+    pd_resets: int
+    charge_transfers: int
+    pixels_read: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "pattern_clock_cycles": self.pattern_clock_cycles,
+            "dff_writes": self.dff_writes,
+            "pd_resets": self.pd_resets,
+            "charge_transfers": self.charge_transfers,
+            "pixels_read": self.pixels_read,
+        }
+
+
+class StackedCESensor:
+    """Pixel-array simulator of the stacked CE sensor."""
+
+    def __init__(self, config: CEConfig, tile_pattern: np.ndarray):
+        tile_pattern = np.asarray(tile_pattern)
+        expected = (config.num_slots, config.tile_size, config.tile_size)
+        if tile_pattern.shape != expected:
+            raise ValueError(f"tile_pattern shape {tile_pattern.shape} != {expected}")
+        if not np.isin(tile_pattern, (0, 1)).all():
+            raise ValueError("tile_pattern must be binary")
+        self.config = config
+        self.tile_pattern = tile_pattern.astype(int)
+        height, width = config.frame_height, config.frame_width
+        self.pixels = [[CEPixel() for _ in range(width)] for _ in range(height)]
+        self._tiles = self._build_tiles()
+
+    # ------------------------------------------------------------------
+    def _build_tiles(self) -> List[TilePatternShiftRegister]:
+        """Group pixels into per-tile shift registers (row-major within a tile)."""
+        tile = self.config.tile_size
+        registers = []
+        for tile_row in range(self.config.frame_height // tile):
+            for tile_col in range(self.config.frame_width // tile):
+                members = []
+                for i in range(tile):
+                    for j in range(tile):
+                        members.append(
+                            self.pixels[tile_row * tile + i][tile_col * tile + j])
+                registers.append(TilePatternShiftRegister(members))
+        return registers
+
+    # ------------------------------------------------------------------
+    def capture(self, video: np.ndarray) -> np.ndarray:
+        """Run the full per-slot protocol on a clip and read out the coded image.
+
+        Parameters
+        ----------
+        video:
+            ``(T, H, W)`` incident light per slot.
+
+        Returns
+        -------
+        The coded image of shape ``(H, W)`` (raw charge sums, i.e. the
+        un-normalised Eqn. 1 output).
+        """
+        video = np.asarray(video, dtype=np.float64)
+        expected = (self.config.num_slots, self.config.frame_height,
+                    self.config.frame_width)
+        if video.shape != expected:
+            raise ValueError(f"video shape {video.shape} != expected {expected}")
+
+        for slot in range(self.config.num_slots):
+            slot_bits = self.tile_pattern[slot].reshape(-1).tolist()
+            # Phase 1: stream the pattern in and reset selected PDs.
+            for register in self._tiles:
+                register.stream_in(list(reversed(slot_bits)))
+            self._assert_pattern_reset()
+            self._power_gate()
+            # Phase 2: exposure — every pixel integrates its incident light.
+            self._expose(video[slot])
+            # Phase 3: stream the pattern again and transfer selected charges.
+            for register in self._tiles:
+                register.stream_in(list(reversed(slot_bits)))
+            self._assert_pattern_transfer()
+            self._power_gate()
+        return self._readout()
+
+    # ------------------------------------------------------------------
+    def _assert_pattern_reset(self) -> None:
+        for row in self.pixels:
+            for pixel in row:
+                pixel.pattern_reset()
+
+    def _assert_pattern_transfer(self) -> None:
+        for row in self.pixels:
+            for pixel in row:
+                pixel.pattern_transfer()
+
+    def _power_gate(self) -> None:
+        for register in self._tiles:
+            register.power_gate()
+
+    def _expose(self, frame: np.ndarray) -> None:
+        for i, row in enumerate(self.pixels):
+            for j, pixel in enumerate(row):
+                pixel.expose(float(frame[i, j]))
+
+    def _readout(self) -> np.ndarray:
+        height, width = self.config.frame_height, self.config.frame_width
+        image = np.empty((height, width))
+        for i in range(height):
+            for j in range(width):
+                image[i, j] = self.pixels[i][j].readout()
+        return image
+
+    # ------------------------------------------------------------------
+    def capture_stats(self) -> CaptureStats:
+        """Aggregate control-activity counters across the array."""
+        dff_writes = pd_resets = transfers = reads = 0
+        for row in self.pixels:
+            for pixel in row:
+                dff_writes += pixel.counters.dff_writes
+                pd_resets += pixel.counters.pd_resets
+                transfers += pixel.counters.charge_transfers
+                reads += pixel.counters.readouts
+        cycles = sum(register.clock_cycles for register in self._tiles)
+        return CaptureStats(pattern_clock_cycles=cycles, dff_writes=dff_writes,
+                            pd_resets=pd_resets, charge_transfers=transfers,
+                            pixels_read=reads)
+
+    # ------------------------------------------------------------------
+    def expected_clock_cycles_per_capture(self) -> int:
+        """Pattern-clock cycles per capture: 2 loads per slot per tile pixel."""
+        tiles = (self.config.frame_height // self.config.tile_size) * \
+            (self.config.frame_width // self.config.tile_size)
+        return 2 * self.config.num_slots * tiles * self.config.pixels_per_tile

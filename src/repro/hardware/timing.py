@@ -1,0 +1,185 @@
+"""Timing model of the CE pixel's pattern-streaming protocol (paper Sec. V).
+
+The Sec. V hardware loads each tile's exposure bits into a per-pixel DFF
+shift register at a 20 MHz pattern clock, twice per exposure slot (once
+before the exposure to drive *pattern reset*, once after to drive
+*pattern transfer*).  This module turns that protocol into numbers: how
+long pattern streaming takes, what exposure-slot duration and coded
+frame rate are achievable, and how the single coded read-out compares
+with a conventional sensor that must read out every frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..energy import constants
+
+#: Pattern loads per exposure slot: one before the exposure (reset phase)
+#: and one after it (transfer phase), as described in Sec. V.
+LOADS_PER_SLOT = 2
+
+
+@dataclass(frozen=True)
+class PatternStreamTiming:
+    """Timing of streaming the tile-repetitive CE pattern into the pixel array.
+
+    Because the pattern repeats across tiles, every tile's shift register
+    receives the same ``tile_size**2`` bits in parallel; the streaming
+    time is therefore independent of the frame resolution.
+    """
+
+    tile_size: int = 8
+    num_slots: int = 16
+    clock_hz: float = constants.PATTERN_CLOCK_HZ
+
+    def __post_init__(self):
+        if self.tile_size < 1:
+            raise ValueError("tile_size must be >= 1")
+        if self.num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def bits_per_load(self) -> int:
+        """Shift-register length: one bit per pixel of the tile."""
+        return self.tile_size * self.tile_size
+
+    @property
+    def load_time_s(self) -> float:
+        """Time to stream one full pattern into the tile shift registers."""
+        return self.bits_per_load / self.clock_hz
+
+    @property
+    def pattern_time_per_slot_s(self) -> float:
+        """Pattern-streaming time per exposure slot (reset + transfer loads)."""
+        return LOADS_PER_SLOT * self.load_time_s
+
+    @property
+    def pattern_time_per_coded_frame_s(self) -> float:
+        """Total pattern-streaming time across all slots of one coded image."""
+        return self.num_slots * self.pattern_time_per_slot_s
+
+    # ------------------------------------------------------------------
+    def streaming_overhead_fraction(self, slot_duration_s: float) -> float:
+        """Fraction of each exposure slot spent streaming the pattern."""
+        if slot_duration_s <= 0:
+            raise ValueError("slot_duration_s must be positive")
+        return min(1.0, self.pattern_time_per_slot_s / slot_duration_s)
+
+
+@dataclass(frozen=True)
+class ReadoutTiming:
+    """Row-by-row (rolling) read-out timing of the pixel array.
+
+    ``row_time_s`` is the time to digitise and ship one row of pixels
+    (column-parallel ADC followed by MIPI); a full frame takes
+    ``rows * row_time_s``.  The CE sensor reads out once per coded image
+    instead of once per exposure slot.
+    """
+
+    frame_height: int = 112
+    frame_width: int = 112
+    row_time_s: float = 10e-6
+
+    def __post_init__(self):
+        if self.frame_height < 1 or self.frame_width < 1:
+            raise ValueError("frame dimensions must be positive")
+        if self.row_time_s <= 0:
+            raise ValueError("row_time_s must be positive")
+
+    @property
+    def frame_readout_time_s(self) -> float:
+        return self.frame_height * self.row_time_s
+
+    def clip_readout_time_s(self, num_frames: int, coded: bool) -> float:
+        """Read-out time of one clip: every frame (conventional) or once (CE)."""
+        if num_frames < 1:
+            raise ValueError("num_frames must be >= 1")
+        frames_read = 1 if coded else num_frames
+        return frames_read * self.frame_readout_time_s
+
+    def readout_time_reduction(self, num_frames: int) -> float:
+        """Read-out time saving factor of CE over a conventional sensor (= T)."""
+        return (self.clip_readout_time_s(num_frames, coded=False)
+                / self.clip_readout_time_s(num_frames, coded=True))
+
+
+@dataclass(frozen=True)
+class FrameRateModel:
+    """Achievable coded-image rate given exposure, streaming, and read-out times."""
+
+    stream: PatternStreamTiming
+    readout: ReadoutTiming
+    slot_exposure_s: float = 1e-3
+
+    def __post_init__(self):
+        if self.slot_exposure_s <= 0:
+            raise ValueError("slot_exposure_s must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def slot_time_s(self) -> float:
+        """Duration of one exposure slot including its two pattern loads."""
+        return self.slot_exposure_s + self.stream.pattern_time_per_slot_s
+
+    @property
+    def coded_frame_time_s(self) -> float:
+        """Time to produce one coded image: T slots plus one read-out."""
+        return (self.stream.num_slots * self.slot_time_s
+                + self.readout.frame_readout_time_s)
+
+    @property
+    def coded_frame_rate_hz(self) -> float:
+        """Coded images per second."""
+        return 1.0 / self.coded_frame_time_s
+
+    @property
+    def equivalent_video_frame_rate_hz(self) -> float:
+        """Temporal sampling rate of the underlying video (slots per second)."""
+        return self.stream.num_slots / self.coded_frame_time_s
+
+    # ------------------------------------------------------------------
+    def conventional_frame_time_s(self) -> float:
+        """Per-frame time of a conventional sensor covering the same footage."""
+        return self.slot_exposure_s + self.readout.frame_readout_time_s
+
+    def conventional_clip_time_s(self) -> float:
+        """Time for a conventional sensor to capture and read out T frames."""
+        return self.stream.num_slots * self.conventional_frame_time_s()
+
+    def report(self) -> Dict[str, float]:
+        """All timing quantities in one dictionary (for logs and benches)."""
+        return {
+            "bits_per_load": float(self.stream.bits_per_load),
+            "load_time_s": self.stream.load_time_s,
+            "pattern_time_per_slot_s": self.stream.pattern_time_per_slot_s,
+            "streaming_overhead_fraction":
+                self.stream.streaming_overhead_fraction(self.slot_exposure_s),
+            "slot_time_s": self.slot_time_s,
+            "coded_frame_time_s": self.coded_frame_time_s,
+            "coded_frame_rate_hz": self.coded_frame_rate_hz,
+            "equivalent_video_frame_rate_hz": self.equivalent_video_frame_rate_hz,
+            "conventional_clip_time_s": self.conventional_clip_time_s(),
+            "readout_time_reduction":
+                self.readout.readout_time_reduction(self.stream.num_slots),
+        }
+
+
+def pattern_streaming_energy_per_pixel(num_slots: int,
+                                       energy_per_pixel_per_slot: float =
+                                       constants.CE_OVERHEAD_PER_PIXEL_PER_SLOT
+                                       ) -> float:
+    """Total CE-support energy per pixel for one coded image (J).
+
+    The paper's synthesis puts the CE overhead at 9 pJ per pixel per slot
+    at the 20 MHz pattern clock; a coded image pays it once per slot.
+    """
+    if num_slots < 1:
+        raise ValueError("num_slots must be >= 1")
+    if energy_per_pixel_per_slot < 0:
+        raise ValueError("energy must be non-negative")
+    return num_slots * energy_per_pixel_per_slot

@@ -1,0 +1,71 @@
+"""``repro.models`` — vision models of the SnapPix paper.
+
+- :class:`SnapPixModel` / :func:`build_snappix_model` — CE-optimized ViT
+  with AR or REC heads (SNAPPIX-S / SNAPPIX-B, Sec. IV).
+- :class:`MaskedAutoencoder` — coded-image-to-video pre-training model (Eqn. 3).
+- :class:`SVC2DModel` — shift-variant-convolution CE baseline [17, 18].
+- :class:`C3DModel` — 3-D convolution video baseline [37].
+- :class:`VideoMAEClassifier` — VideoMAEv2-ST-style video ViT baseline [26].
+- :class:`DownsampleBaseline` — 4x4 average-filter compression baseline (Sec. VI-D).
+- :func:`build_model` — registry covering every system in Table I.
+"""
+
+from .patch import (
+    PatchEmbed,
+    TubeEmbed,
+    image_to_patches,
+    patches_to_image,
+    patches_to_video,
+    video_to_patches,
+)
+from .vit import (
+    PAPER_VIT_BASE,
+    PAPER_VIT_SMALL,
+    SNAPPIX_B_CONFIG,
+    SNAPPIX_S_CONFIG,
+    TINY_VIT,
+    ClassificationHead,
+    MaskedAutoencoder,
+    ReconstructionHead,
+    SnapPixModel,
+    ViTConfig,
+    ViTEncoder,
+    build_snappix_model,
+)
+from .svc import ShiftVariantConv2d, SVC2DModel
+from .c3d import C3DModel
+from .videomae import VideoMAEClassifier, VideoViTConfig
+from .downsample import DownsampleBaseline, spatial_downsample
+from .registry import MODEL_INPUTS, build_model, model_input_kind, model_names
+
+__all__ = [
+    "PatchEmbed",
+    "TubeEmbed",
+    "image_to_patches",
+    "patches_to_image",
+    "video_to_patches",
+    "patches_to_video",
+    "ViTConfig",
+    "ViTEncoder",
+    "ClassificationHead",
+    "ReconstructionHead",
+    "SnapPixModel",
+    "MaskedAutoencoder",
+    "build_snappix_model",
+    "PAPER_VIT_SMALL",
+    "PAPER_VIT_BASE",
+    "SNAPPIX_S_CONFIG",
+    "SNAPPIX_B_CONFIG",
+    "TINY_VIT",
+    "ShiftVariantConv2d",
+    "SVC2DModel",
+    "C3DModel",
+    "VideoMAEClassifier",
+    "VideoViTConfig",
+    "DownsampleBaseline",
+    "spatial_downsample",
+    "MODEL_INPUTS",
+    "build_model",
+    "model_input_kind",
+    "model_names",
+]

@@ -1,0 +1,61 @@
+"""C3D baseline — video-based action recognition with 3-D convolutions.
+
+Tran et al. (ref. [37] of the paper).  C3D consumes the full
+uncompressed 16-frame clip, which is why prior CE work treated it as an
+accuracy upper bound and why it is the slowest/most expensive baseline
+in the paper's edge-energy analysis: every frame must be read out of the
+sensor and processed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import (
+    Conv3d,
+    GlobalAveragePool,
+    Linear,
+    MaxPool3d,
+    Module,
+    Tensor,
+)
+
+
+class C3DModel(Module):
+    """A compact C3D-style network: stacked 3-D conv + pool blocks, GAP, FC.
+
+    The channel widths are scaled down from the original C3D to fit the
+    CPU-only environment; the structural property that matters for the
+    reproduction — compute scales with the number of input frames — is
+    preserved.
+    """
+
+    def __init__(self, num_classes: int, in_frames: int = 16,
+                 base_channels: int = 8,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_frames = in_frames
+        self.conv1 = Conv3d(1, base_channels, kernel_size=3, padding=1, rng=rng)
+        self.pool1 = MaxPool3d((1, 2, 2))
+        self.conv2 = Conv3d(base_channels, base_channels * 2, kernel_size=3,
+                            padding=1, rng=rng)
+        self.pool2 = MaxPool3d((2, 2, 2))
+        self.conv3 = Conv3d(base_channels * 2, base_channels * 2, kernel_size=3,
+                            padding=1, rng=rng)
+        self.pool3 = MaxPool3d((2, 2, 2))
+        self.gap = GlobalAveragePool()
+        self.fc = Linear(base_channels * 2, num_classes, rng=rng)
+
+    def forward(self, videos: np.ndarray) -> Tensor:
+        """Classify ``(B, T, H, W)`` uncompressed clips."""
+        x = np.asarray(videos, dtype=np.float64)
+        if x.ndim != 4:
+            raise ValueError("videos must have shape (B, T, H, W)")
+        x = Tensor(x[:, None])  # (B, 1, T, H, W)
+        x = self.pool1(self.conv1(x).relu())
+        x = self.pool2(self.conv2(x).relu())
+        x = self.pool3(self.conv3(x).relu())
+        return self.fc(self.gap(x))

@@ -1,0 +1,66 @@
+"""Spatial-downsampling compression baseline (paper Sec. VI-D, last paragraph).
+
+The paper compares SnapPix against a "simple compression baseline that
+spatially downsamples each frame by 16x (the same compression rate as
+SnapPix) using 4x4 average filtering and then processes the compressed
+data with VideoMAEv2-ST".  This module provides that downsampling
+operator and a thin wrapper that pairs it with the video transformer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Module, Tensor
+from .videomae import VideoMAEClassifier, VideoViTConfig
+
+
+def spatial_downsample(videos: np.ndarray, factor: int = 4) -> np.ndarray:
+    """Average-filter downsampling of each frame by ``factor`` per axis.
+
+    ``factor = 4`` gives a 16x pixel-count reduction, matching SnapPix's
+    T = 16 temporal compression rate.
+    """
+    videos = np.asarray(videos, dtype=np.float64)
+    if videos.ndim == 3:
+        videos = videos[None]
+        squeeze = True
+    else:
+        squeeze = False
+    batch, frames, height, width = videos.shape
+    if height % factor or width % factor:
+        raise ValueError("frame size must be a multiple of the downsampling factor")
+    pooled = videos.reshape(batch, frames, height // factor, factor,
+                            width // factor, factor).mean(axis=(3, 5))
+    return pooled[0] if squeeze else pooled
+
+
+class DownsampleBaseline(Module):
+    """4x4 average-filter downsampling followed by a video transformer.
+
+    The spatial compression matches SnapPix's data-rate reduction but
+    discards spatial detail uniformly, which is why its accuracy lags the
+    coded-exposure approach in the paper's comparison.
+    """
+
+    def __init__(self, num_classes: int, image_size: int = 32, num_frames: int = 16,
+                 factor: int = 4, dim: int = 48, depth: int = 2, num_heads: int = 4,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if (image_size // factor) % 2:
+            raise ValueError("downsampled frame must have even size for patching")
+        self.factor = factor
+        downsampled = image_size // factor
+        patch = max(2, downsampled // 4)
+        while downsampled % patch:
+            patch -= 1
+        config = VideoViTConfig(image_size=downsampled, patch_size=patch,
+                                num_frames=num_frames, tube_frames=2, dim=dim,
+                                depth=depth, num_heads=num_heads)
+        self.classifier = VideoMAEClassifier(config, num_classes, rng=rng)
+
+    def forward(self, videos: np.ndarray) -> Tensor:
+        compressed = spatial_downsample(videos, self.factor)
+        return self.classifier(compressed)

@@ -1,0 +1,129 @@
+"""Patchification utilities shared by the ViT-family models.
+
+The CE-optimized ViT (paper Sec. IV) matches its patch size to the CE
+tile size, so each token sees exactly one repetition of the exposure
+pattern and the patch-embedding MLP can learn the within-tile pixel
+variation once for all tiles.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+
+
+def image_to_patches(images: np.ndarray, patch_size: int) -> np.ndarray:
+    """Rearrange ``(B, H, W)`` images into ``(B, N, patch_size**2)`` patch vectors.
+
+    Patches are ordered row-major over the patch grid, pixels row-major
+    within each patch — the same layout used by the CE tile statistics,
+    which is what lets the model and the exposure pattern share indices.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 3:
+        raise ValueError("images must have shape (B, H, W)")
+    batch, height, width = images.shape
+    if height % patch_size or width % patch_size:
+        raise ValueError("image size must be a multiple of patch_size")
+    n_h, n_w = height // patch_size, width // patch_size
+    patches = images.reshape(batch, n_h, patch_size, n_w, patch_size)
+    patches = patches.transpose(0, 1, 3, 2, 4)
+    return patches.reshape(batch, n_h * n_w, patch_size * patch_size)
+
+
+def patches_to_image(patches: np.ndarray, image_size: Tuple[int, int],
+                     patch_size: int) -> np.ndarray:
+    """Inverse of :func:`image_to_patches`."""
+    patches = np.asarray(patches)
+    batch, num_patches, dim = patches.shape
+    height, width = image_size
+    n_h, n_w = height // patch_size, width // patch_size
+    if num_patches != n_h * n_w or dim != patch_size * patch_size:
+        raise ValueError("patch array does not match the requested image size")
+    grid = patches.reshape(batch, n_h, n_w, patch_size, patch_size)
+    grid = grid.transpose(0, 1, 3, 2, 4)
+    return grid.reshape(batch, height, width)
+
+
+def video_to_patches(videos: np.ndarray, patch_size: int) -> np.ndarray:
+    """Rearrange ``(B, T, H, W)`` videos into ``(B, N, T*patch_size**2)`` vectors.
+
+    Used as the reconstruction target for the coded-image-to-video
+    pre-training (Eqn. 3): each spatial patch token predicts the full
+    temporal stack of pixels at its location.
+    """
+    videos = np.asarray(videos, dtype=np.float64)
+    if videos.ndim != 4:
+        raise ValueError("videos must have shape (B, T, H, W)")
+    batch, frames, height, width = videos.shape
+    n_h, n_w = height // patch_size, width // patch_size
+    grid = videos.reshape(batch, frames, n_h, patch_size, n_w, patch_size)
+    grid = grid.transpose(0, 2, 4, 1, 3, 5)
+    return grid.reshape(batch, n_h * n_w, frames * patch_size * patch_size)
+
+
+def patches_to_video(patches: np.ndarray, num_frames: int,
+                     image_size: Tuple[int, int], patch_size: int) -> np.ndarray:
+    """Inverse of :func:`video_to_patches`."""
+    patches = np.asarray(patches)
+    batch, num_patches, dim = patches.shape
+    height, width = image_size
+    n_h, n_w = height // patch_size, width // patch_size
+    if dim != num_frames * patch_size * patch_size:
+        raise ValueError("patch dimension does not match num_frames * patch_size^2")
+    grid = patches.reshape(batch, n_h, n_w, num_frames, patch_size, patch_size)
+    grid = grid.transpose(0, 3, 1, 4, 2, 5)
+    return grid.reshape(batch, num_frames, height, width)
+
+
+class PatchEmbed(Module):
+    """Linear patch embedding (``PE`` in Fig. 4) for single coded images."""
+
+    def __init__(self, patch_size: int, dim: int, in_channels: int = 1,
+                 rng=None):
+        super().__init__()
+        self.patch_size = patch_size
+        self.in_channels = in_channels
+        self.proj = Linear(in_channels * patch_size * patch_size, dim, rng=rng)
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        patches = image_to_patches(images, self.patch_size)
+        return self.proj(Tensor(patches))
+
+
+class TubeEmbed(Module):
+    """Spatio-temporal tube embedding for video transformers (VideoMAE-ST style).
+
+    Splits a clip into non-overlapping tubes of ``tube_frames x patch x
+    patch`` pixels and linearly embeds each tube as one token, so a
+    16-frame clip produces ``(T / tube_frames) x N`` tokens — the reason
+    the video baselines process far more tokens (and are slower) than
+    SnapPix's single coded image.
+    """
+
+    def __init__(self, patch_size: int, tube_frames: int, dim: int, rng=None):
+        super().__init__()
+        self.patch_size = patch_size
+        self.tube_frames = tube_frames
+        self.proj = Linear(tube_frames * patch_size * patch_size, dim, rng=rng)
+
+    def forward(self, videos: np.ndarray) -> Tensor:
+        videos = np.asarray(videos, dtype=np.float64)
+        batch, frames, height, width = videos.shape
+        if frames % self.tube_frames:
+            raise ValueError("clip length must be a multiple of tube_frames")
+        n_t = frames // self.tube_frames
+        n_h, n_w = height // self.patch_size, width // self.patch_size
+        grid = videos.reshape(batch, n_t, self.tube_frames,
+                              n_h, self.patch_size, n_w, self.patch_size)
+        grid = grid.transpose(0, 1, 3, 5, 2, 4, 6)
+        tokens = grid.reshape(batch, n_t * n_h * n_w,
+                              self.tube_frames * self.patch_size * self.patch_size)
+        return self.proj(Tensor(tokens))
+
+    def num_tokens(self, frames: int, height: int, width: int) -> int:
+        return (frames // self.tube_frames) * (height // self.patch_size) * \
+            (width // self.patch_size)

@@ -1,0 +1,84 @@
+"""Model registry/factory used by the benchmarks and the core pipeline.
+
+Provides a single entry point, :func:`build_model`, that constructs any
+of the systems compared in Table I of the paper (plus the downsampling
+baseline of Sec. VI-D) at the reproduction's scaled-down size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .c3d import C3DModel
+from .downsample import DownsampleBaseline
+from .svc import SVC2DModel
+from .videomae import VideoMAEClassifier, VideoViTConfig
+from .vit import SnapPixModel, ViTConfig, build_snappix_model
+
+# Input modality per model name, mirroring Table I's "Input" column.
+MODEL_INPUTS: Dict[str, str] = {
+    "snappix_s": "ce",
+    "snappix_b": "ce",
+    "snappix_tiny": "ce",
+    "svc2d": "ce",
+    "c3d": "video",
+    "videomae_st": "video",
+    "downsample": "video",
+}
+
+
+def model_names():
+    """Names accepted by :func:`build_model`."""
+    return sorted(MODEL_INPUTS)
+
+
+def build_model(name: str, num_classes: int = 10, image_size: int = 32,
+                num_frames: int = 16, tile_size: int = 8, seed: int = 0):
+    """Construct a named model at reproduction scale.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`model_names`.
+    num_classes:
+        Number of action classes.
+    image_size:
+        Frame side length (square frames).
+    num_frames:
+        Clip length ``T`` for video models / reconstruction targets.
+    tile_size:
+        CE tile / ViT patch size.
+    seed:
+        Weight-initialisation seed.
+    """
+    rng = np.random.default_rng(seed)
+    if name == "snappix_s":
+        return build_snappix_model("s", task="ar", num_classes=num_classes,
+                                   image_size=image_size, seed=seed)
+    if name == "snappix_b":
+        return build_snappix_model("b", task="ar", num_classes=num_classes,
+                                   image_size=image_size, seed=seed)
+    if name == "snappix_tiny":
+        return build_snappix_model("tiny", task="ar", num_classes=num_classes,
+                                   image_size=image_size, seed=seed)
+    if name == "svc2d":
+        return SVC2DModel(num_classes, tile_size=tile_size, rng=rng)
+    if name == "c3d":
+        return C3DModel(num_classes, in_frames=num_frames, rng=rng)
+    if name == "videomae_st":
+        config = VideoViTConfig(image_size=image_size, patch_size=tile_size,
+                                num_frames=num_frames)
+        return VideoMAEClassifier(config, num_classes, rng=rng)
+    if name == "downsample":
+        return DownsampleBaseline(num_classes, image_size=image_size,
+                                  num_frames=num_frames, rng=rng)
+    raise KeyError(f"unknown model '{name}'; available: {model_names()}")
+
+
+def model_input_kind(name: str) -> str:
+    """Return ``"ce"`` (single coded image) or ``"video"`` (uncompressed clip)."""
+    if name not in MODEL_INPUTS:
+        raise KeyError(f"unknown model '{name}'")
+    return MODEL_INPUTS[name]

@@ -1,0 +1,158 @@
+"""SVC2D baseline — action recognition from a single coded image with a
+Shift-Variant Convolution first layer (Okawara et al. / Kumawat et al.,
+refs [17], [18] of the paper).
+
+A shift-variant convolution uses a *different* kernel for each pixel
+position within the CE tile, so pixels with different exposure patterns
+are treated differently.  The paper points out two drawbacks that this
+baseline reproduces faithfully:
+
+- it is slow (the kernel gather defeats dense-matmul execution), and
+- prior work only applies SVC at the first layer, limiting how much of
+  the network can adapt to the exposure-induced pixel variation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import (
+    Conv2d,
+    GlobalAveragePool,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Tensor,
+)
+from ..nn import init
+
+
+class ShiftVariantConv2d(Module):
+    """Convolution whose kernel depends on the pixel's position within a tile.
+
+    For a tile size of ``t`` there are ``t*t`` distinct kernels; output
+    pixel ``(i, j)`` is produced by kernel ``(i mod t, j mod t)``.  This
+    matches the SVC layer of ref. [17] specialised to tile-repetitive
+    exposure patterns.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 tile_size: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be odd for same-size output")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.tile_size = tile_size
+        self.weight = Parameter(init.kaiming_normal(
+            (tile_size * tile_size, out_channels, in_channels,
+             kernel_size, kernel_size), rng))
+        self.bias = Parameter(np.zeros((tile_size * tile_size, out_channels)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the shift-variant convolution to ``(B, C, H, W)`` input."""
+        batch, channels, height, width = x.shape
+        pad = self.kernel_size // 2
+        x_padded = x.pad(((0, 0), (0, 0), (pad, pad), (pad, pad)))
+
+        # The per-position kernel gather: iterate over the t*t in-tile
+        # positions and compute each strided sub-grid with its own kernel.
+        # This mirrors the inefficiency the paper profiles (4x slowdown).
+        contributions = []
+        for ti in range(self.tile_size):
+            for tj in range(self.tile_size):
+                kernel_index = ti * self.tile_size + tj
+                kernel = self.weight[kernel_index]          # (O, C, k, k)
+                bias = self.bias[kernel_index]               # (O,)
+                rows = np.arange(ti, height, self.tile_size)
+                cols = np.arange(tj, width, self.tile_size)
+                # Gather k x k neighbourhoods around each selected pixel.
+                patches = []
+                for di in range(self.kernel_size):
+                    for dj in range(self.kernel_size):
+                        patches.append(
+                            x_padded[:, :, rows[:, None] + di, cols[None, :] + dj])
+                # (B, C*k*k, R, Cc)
+                from ..nn import concatenate
+                neigh = concatenate(patches, axis=1)
+                neigh = neigh.reshape(batch, channels, self.kernel_size ** 2,
+                                      len(rows), len(cols))
+                neigh = neigh.transpose(0, 3, 4, 1, 2).reshape(
+                    batch * len(rows) * len(cols), channels * self.kernel_size ** 2)
+                w_mat = kernel.reshape(self.out_channels,
+                                       channels * self.kernel_size ** 2)
+                out = neigh @ w_mat.transpose(1, 0) + bias
+                out = out.reshape(batch, len(rows), len(cols), self.out_channels)
+                out = out.transpose(0, 3, 1, 2)
+                contributions.append((rows, cols, out))
+
+        # Scatter the per-position results back into the full output frame.
+        # Build it as a sum of zero-padded contributions so gradients flow.
+        full_shape = (batch, self.out_channels, height, width)
+        total = None
+        for rows, cols, out in contributions:
+            term = _scatter_subgrid(out, rows, cols, full_shape)(out)
+            total = term if total is None else total + term
+        return total
+
+
+def _scatter_subgrid(out: Tensor, rows: np.ndarray, cols: np.ndarray, full_shape):
+    """Return a function embedding a sub-grid tensor into a zero frame.
+
+    Implemented as a closure producing a differentiable scatter via
+    ``Tensor`` indexing adjoints.
+    """
+    row_index = rows[:, None]
+    col_index = cols[None, :]
+
+    def scatter(sub: Tensor) -> Tensor:
+        # Embed the sub-grid into a zero frame via the sub tensor's _make so
+        # that backward extracts the sub-grid gradient.
+        data = np.zeros(full_shape)
+        data[:, :, row_index, col_index] = sub.data
+
+        def backward(grad):
+            sub._accumulate(grad[:, :, row_index, col_index])
+
+        return sub._make(data, (sub,), backward)
+
+    return scatter
+
+
+class SVC2DModel(Module):
+    """The SVC2D action-recognition baseline.
+
+    Architecture: shift-variant conv -> ReLU -> two ordinary conv blocks
+    -> global average pooling -> linear classifier, a compact version of
+    the CNN used in refs. [17]/[18].
+    """
+
+    def __init__(self, num_classes: int, tile_size: int = 8,
+                 base_channels: int = 8, kernel_size: int = 3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.tile_size = tile_size
+        self.svc = ShiftVariantConv2d(1, base_channels, kernel_size, tile_size, rng=rng)
+        self.conv1 = Conv2d(base_channels, base_channels * 2, kernel_size,
+                            padding=kernel_size // 2, rng=rng)
+        self.conv2 = Conv2d(base_channels * 2, base_channels * 2, kernel_size,
+                            padding=kernel_size // 2, rng=rng)
+        self.pool = GlobalAveragePool()
+        self.fc = Linear(base_channels * 2, num_classes, rng=rng)
+
+    def forward(self, coded_images: np.ndarray) -> Tensor:
+        x = np.asarray(coded_images, dtype=np.float64)
+        if x.ndim == 3:
+            x = x[:, None]  # add channel dim
+        x = Tensor(x)
+        x = self.svc(x).relu()
+        x = self.conv1(x).relu()
+        x = self.conv2(x).relu()
+        return self.fc(self.pool(x))

@@ -1,0 +1,79 @@
+"""VideoMAEv2-ST-style video transformer baseline.
+
+Wang et al. (ref. [26] of the paper).  The paper adjusts the model so
+its inference speed matches SNAPPIX-B; structurally it is a ViT over
+spatio-temporal *tube* tokens of the uncompressed clip.  Because a
+16-frame clip yields many times more tokens than a single coded image,
+the video transformer is slower at the same backbone width — the
+trade-off Table I captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn import LayerNorm, Linear, Module, Parameter, Tensor, TransformerBlock
+from ..nn.attention import sinusoidal_position_encoding
+from .patch import TubeEmbed
+
+
+@dataclass(frozen=True)
+class VideoViTConfig:
+    """Architecture hyper-parameters of the video transformer baseline."""
+
+    image_size: int = 32
+    patch_size: int = 8
+    num_frames: int = 16
+    tube_frames: int = 2
+    dim: int = 64
+    depth: int = 3
+    num_heads: int = 4
+    mlp_ratio: float = 4.0
+
+    def __post_init__(self):
+        if self.image_size % self.patch_size:
+            raise ValueError("image_size must be a multiple of patch_size")
+        if self.num_frames % self.tube_frames:
+            raise ValueError("num_frames must be a multiple of tube_frames")
+
+    @property
+    def num_tokens(self) -> int:
+        spatial = (self.image_size // self.patch_size) ** 2
+        return spatial * (self.num_frames // self.tube_frames)
+
+
+class VideoMAEClassifier(Module):
+    """Video transformer for action recognition on uncompressed clips."""
+
+    def __init__(self, config: VideoViTConfig, num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.config = config
+        self.tube_embed = TubeEmbed(config.patch_size, config.tube_frames,
+                                    config.dim, rng=rng)
+        self.pos_embed = Parameter(
+            sinusoidal_position_encoding(config.num_tokens, config.dim))
+        self.blocks = [
+            TransformerBlock(config.dim, config.num_heads, config.mlp_ratio, rng=rng)
+            for _ in range(config.depth)
+        ]
+        for i, block in enumerate(self.blocks):
+            setattr(self, f"block{i}", block)
+        self.norm = LayerNorm(config.dim)
+        self.fc = Linear(config.dim, num_classes, rng=rng)
+
+    def forward(self, videos: np.ndarray) -> Tensor:
+        """Classify ``(B, T, H, W)`` uncompressed clips."""
+        videos = np.asarray(videos, dtype=np.float64)
+        if videos.ndim != 4:
+            raise ValueError("videos must have shape (B, T, H, W)")
+        tokens = self.tube_embed(videos)
+        tokens = tokens + self.pos_embed
+        for block in self.blocks:
+            tokens = block(tokens)
+        pooled = self.norm(tokens).mean(axis=1)
+        return self.fc(pooled)

@@ -1,0 +1,79 @@
+"""``repro.nn`` — NumPy autodiff and neural-network substrate.
+
+This package replaces the deep-learning framework the paper used
+(PyTorch + CUDA) with a self-contained reverse-mode autodiff engine,
+layers, and optimisers sufficient to train every model in the
+reproduction: the CE-optimized ViT, the learnable coded-exposure
+pattern, and the SVC2D / C3D / VideoMAE-ST baselines.
+"""
+
+from .tensor import Tensor, concatenate, no_grad, stack, where
+from . import functional
+from .modules import (
+    Dropout,
+    Embedding,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .attention import (
+    MultiHeadAttention,
+    PositionalEmbedding,
+    TransformerBlock,
+    sinusoidal_position_encoding,
+)
+from .conv import AvgPool2d, Conv2d, Conv3d, GlobalAveragePool, MaxPool3d
+from .optim import (
+    AdamW,
+    CosineWithWarmup,
+    LRScheduler,
+    Optimizer,
+    SGD,
+    StepDecay,
+    clip_grad_norm,
+)
+from .serialization import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "no_grad",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "Identity",
+    "Embedding",
+    "GELU",
+    "ReLU",
+    "MLP",
+    "MultiHeadAttention",
+    "TransformerBlock",
+    "PositionalEmbedding",
+    "sinusoidal_position_encoding",
+    "Conv2d",
+    "Conv3d",
+    "AvgPool2d",
+    "MaxPool3d",
+    "GlobalAveragePool",
+    "Optimizer",
+    "SGD",
+    "AdamW",
+    "LRScheduler",
+    "CosineWithWarmup",
+    "StepDecay",
+    "clip_grad_norm",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,96 @@
+"""Multi-head self-attention and transformer blocks.
+
+These are the building blocks of the CE-optimized ViT (paper Sec. IV) and
+of the VideoMAE-ST style video baseline (paper Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .modules import Dropout, LayerNorm, Linear, MLP, Module, Parameter
+from .tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head self-attention (MHA in Fig. 4 of the paper)."""
+
+    def __init__(self, dim: int, num_heads: int, dropout_p: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} must be divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+        self.qkv = Linear(dim, dim * 3, rng=rng)
+        self.proj = Linear(dim, dim, rng=rng)
+        self.drop = Dropout(dropout_p, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, tokens, dim = x.shape
+        qkv = self.qkv(x)  # (B, T, 3*D)
+        qkv = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, Dh)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (B, H, T, T)
+        attn = F.softmax(scores, axis=-1)
+        attn = self.drop(attn)
+        out = attn @ v  # (B, H, T, Dh)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, tokens, dim)
+        return self.drop(self.proj(out))
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block: LN -> MHA -> LN -> MLP, residual."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float = 4.0,
+                 dropout_p: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, dropout_p, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.mlp = MLP(dim, int(dim * mlp_ratio), dropout_p, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+
+def sinusoidal_position_encoding(num_positions: int, dim: int) -> np.ndarray:
+    """Fixed sinusoidal positional embedding table of shape (num_positions, dim)."""
+    position = np.arange(num_positions)[:, None]
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    table = np.zeros((num_positions, dim))
+    table[:, 0::2] = np.sin(position * div)
+    table[:, 1::2] = np.cos(position * div[: table[:, 1::2].shape[1]])
+    return table
+
+
+class PositionalEmbedding(Module):
+    """Learnable positional embedding added to the token sequence."""
+
+    def __init__(self, num_positions: int, dim: int, learnable: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        table = sinusoidal_position_encoding(num_positions, dim)
+        if learnable:
+            self.table = Parameter(table)
+        else:
+            self._fixed = Tensor(table)
+            self.table = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        tokens = x.shape[1]
+        table = self.table if self.table is not None else self._fixed
+        return x + table[:tokens]

@@ -1,0 +1,247 @@
+"""Convolution and pooling layers (im2col-based).
+
+Needed for the paper's baselines: C3D (3-D convolutions over video), SVC2D
+(shift-variant 2-D convolution over coded images), and the spatial
+downsampling baseline (average pooling).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .modules import Module, Parameter
+from .tensor import Tensor
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return tuple(value)
+    return (value, value)
+
+
+def _triple(value) -> Tuple[int, int, int]:
+    if isinstance(value, (tuple, list)):
+        return tuple(value)
+    return (value, value, value)
+
+
+def _im2col2d(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
+              padding: Tuple[int, int]) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold (B, C, H, W) into columns (B, out_h*out_w, C*kh*kw)."""
+    batch, channels, height, width = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out_h = (x.shape[2] - kh) // sh + 1
+    out_w = (x.shape[3] - kw) // sw + 1
+    strides = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, out_h, out_w, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw,
+                 strides[2], strides[3]),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h * out_w, channels * kh * kw)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def _col2im2d(cols: np.ndarray, x_shape, kernel, stride, padding) -> np.ndarray:
+    """Adjoint of :func:`_im2col2d`; scatters column gradients back."""
+    batch, channels, height, width = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw))
+    out_h = (padded.shape[2] - kh) // sh + 1
+    out_w = (padded.shape[3] - kw) // sw + 1
+    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw] += \
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+    if ph or pw:
+        return padded[:, :, ph:ph + height, pw:pw + width]
+    return padded
+
+
+class Conv2d(Module):
+    """2-D convolution over inputs of shape (B, C, H, W)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        kh, kw = self.kernel_size
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kh, kw), rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x_data = x.data
+        cols, (out_h, out_w) = _im2col2d(x_data, self.kernel_size, self.stride,
+                                         self.padding)
+        weight = self.weight
+        bias = self.bias
+        w_mat = weight.data.reshape(self.out_channels, -1)  # (O, C*kh*kw)
+        out_data = cols @ w_mat.T  # (B, L, O)
+        if bias is not None:
+            out_data = out_data + bias.data
+        batch = x_data.shape[0]
+        out_data = out_data.transpose(0, 2, 1).reshape(batch, self.out_channels,
+                                                       out_h, out_w)
+        x_shape = x_data.shape
+        kernel, stride, padding = self.kernel_size, self.stride, self.padding
+        module = self
+
+        def backward(grad):
+            grad_mat = grad.reshape(batch, module.out_channels, -1).transpose(0, 2, 1)
+            if weight.requires_grad:
+                grad_w = np.einsum("blo,blk->ok", grad_mat, cols)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad_mat.sum(axis=(0, 1)))
+            if x.requires_grad:
+                grad_cols = grad_mat @ w_mat
+                x._accumulate(_col2im2d(grad_cols, x_shape, kernel, stride, padding))
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+        return x._make(out_data, parents, backward)
+
+
+class Conv3d(Module):
+    """3-D convolution over inputs of shape (B, C, T, H, W).
+
+    Implemented by folding the temporal kernel into a loop of 2-D im2col
+    convolutions, which keeps memory bounded on the small video clips used
+    in this reproduction.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _triple(kernel_size)
+        self.stride = _triple(stride)
+        self.padding = _triple(padding)
+        kt, kh, kw = self.kernel_size
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kt, kh, kw), rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        kt, kh, kw = self.kernel_size
+        st, sh, sw = self.stride
+        pt, ph, pw = self.padding
+        x_data = x.data
+        batch, channels, frames, height, width = x_data.shape
+        if pt:
+            x_pad = np.pad(x_data, ((0, 0), (0, 0), (pt, pt), (0, 0), (0, 0)))
+        else:
+            x_pad = x_data
+        out_t = (x_pad.shape[2] - kt) // st + 1
+
+        # Treat (C, kt) as an expanded channel dimension and run a 2-D conv
+        # per temporal output index.
+        w_mat = self.weight.data.reshape(self.out_channels, -1)  # (O, C*kt*kh*kw)
+        weight, bias = self.weight, self.bias
+
+        cols_per_t = []
+        out_frames = []
+        for t_out in range(out_t):
+            window = x_pad[:, :, t_out * st:t_out * st + kt]  # (B, C, kt, H, W)
+            stacked = window.reshape(batch, channels * kt, height, width)
+            cols, (out_h, out_w) = _im2col2d(stacked, (kh, kw), (sh, sw), (ph, pw))
+            cols_per_t.append(cols)
+            frame = cols @ w_mat.T
+            if bias is not None:
+                frame = frame + bias.data
+            out_frames.append(frame.transpose(0, 2, 1).reshape(
+                batch, self.out_channels, out_h, out_w))
+        out_data = np.stack(out_frames, axis=2)  # (B, O, T', H', W')
+
+        x_shape = x_data.shape
+        stacked_shape = (batch, channels * kt, height, width)
+        module = self
+
+        def backward(grad):
+            grad_w_total = np.zeros_like(w_mat)
+            grad_x_pad = np.zeros_like(x_pad) if x.requires_grad else None
+            for t_out in range(out_t):
+                grad_frame = grad[:, :, t_out]
+                grad_mat = grad_frame.reshape(batch, module.out_channels, -1)
+                grad_mat = grad_mat.transpose(0, 2, 1)
+                cols = cols_per_t[t_out]
+                if weight.requires_grad:
+                    grad_w_total += np.einsum("blo,blk->ok", grad_mat, cols)
+                if bias is not None and bias.requires_grad:
+                    bias._accumulate(grad_mat.sum(axis=(0, 1)))
+                if grad_x_pad is not None:
+                    grad_cols = grad_mat @ w_mat
+                    grad_stacked = _col2im2d(grad_cols, stacked_shape,
+                                             (kh, kw), (sh, sw), (ph, pw))
+                    grad_x_pad[:, :, t_out * st:t_out * st + kt] += \
+                        grad_stacked.reshape(batch, channels, kt, height, width)
+            if weight.requires_grad:
+                weight._accumulate(grad_w_total.reshape(weight.shape))
+            if grad_x_pad is not None:
+                if pt:
+                    x._accumulate(grad_x_pad[:, :, pt:pt + frames])
+                else:
+                    x._accumulate(grad_x_pad)
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+        return x._make(out_data, parents, backward)
+
+
+class AvgPool2d(Module):
+    """Average pooling over non-overlapping windows (B, C, H, W)."""
+
+    def __init__(self, kernel_size):
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        kh, kw = self.kernel_size
+        batch, channels, height, width = x.shape
+        out_h, out_w = height // kh, width // kw
+        view = x.reshape(batch, channels, out_h, kh, out_w, kw)
+        return view.mean(axis=(3, 5))
+
+
+class MaxPool3d(Module):
+    """Max pooling over non-overlapping 3-D windows (B, C, T, H, W)."""
+
+    def __init__(self, kernel_size):
+        super().__init__()
+        self.kernel_size = _triple(kernel_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        kt, kh, kw = self.kernel_size
+        batch, channels, frames, height, width = x.shape
+        out_t, out_h, out_w = frames // kt, height // kh, width // kw
+        view = x[:, :, :out_t * kt, :out_h * kh, :out_w * kw]
+        view = view.reshape(batch, channels, out_t, kt, out_h, kh, out_w, kw)
+        return view.max(axis=(3, 5, 7))
+
+
+class GlobalAveragePool(Module):
+    """Average over all spatial (and temporal) dims, keeping (B, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = tuple(range(2, x.ndim))
+        return x.mean(axis=axes)

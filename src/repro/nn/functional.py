@@ -1,0 +1,128 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    max_val = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - max_val
+    logsumexp = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - logsumexp
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy between ``logits`` of shape (B, C) and integer targets.
+
+    Parameters
+    ----------
+    logits:
+        Unnormalised class scores, shape ``(batch, num_classes)``.
+    targets:
+        Integer class indices of shape ``(batch,)``.
+    label_smoothing:
+        Standard label-smoothing factor in [0, 1).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    batch, num_classes = logits.shape
+    log_probs = log_softmax(logits, axis=-1)
+    one_hot = np.zeros((batch, num_classes))
+    one_hot[np.arange(batch), targets] = 1.0
+    if label_smoothing > 0.0:
+        one_hot = one_hot * (1.0 - label_smoothing) + label_smoothing / num_classes
+    nll = -(log_probs * Tensor(one_hot)).sum(axis=-1)
+    return nll.mean()
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error, the loss used for reconstruction pre-training."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target) -> Tensor:
+    """Mean absolute error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout.  Identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    return x * Tensor(mask)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-6) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centred = x - mean
+    variance = (centred * centred).mean(axis=-1, keepdims=True)
+    normalised = centred / (variance + eps).sqrt()
+    return normalised * weight + bias
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy (clip-1 crop-1 in the paper's terms)."""
+    predictions = np.argmax(logits.data, axis=-1)
+    targets = np.asarray(targets)
+    return float(np.mean(predictions == targets))
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer indices -> one-hot matrix."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros((indices.shape[0], num_classes))
+    out[np.arange(indices.shape[0]), indices] = 1.0
+    return out
+
+
+def grad_check(func, inputs, eps: float = 1e-5, rtol: float = 1e-4,
+               atol: float = 1e-6) -> bool:
+    """Numerical gradient check used by the test suite.
+
+    ``func`` maps a list of Tensors to a scalar Tensor.  Returns True if
+    the analytic gradients match central finite differences.
+    """
+    output = func(*inputs)
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = func(*inputs)
+    output.backward()
+    for tensor in inputs:
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad
+        numeric = np.zeros_like(tensor.data)
+        flat = tensor.data.reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = func(*inputs).data
+            flat[i] = original - eps
+            minus = func(*inputs).data
+            flat[i] = original
+            numeric_flat[i] = (plus - minus) / (2 * eps)
+        if not np.allclose(analytic, numeric, rtol=rtol, atol=atol):
+            return False
+    return True

@@ -1,0 +1,45 @@
+"""Weight initialisation schemes used across the model zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform init for linear layers."""
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """He-normal init, appropriate for ReLU-family activations."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def truncated_normal(shape, rng: np.random.Generator, std: float = 0.02,
+                     bound: float = 2.0) -> np.ndarray:
+    """Truncated normal init, the default for ViT weights."""
+    values = rng.normal(0.0, std, size=shape)
+    return np.clip(values, -bound * std, bound * std)
+
+
+def zeros(shape, rng: np.random.Generator = None) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape, rng: np.random.Generator = None) -> np.ndarray:
+    return np.ones(shape)
+
+
+def _fans(shape):
+    shape = tuple(shape)
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # Conv kernels: (out, in, *spatial)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

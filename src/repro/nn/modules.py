@@ -1,0 +1,204 @@
+"""Module / parameter abstractions and the basic layers.
+
+Every trainable component in the reproduction (ViT blocks, conv baselines,
+task heads, the learnable CE pattern) is built from these primitives.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable state of a :class:`Module`."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Provides parameter registration/iteration, train/eval mode, and
+    state-dict export/import (NumPy ``.npz`` friendly).
+    """
+
+    def __init__(self):
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # -- attribute magic so assignment registers parameters/submodules --
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars (paper reports 22M / 87M)."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: np.array(param.data, copy=True)
+                for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(f"state_dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            if name in state:
+                if param.data.shape != state[name].shape:
+                    raise ValueError(f"shape mismatch for {name}: "
+                                     f"{param.data.shape} vs {state[name].shape}")
+                param.data[...] = state[name]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = list(modules)
+        for i, module in enumerate(modules):
+            setattr(self, f"layer{i}", module)
+
+    def forward(self, x):
+        for module in self.layers:
+            x = module(x)
+        return x
+
+
+class Identity(Module):
+    """No-op module; useful for ablation switches."""
+
+    def forward(self, x):
+        return x
+
+
+class Linear(Module):
+    """Fully-connected layer: ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.truncated_normal((in_features, out_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-6):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.0, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, rng=self.rng)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(init.truncated_normal((num_embeddings, dim), rng))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        return self.weight[indices]
+
+
+class MLP(Module):
+    """Transformer feed-forward block (Linear -> GELU -> Linear)."""
+
+    def __init__(self, dim: int, hidden_dim: int, dropout_p: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.fc1 = Linear(dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, dim, rng=rng)
+        self.drop = Dropout(dropout_p, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.drop(self.fc2(self.drop(self.fc1(x).gelu())))

@@ -1,0 +1,37 @@
+"""Checkpoint save/load for modules (NumPy ``.npz`` based)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from .modules import Module
+
+
+def save_checkpoint(module: Module, path, metadata: Optional[Dict] = None) -> None:
+    """Serialise a module's parameters (and optional JSON metadata) to ``path``.
+
+    The checkpoint is a single ``.npz`` archive whose keys are the dotted
+    parameter names; metadata is stored under the reserved key
+    ``__metadata__`` as a JSON string.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    payload = dict(state)
+    payload["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(module: Module, path, strict: bool = True) -> Dict:
+    """Load parameters saved by :func:`save_checkpoint`; returns the metadata."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        metadata_bytes = archive["__metadata__"].tobytes() if "__metadata__" in archive else b"{}"
+        state = {key: archive[key] for key in archive.files if key != "__metadata__"}
+    module.load_state_dict(state, strict=strict)
+    return json.loads(metadata_bytes.decode("utf-8"))

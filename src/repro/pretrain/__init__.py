@@ -1,0 +1,11 @@
+"""``repro.pretrain`` — coded-image-to-video masked pre-training (paper Sec. IV)."""
+
+from .masking import random_tile_masking, select_target_frames
+from .pretrainer import MaskedPretrainer, PretrainHistory
+
+__all__ = [
+    "random_tile_masking",
+    "select_target_frames",
+    "MaskedPretrainer",
+    "PretrainHistory",
+]

@@ -1,0 +1,64 @@
+"""Random tile masking for the coded-image-to-video pre-training (paper Sec. IV).
+
+The pre-training randomly masks a large fraction (85 % in the paper) of
+the coded image's tiles; the encoder sees only the visible tiles and the
+decoder must reconstruct the original video, forcing the model to learn
+both spatial scene structure (fill in masked tiles) and temporal
+dynamics (upsample the CE-coded temporal signal).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def random_tile_masking(num_patches: int, mask_ratio: float,
+                        rng: Optional[np.random.Generator] = None
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample a random mask over patch indices.
+
+    Parameters
+    ----------
+    num_patches:
+        Total number of patch tokens in the coded image.
+    mask_ratio:
+        Fraction of patches to mask (hide from the encoder).  At least
+        one patch is always kept visible.
+
+    Returns
+    -------
+    ``(keep_indices, masked_indices)`` — both sorted ascending.
+    """
+    if not 0.0 <= mask_ratio < 1.0:
+        raise ValueError("mask_ratio must be in [0, 1)")
+    if num_patches < 1:
+        raise ValueError("num_patches must be >= 1")
+    rng = rng or np.random.default_rng()
+    num_masked = min(int(round(num_patches * mask_ratio)), num_patches - 1)
+    permutation = rng.permutation(num_patches)
+    masked = np.sort(permutation[:num_masked])
+    keep = np.sort(permutation[num_masked:])
+    return keep, masked
+
+
+def select_target_frames(num_frames: int, target_fraction: float = 0.5,
+                         rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Pick the subset of frames used as the reconstruction target.
+
+    The paper predicts only 50 % of the video frames during pre-training
+    to accelerate it (following VideoMAE v2's dual masking); this helper
+    selects an evenly-spread subset of frame indices.
+    """
+    if not 0.0 < target_fraction <= 1.0:
+        raise ValueError("target_fraction must be in (0, 1]")
+    num_targets = max(1, int(round(num_frames * target_fraction)))
+    if num_targets >= num_frames:
+        return np.arange(num_frames)
+    # Evenly spaced deterministic selection keeps temporal coverage; a
+    # random phase (when an rng is supplied) avoids always dropping the
+    # same frames.
+    offset = 0 if rng is None else int(rng.integers(0, num_frames // num_targets))
+    indices = offset + np.round(np.linspace(0, num_frames - 1 - offset, num_targets)).astype(int)
+    return np.unique(np.clip(indices, 0, num_frames - 1))

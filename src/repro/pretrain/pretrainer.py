@@ -1,0 +1,147 @@
+"""Coded-image-to-video masked pre-training (Eqn. 3 of the paper).
+
+    Y_hat = D(E(random_masking(f(Y))))
+
+where ``f`` is the CE operator, ``E``/``D`` the ViT encoder/decoder, and
+the loss is MSE against the original (uncompressed) video.  Unlike
+image-to-image (MAE) or video-to-video (VideoMAE) pre-training, the
+input is a *coded image* and the target is a *video*, so the model must
+learn temporal upsampling in addition to spatial in-painting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..ce import CodedExposureSensor
+from ..data import BatchLoader
+from ..models import MaskedAutoencoder, ViTConfig, ViTEncoder, video_to_patches
+from ..nn import AdamW, CosineWithWarmup, Tensor, clip_grad_norm
+from ..nn import functional as F
+from .masking import random_tile_masking, select_target_frames
+
+
+@dataclass
+class PretrainHistory:
+    """Per-epoch pre-training records."""
+
+    losses: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class MaskedPretrainer:
+    """Runs the CE-optimized reconstruction pre-training.
+
+    Parameters
+    ----------
+    config:
+        ViT configuration shared by the pre-training encoder and the
+        downstream fine-tuned model.
+    sensor:
+        The CE sensor producing coded images from clips.
+    num_frames:
+        Clip length ``T`` of the pre-training videos.
+    mask_ratio:
+        Fraction of coded-image tiles hidden from the encoder (0.85 in
+        the paper).
+    target_frame_fraction:
+        Fraction of video frames predicted (0.5 in the paper).
+    normalize_targets:
+        Normalise each target patch (over its ``T * patch * patch`` pixels)
+        to zero mean and unit variance before the MSE, the standard
+        MAE/VideoMAE trick.  Without it the optimal constant prediction is
+        the dataset mean, which lets the encoder collapse to a trivial
+        representation at reproduction scale.
+    """
+
+    def __init__(self, config: ViTConfig, sensor: CodedExposureSensor,
+                 num_frames: int, mask_ratio: float = 0.85,
+                 target_frame_fraction: float = 0.5,
+                 decoder_dim: int = 48, decoder_depth: int = 1,
+                 lr: float = 3e-3, weight_decay: float = 0.01,
+                 epochs: int = 5, batch_size: int = 8, grad_clip: float = 1.0,
+                 normalize_targets: bool = True,
+                 seed: int = 0):
+        self.config = config
+        self.sensor = sensor
+        self.num_frames = num_frames
+        self.mask_ratio = mask_ratio
+        self.target_frame_fraction = target_frame_fraction
+        self.normalize_targets = normalize_targets
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.grad_clip = grad_clip
+        self._rng = np.random.default_rng(seed)
+        self.model = MaskedAutoencoder(config, num_output_frames=num_frames,
+                                       decoder_dim=decoder_dim,
+                                       decoder_depth=decoder_depth,
+                                       rng=np.random.default_rng(seed))
+        self.optimizer = AdamW(self.model.parameters(), lr=lr,
+                               weight_decay=weight_decay)
+        self.scheduler = CosineWithWarmup(self.optimizer, warmup_epochs=1,
+                                          total_epochs=max(1, epochs))
+
+    # ------------------------------------------------------------------
+    def pretrain_step(self, videos: np.ndarray) -> float:
+        """One gradient step on a batch of clips; returns the loss."""
+        coded = self.sensor.capture(videos)
+        targets = video_to_patches(videos, self.config.patch_size)
+        if self.normalize_targets:
+            mean = targets.mean(axis=-1, keepdims=True)
+            std = targets.std(axis=-1, keepdims=True)
+            targets = (targets - mean) / (std + 1e-6)
+        num_patches = self.config.num_patches
+        keep, masked = random_tile_masking(num_patches, self.mask_ratio, self._rng)
+        target_frames = select_target_frames(self.num_frames,
+                                             self.target_frame_fraction, self._rng)
+
+        prediction = self.model(coded, keep_indices=keep)  # (B, N, T*P*P)
+        patch_pixels = self.config.patch_size ** 2
+
+        # Build the loss mask: only masked tiles and only the selected
+        # target frames contribute, as in the paper's dual-masked MSE.
+        weight = np.zeros((1, num_patches, self.num_frames * patch_pixels))
+        frame_mask = np.zeros(self.num_frames)
+        frame_mask[target_frames] = 1.0
+        frame_weights = np.repeat(frame_mask, patch_pixels)
+        weight[0, masked, :] = frame_weights
+        total_weight = weight.sum() * videos.shape[0]
+        if total_weight == 0:
+            return 0.0
+
+        diff = prediction - Tensor(targets)
+        loss = (diff * diff * Tensor(weight)).sum() / float(total_weight)
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.grad_clip:
+            clip_grad_norm(self.model.parameters(), self.grad_clip)
+        self.optimizer.step()
+        return float(loss.data)
+
+    # ------------------------------------------------------------------
+    def fit(self, videos: np.ndarray) -> PretrainHistory:
+        """Pre-train on an unlabelled clip array of shape ``(N, T, H, W)``."""
+        loader = BatchLoader(videos, batch_size=self.batch_size, shuffle=True,
+                             seed=int(self._rng.integers(0, 2 ** 31)))
+        history = PretrainHistory()
+        for _ in range(self.epochs):
+            start = time.perf_counter()
+            epoch_losses = [self.pretrain_step(batch) for batch in loader]
+            history.losses.append(float(np.mean(epoch_losses)))
+            history.epoch_seconds.append(time.perf_counter() - start)
+            self.scheduler.step()
+        return history
+
+    # ------------------------------------------------------------------
+    @property
+    def encoder(self) -> ViTEncoder:
+        """The pre-trained encoder, ready to initialise a fine-tuning model."""
+        return self.model.encoder

@@ -1,0 +1,37 @@
+"""``repro.tasks`` — downstream tasks: action recognition and reconstruction."""
+
+from .metrics import (
+    confusion_matrix,
+    mean_absolute_error,
+    mean_per_class_accuracy,
+    per_class_accuracy,
+    psnr,
+    ssim,
+    top1_accuracy,
+    topk_accuracy,
+)
+from .training import (
+    ActionRecognitionTrainer,
+    TrainingHistory,
+    measure_inference_throughput,
+)
+from .reconstruction import ReconstructionHistory, ReconstructionTrainer
+from .robustness import accuracy_retention, evaluate_under_noise
+
+__all__ = [
+    "evaluate_under_noise",
+    "accuracy_retention",
+    "top1_accuracy",
+    "topk_accuracy",
+    "per_class_accuracy",
+    "mean_per_class_accuracy",
+    "psnr",
+    "ssim",
+    "mean_absolute_error",
+    "confusion_matrix",
+    "ActionRecognitionTrainer",
+    "TrainingHistory",
+    "measure_inference_throughput",
+    "ReconstructionTrainer",
+    "ReconstructionHistory",
+]

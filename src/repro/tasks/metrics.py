@@ -1,0 +1,128 @@
+"""Evaluation metrics: clip-1 crop-1 accuracy (AR) and PSNR (REC)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of clips whose argmax prediction equals the label.
+
+    This corresponds to the paper's "clip-1 crop-1 accuracy": one clip,
+    one crop, single forward pass.
+    """
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.shape[0] != labels.shape[0]:
+        raise ValueError("logits and labels must have the same batch size")
+    return float(np.mean(np.argmax(logits, axis=-1) == labels))
+
+
+def psnr(prediction: np.ndarray, target: np.ndarray, data_range: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB, the paper's reconstruction metric."""
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError("prediction and target must have the same shape")
+    mse = float(np.mean((prediction - target) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range ** 2 / mse))
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` matrix with rows = true, cols = predicted."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for true, pred in zip(labels, predictions):
+        matrix[true, pred] += 1
+    return matrix
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of clips whose label is among the ``k`` highest-scoring classes."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.shape[0] != labels.shape[0]:
+        raise ValueError("logits and labels must have the same batch size")
+    if not 1 <= k <= logits.shape[-1]:
+        raise ValueError("k must be in [1, num_classes]")
+    top_k = np.argsort(logits, axis=-1)[:, -k:]
+    return float(np.mean(np.any(top_k == labels[:, None], axis=-1)))
+
+
+def per_class_accuracy(predictions: np.ndarray, labels: np.ndarray,
+                       num_classes: int) -> np.ndarray:
+    """Accuracy of each class; classes with no test clips report NaN."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    totals = matrix.sum(axis=1).astype(np.float64)
+    correct = np.diag(matrix).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        accuracies = np.where(totals > 0, correct / totals, np.nan)
+    return accuracies
+
+
+def mean_per_class_accuracy(predictions: np.ndarray, labels: np.ndarray,
+                            num_classes: int) -> float:
+    """Mean of :func:`per_class_accuracy` over classes that appear in the labels."""
+    accuracies = per_class_accuracy(predictions, labels, num_classes)
+    valid = accuracies[~np.isnan(accuracies)]
+    return float(valid.mean()) if valid.size else float("nan")
+
+
+def mean_absolute_error(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute pixel error of a reconstruction."""
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError("prediction and target must have the same shape")
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def ssim(prediction: np.ndarray, target: np.ndarray, data_range: float = 1.0,
+         window: int = 7) -> float:
+    """Structural similarity index between two images (or image stacks).
+
+    A uniform-window SSIM over the trailing two (spatial) axes; leading
+    axes (batch, time) are averaged.  Complements PSNR for the
+    reconstruction task: PSNR measures pixel error, SSIM measures
+    preservation of local structure.
+    """
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError("prediction and target must have the same shape")
+    if prediction.ndim < 2:
+        raise ValueError("inputs must have at least two (spatial) dimensions")
+    height, width = prediction.shape[-2:]
+    if window < 1 or window > min(height, width):
+        raise ValueError("window must be in [1, min(H, W)]")
+
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+
+    def _windows(images: np.ndarray) -> np.ndarray:
+        # All window x window patches, stacked on a new axis before the
+        # spatial ones: (..., P, window, window).
+        patches = []
+        for top in range(0, height - window + 1):
+            for left in range(0, width - window + 1):
+                patches.append(images[..., top:top + window, left:left + window])
+        return np.stack(patches, axis=-3)
+
+    pred_windows = _windows(prediction)
+    target_windows = _windows(target)
+    axes = (-2, -1)
+    mu_p = pred_windows.mean(axis=axes)
+    mu_t = target_windows.mean(axis=axes)
+    var_p = pred_windows.var(axis=axes)
+    var_t = target_windows.var(axis=axes)
+    covariance = ((pred_windows - mu_p[..., None, None])
+                  * (target_windows - mu_t[..., None, None])).mean(axis=axes)
+    numerator = (2 * mu_p * mu_t + c1) * (2 * covariance + c2)
+    denominator = (mu_p ** 2 + mu_t ** 2 + c1) * (var_p + var_t + c2)
+    return float(np.mean(numerator / denominator))

@@ -1,0 +1,158 @@
+"""Action-recognition training and evaluation (the paper's AR task).
+
+The trainer is input-agnostic: models that consume coded images are fed
+through a :class:`repro.ce.CodedExposureSensor`, while video baselines
+receive the uncompressed clip, mirroring Table I's "Input" column.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..ce import CodedExposureSensor
+from ..data import BatchLoader, VideoDataset
+from ..nn import AdamW, CosineWithWarmup, Module, clip_grad_norm, no_grad
+from ..nn import functional as F
+from .metrics import top1_accuracy
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records of a training run."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    test_accuracies: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracies[-1] if self.test_accuracies else float("nan")
+
+    @property
+    def best_test_accuracy(self) -> float:
+        return max(self.test_accuracies) if self.test_accuracies else float("nan")
+
+
+class ActionRecognitionTrainer:
+    """Trains and evaluates an AR model on a :class:`VideoDataset`.
+
+    Parameters
+    ----------
+    model:
+        Any model mapping its input modality to class logits.
+    dataset:
+        The labelled video dataset.
+    sensor:
+        If given, clips are compressed to coded images by this CE sensor
+        before reaching the model (SnapPix / SVC2D path).  If None, the
+        model receives uncompressed clips (C3D / VideoMAE path).
+    lr, weight_decay, batch_size, epochs, warmup_epochs:
+        Optimisation hyper-parameters (AdamW + cosine schedule, the
+        standard ViT recipe the paper follows).
+    grad_clip:
+        Global-norm gradient clipping threshold.
+    label_smoothing:
+        Cross-entropy label smoothing.
+    seed:
+        Shuffling seed.
+    """
+
+    def __init__(self, model: Module, dataset: VideoDataset,
+                 sensor: Optional[CodedExposureSensor] = None,
+                 lr: float = 3e-3, weight_decay: float = 0.02,
+                 batch_size: int = 8, epochs: int = 10, warmup_epochs: int = 1,
+                 grad_clip: float = 1.0, label_smoothing: float = 0.0,
+                 seed: int = 0):
+        self.model = model
+        self.dataset = dataset
+        self.sensor = sensor
+        self.epochs = epochs
+        self.grad_clip = grad_clip
+        self.label_smoothing = label_smoothing
+        self.loader = BatchLoader(dataset.train_videos, dataset.train_labels,
+                                  batch_size=batch_size, shuffle=True, seed=seed)
+        self.optimizer = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
+        self.scheduler = CosineWithWarmup(self.optimizer, warmup_epochs=warmup_epochs,
+                                          total_epochs=max(1, epochs))
+
+    # ------------------------------------------------------------------
+    def _model_input(self, videos: np.ndarray) -> np.ndarray:
+        if self.sensor is None:
+            return videos
+        return self.sensor.capture(videos)
+
+    # ------------------------------------------------------------------
+    def train_epoch(self) -> float:
+        """One pass over the training set; returns the mean loss."""
+        self.model.train()
+        losses = []
+        for videos, labels in self.loader:
+            inputs = self._model_input(videos)
+            self.optimizer.zero_grad()
+            logits = self.model(inputs)
+            loss = F.cross_entropy(logits, labels,
+                                   label_smoothing=self.label_smoothing)
+            loss.backward()
+            if self.grad_clip:
+                clip_grad_norm(self.model.parameters(), self.grad_clip)
+            self.optimizer.step()
+            losses.append(float(loss.data))
+        self.scheduler.step()
+        return float(np.mean(losses))
+
+    # ------------------------------------------------------------------
+    def evaluate(self, split: str = "test") -> float:
+        """Clip-1 crop-1 accuracy on the requested split."""
+        if split == "test":
+            videos, labels = self.dataset.test_videos, self.dataset.test_labels
+        elif split == "train":
+            videos, labels = self.dataset.train_videos, self.dataset.train_labels
+        else:
+            raise ValueError("split must be 'train' or 'test'")
+        self.model.eval()
+        with no_grad():
+            logits = self.model(self._model_input(videos))
+        return top1_accuracy(logits.data, labels)
+
+    # ------------------------------------------------------------------
+    def fit(self, evaluate_every: int = 1) -> TrainingHistory:
+        """Train for the configured number of epochs, recording history."""
+        history = TrainingHistory()
+        for epoch in range(self.epochs):
+            start = time.perf_counter()
+            loss = self.train_epoch()
+            history.losses.append(loss)
+            history.epoch_seconds.append(time.perf_counter() - start)
+            if evaluate_every and (epoch + 1) % evaluate_every == 0:
+                history.train_accuracies.append(self.evaluate("train"))
+                history.test_accuracies.append(self.evaluate("test"))
+        if not history.test_accuracies:
+            history.test_accuracies.append(self.evaluate("test"))
+        return history
+
+
+def measure_inference_throughput(model: Module, example_input: np.ndarray,
+                                 batch_size: int = 8, repeats: int = 3) -> float:
+    """Inferences per second, the speed metric of Table I.
+
+    The example input's leading dimension is tiled to ``batch_size``;
+    throughput is ``batch_size * repeats / total_time``.
+    """
+    example_input = np.asarray(example_input)
+    reps = int(np.ceil(batch_size / example_input.shape[0]))
+    batch = np.concatenate([example_input] * reps, axis=0)[:batch_size]
+    model.eval()
+    with no_grad():
+        model(batch)  # warm-up
+        start = time.perf_counter()
+        for _ in range(repeats):
+            model(batch)
+        elapsed = time.perf_counter() - start
+    if elapsed <= 0:
+        return float("inf")
+    return batch_size * repeats / elapsed

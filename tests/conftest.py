@@ -1,0 +1,16 @@
+"""Shared pytest fixtures for the SnapPix reproduction test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator shared by tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_video(rng):
+    """A tiny synthetic video batch (B=2, T=8, H=16, W=16) in [0, 1]."""
+    return rng.random((2, 8, 16, 16))

@@ -1,0 +1,180 @@
+"""Tests for the design-space sweeps, trade-off analysis, and report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TradeoffPoint,
+    build_tradeoff_points,
+    edge_energy_per_clip,
+    energy_saving_summary,
+    format_markdown_table,
+    format_paper_comparison,
+    format_text_table,
+    pareto_front,
+    read_csv,
+    sweep_digital_codec_quality,
+    sweep_exposure_density,
+    sweep_exposure_slots,
+    sweep_tile_size,
+    write_csv,
+)
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+class TestSweeps:
+    def test_exposure_slot_sweep_monotone_savings(self):
+        rows = sweep_exposure_slots((4, 8, 16))
+        assert [row["num_slots"] for row in rows] == [4.0, 8.0, 16.0]
+        reductions = [row["readout_reduction"] for row in rows]
+        assert reductions == sorted(reductions)
+        long_savings = [row["long_range_saving"] for row in rows]
+        assert long_savings == sorted(long_savings)
+
+    def test_exposure_slot_sweep_with_correlation(self):
+        rows = sweep_exposure_slots((4,), frame_size=16, tile_size=4,
+                                    measure_correlation=True, num_clips=8)
+        assert "decorrelated_pattern_correlation" in rows[0]
+        assert 0.0 <= rows[0]["decorrelated_pattern_correlation"] <= 1.0
+
+    def test_exposure_slot_sweep_validation(self):
+        with pytest.raises(ValueError):
+            sweep_exposure_slots((0, 8))
+
+    def test_tile_size_sweep_reproduces_paper_crossover(self):
+        rows = sweep_tile_size((8, 14))
+        by_tile = {row["tile_size"]: row for row in rows}
+        # Paper Sec. V: at N=8 the wire bundle fits, at N=14 it exceeds the APS.
+        assert by_tile[8.0]["broadcast_exceeds_pixel"] == 0.0
+        assert by_tile[14.0]["broadcast_exceeds_pixel"] == 1.0
+        assert by_tile[8.0]["logic_fits_under_pixel"] == 1.0
+
+    def test_tile_size_sweep_wire_area_quadratic(self):
+        rows = sweep_tile_size((4, 8, 16))
+        areas = [row["broadcast_wire_area_um2"] for row in rows]
+        assert areas[1] / areas[0] == pytest.approx(4.0, rel=1e-6)
+        assert areas[2] / areas[1] == pytest.approx(4.0, rel=1e-6)
+
+    def test_tile_size_sweep_validation(self):
+        with pytest.raises(ValueError):
+            sweep_tile_size((0,))
+
+    def test_exposure_density_sweep(self):
+        rows = sweep_exposure_density((0.25, 0.5, 1.0), num_slots=8, tile_size=4,
+                                      frame_size=16, num_clips=8)
+        assert len(rows) == 3
+        by_density = {row["exposure_density"]: row for row in rows}
+        # Full exposure (the LONG EXPOSURE limit) is the most correlated.
+        assert by_density[1.0]["correlation"] >= by_density[0.25]["correlation"] - 1e-6
+        for row in rows:
+            assert 0.0 <= row["correlation"] <= 1.0
+
+    def test_exposure_density_sweep_validation(self):
+        with pytest.raises(ValueError):
+            sweep_exposure_density((0.0,), num_slots=4, tile_size=4, frame_size=8,
+                                   num_clips=4)
+
+    def test_digital_codec_sweep(self):
+        rows = sweep_digital_codec_quality((25, 75), frame_size=16, num_slots=8,
+                                           num_frames_measured=2)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["measured_compression_ratio"] > 1.0
+            # In-sensor CE always wins on total edge energy.
+            assert row["ce_saving_factor"] > 1.0
+        # Lower quality compresses harder.
+        assert rows[0]["measured_compression_ratio"] >= rows[1]["measured_compression_ratio"]
+
+
+# ----------------------------------------------------------------------
+# Trade-off analysis
+# ----------------------------------------------------------------------
+class TestTradeoff:
+    def test_edge_energy_ce_below_video(self):
+        coded = edge_energy_per_clip(112, 112, 16, coded=True)
+        video = edge_energy_per_clip(112, 112, 16, coded=False)
+        assert coded < video
+
+    def test_build_points_assigns_energy_by_input_kind(self):
+        accuracies = {"snappix_s": 0.7, "c3d": 0.6}
+        inputs = {"snappix_s": "ce", "c3d": "video"}
+        points = build_tradeoff_points(accuracies, inputs, 112, 112, 16)
+        by_system = {point.system: point for point in points}
+        assert by_system["snappix_s"].energy_j < by_system["c3d"].energy_j
+        assert by_system["snappix_s"].as_dict()["accuracy"] == 0.7
+
+    def test_build_points_missing_input_kind(self):
+        with pytest.raises(KeyError):
+            build_tradeoff_points({"x": 0.5}, {}, 32, 32, 8)
+
+    def test_pareto_front_removes_dominated(self):
+        points = [
+            TradeoffPoint("good", accuracy=0.8, energy_j=1.0),
+            TradeoffPoint("dominated", accuracy=0.7, energy_j=2.0),
+            TradeoffPoint("frugal", accuracy=0.5, energy_j=0.5),
+        ]
+        front = {point.system for point in pareto_front(points)}
+        assert front == {"good", "frugal"}
+
+    def test_pareto_front_sorted_by_energy(self):
+        points = [
+            TradeoffPoint("a", accuracy=0.9, energy_j=3.0),
+            TradeoffPoint("b", accuracy=0.5, energy_j=1.0),
+        ]
+        front = pareto_front(points)
+        assert [point.system for point in front] == ["b", "a"]
+
+    def test_energy_saving_summary_matches_paper_shape(self):
+        summary = energy_saving_summary(112, 112, 16)
+        assert summary["readout_reduction"] == pytest.approx(16.0)
+        assert summary["transmission_reduction"] == pytest.approx(16.0)
+        assert 7.0 < summary["short_range_saving"] < 8.5
+        assert 15.0 < summary["long_range_saving"] <= 16.0
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+class TestReport:
+    ROWS = [
+        {"system": "snappix", "accuracy": 0.75, "energy_j": 1.2e-5},
+        {"system": "c3d", "accuracy": 0.62, "energy_j": 5.3e-5},
+    ]
+
+    def test_text_table_contains_all_cells(self):
+        table = format_text_table(self.ROWS)
+        lines = table.splitlines()
+        assert len(lines) == 4  # header + separator + 2 rows
+        assert "snappix" in table and "c3d" in table
+        assert "accuracy" in lines[0]
+
+    def test_text_table_empty(self):
+        assert format_text_table([]) == "(no rows)"
+
+    def test_markdown_table_structure(self):
+        table = format_markdown_table(self.ROWS, columns=["system", "accuracy"])
+        lines = table.splitlines()
+        assert lines[0] == "| system | accuracy |"
+        assert lines[1].startswith("|---")
+        assert len(lines) == 4
+
+    def test_markdown_missing_column_blank(self):
+        table = format_markdown_table([{"a": 1}], columns=["a", "b"])
+        assert table.splitlines()[-1] == "| 1 |  |"
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = write_csv(self.ROWS, tmp_path / "rows.csv")
+        restored = read_csv(path)
+        assert len(restored) == 2
+        assert restored[0]["system"] == "snappix"
+        assert restored[0]["accuracy"] == pytest.approx(0.75)
+        assert restored[1]["energy_j"] == pytest.approx(5.3e-5)
+
+    def test_paper_comparison_includes_note_column_when_present(self):
+        entries = [{"quantity": "readout", "paper": "16x", "measured": 16.0,
+                    "note": "analytic"}]
+        table = format_paper_comparison(entries)
+        assert "note" in table.splitlines()[0]
+        assert format_paper_comparison([]) == "(no entries)"

@@ -1,0 +1,176 @@
+"""Tests for the video augmentation pipeline (repro.data.augmentation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    AugmentationPipeline,
+    additive_gaussian_noise,
+    brightness_contrast_jitter,
+    default_train_pipeline,
+    random_crop,
+    random_erasing,
+    random_horizontal_flip,
+    repeated_augmentation,
+    temporal_jitter,
+    temporal_reverse,
+)
+
+
+@pytest.fixture
+def clip(rng):
+    return rng.random((8, 16, 16))
+
+
+class TestSpatialAugmentations:
+    def test_random_crop_shape_and_content(self, clip, rng):
+        cropped = random_crop(clip, (8, 12), rng)
+        assert cropped.shape == (8, 8, 12)
+        # Every cropped frame must be a contiguous window of the original.
+        assert cropped.max() <= clip.max() and cropped.min() >= clip.min()
+
+    def test_random_crop_full_size_is_identity(self, clip, rng):
+        assert np.array_equal(random_crop(clip, (16, 16), rng), clip)
+
+    def test_random_crop_too_large(self, clip, rng):
+        with pytest.raises(ValueError):
+            random_crop(clip, (20, 16), rng)
+
+    def test_flip_probability_one_reverses_columns(self, clip, rng):
+        flipped = random_horizontal_flip(clip, rng, probability=1.0)
+        assert np.array_equal(flipped, clip[:, :, ::-1])
+
+    def test_flip_probability_zero_is_identity(self, clip, rng):
+        assert np.array_equal(random_horizontal_flip(clip, rng, probability=0.0), clip)
+
+    def test_flip_probability_validation(self, clip, rng):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(clip, rng, probability=1.5)
+
+    def test_random_erasing_blanks_a_region(self, rng):
+        clip = np.ones((4, 16, 16))
+        erased = random_erasing(clip, rng, max_fraction=0.25, fill=0.0)
+        assert erased.shape == clip.shape
+        assert (erased == 0.0).any()
+        # The erased window is identical across frames.
+        zero_mask = erased[0] == 0.0
+        for frame in erased:
+            assert np.array_equal(frame == 0.0, zero_mask)
+
+    def test_random_erasing_validation(self, clip, rng):
+        with pytest.raises(ValueError):
+            random_erasing(clip, rng, max_fraction=0.0)
+
+
+class TestPhotometricAugmentations:
+    def test_brightness_contrast_stays_in_range(self, clip, rng):
+        jittered = brightness_contrast_jitter(clip, rng, max_brightness=0.3,
+                                              max_contrast=0.5)
+        assert jittered.min() >= 0.0 and jittered.max() <= 1.0
+        assert jittered.shape == clip.shape
+
+    def test_zero_magnitude_jitter_is_identity(self, clip, rng):
+        unchanged = brightness_contrast_jitter(clip, rng, max_brightness=0.0,
+                                               max_contrast=0.0)
+        assert np.allclose(unchanged, clip)
+
+    def test_noise_changes_values_but_not_shape(self, clip, rng):
+        noisy = additive_gaussian_noise(clip, rng, std=0.1)
+        assert noisy.shape == clip.shape
+        assert not np.array_equal(noisy, clip)
+        assert noisy.min() >= 0.0 and noisy.max() <= 1.0
+
+    def test_zero_noise_is_identity(self, clip, rng):
+        assert np.array_equal(additive_gaussian_noise(clip, rng, std=0.0), clip)
+
+    def test_negative_magnitudes_rejected(self, clip, rng):
+        with pytest.raises(ValueError):
+            additive_gaussian_noise(clip, rng, std=-0.1)
+        with pytest.raises(ValueError):
+            brightness_contrast_jitter(clip, rng, max_brightness=-0.1)
+
+
+class TestTemporalAugmentations:
+    def test_temporal_jitter_is_contiguous_window(self, clip, rng):
+        sampled = temporal_jitter(clip, 4, rng)
+        assert sampled.shape == (4, 16, 16)
+        # The window must match some contiguous slice of the original clip.
+        matches = [np.array_equal(sampled, clip[start:start + 4])
+                   for start in range(5)]
+        assert any(matches)
+
+    def test_temporal_jitter_full_length_is_identity(self, clip, rng):
+        assert np.array_equal(temporal_jitter(clip, 8, rng), clip)
+
+    def test_temporal_jitter_validation(self, clip, rng):
+        with pytest.raises(ValueError):
+            temporal_jitter(clip, 0, rng)
+        with pytest.raises(ValueError):
+            temporal_jitter(clip, 9, rng)
+
+    def test_temporal_reverse_default_off(self, clip, rng):
+        assert np.array_equal(temporal_reverse(clip, rng), clip)
+
+    def test_temporal_reverse_probability_one(self, clip, rng):
+        assert np.array_equal(temporal_reverse(clip, rng, probability=1.0), clip[::-1])
+
+
+class TestPipelines:
+    def test_pipeline_applies_all_transforms(self, clip):
+        pipeline = AugmentationPipeline(
+            transforms=[lambda c, r: random_crop(c, (8, 8), r),
+                        lambda c, r: additive_gaussian_noise(c, r, std=0.05)],
+            seed=3)
+        out = pipeline(clip)
+        assert out.shape == (8, 8, 8)
+
+    def test_pipeline_reproducible_from_seed(self, clip):
+        def build():
+            return AugmentationPipeline(
+                transforms=[lambda c, r: random_crop(c, (8, 8), r)], seed=7)
+        assert np.array_equal(build()(clip), build()(clip))
+
+    def test_apply_batch(self, rng):
+        clips = rng.random((3, 4, 8, 8))
+        pipeline = default_train_pipeline(noise_std=0.01, seed=0)
+        out = pipeline.apply_batch(clips)
+        assert out.shape == clips.shape
+        with pytest.raises(ValueError):
+            pipeline.apply_batch(clips[0])
+
+    def test_default_pipeline_with_crop(self, clip):
+        pipeline = default_train_pipeline(crop=(12, 12), seed=0)
+        assert pipeline(clip).shape == (8, 12, 12)
+
+    def test_repeated_augmentation_expands_dataset(self, rng):
+        videos = rng.random((4, 4, 8, 8))
+        labels = np.arange(4)
+        pipeline = default_train_pipeline(noise_std=0.02, seed=0)
+        expanded, expanded_labels = repeated_augmentation(videos, labels, pipeline,
+                                                          repeats=3)
+        assert expanded.shape == (12, 4, 8, 8)
+        assert np.array_equal(expanded_labels, np.tile(labels, 3))
+        # Different repeats draw different augmentations.
+        assert not np.array_equal(expanded[:4], expanded[4:8])
+
+    def test_repeated_augmentation_validation(self, rng):
+        videos = rng.random((4, 4, 8, 8))
+        labels = np.arange(4)
+        pipeline = default_train_pipeline(seed=0)
+        with pytest.raises(ValueError):
+            repeated_augmentation(videos, labels, pipeline, repeats=0)
+        with pytest.raises(ValueError):
+            repeated_augmentation(videos, labels[:2], pipeline)
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_repeated_augmentation_length_property(self, repeats):
+        rng = np.random.default_rng(repeats)
+        videos = rng.random((3, 2, 8, 8))
+        labels = np.arange(3)
+        pipeline = default_train_pipeline(seed=repeats)
+        expanded, expanded_labels = repeated_augmentation(videos, labels, pipeline,
+                                                          repeats=repeats)
+        assert len(expanded) == 3 * repeats == len(expanded_labels)

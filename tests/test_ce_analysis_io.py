@@ -1,0 +1,175 @@
+"""Tests for CE pattern analysis and serialisation (repro.ce.analysis / .io)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ce import (
+    CEConfig,
+    PatternBundle,
+    code_diversity,
+    compare_patterns,
+    dead_pixel_fraction,
+    load_pattern,
+    long_exposure_pattern,
+    make_pattern,
+    mean_pairwise_hamming,
+    pattern_to_text,
+    per_pixel_exposure_counts,
+    per_slot_density,
+    random_pattern,
+    save_pattern,
+    sparse_random_pattern,
+    summarize_pattern,
+    temporal_coverage,
+)
+
+
+@pytest.fixture
+def random_tile_pattern(rng):
+    return random_pattern(8, 4, probability=0.5, rng=rng)
+
+
+# ----------------------------------------------------------------------
+# Analysis
+# ----------------------------------------------------------------------
+class TestPatternAnalysis:
+    def test_per_slot_density_long_exposure(self):
+        pattern = long_exposure_pattern(8, 4)
+        assert np.allclose(per_slot_density(pattern), 1.0)
+
+    def test_per_pixel_counts_sparse_random(self, rng):
+        pattern = sparse_random_pattern(16, 8, rng=rng)
+        counts = per_pixel_exposure_counts(pattern)
+        # Each pixel is exposed exactly once across the T slots.
+        assert np.all(counts == 1)
+
+    def test_temporal_coverage_full_for_long_exposure(self):
+        assert temporal_coverage(long_exposure_pattern(8, 4)) == 1.0
+
+    def test_dead_pixel_fraction_zero_for_long_exposure(self):
+        assert dead_pixel_fraction(long_exposure_pattern(8, 4)) == 0.0
+
+    def test_hamming_zero_when_all_codes_identical(self):
+        assert mean_pairwise_hamming(long_exposure_pattern(8, 4)) == 0.0
+
+    def test_hamming_positive_for_random_pattern(self, random_tile_pattern):
+        assert mean_pairwise_hamming(random_tile_pattern) > 0.0
+
+    def test_code_diversity_bounds(self, random_tile_pattern):
+        diversity = code_diversity(random_tile_pattern)
+        assert 0.0 < diversity <= 1.0
+        assert code_diversity(long_exposure_pattern(8, 4)) == pytest.approx(1 / 16)
+
+    def test_single_pixel_tile_hamming_is_zero(self):
+        pattern = np.ones((4, 1, 1))
+        assert mean_pairwise_hamming(pattern) == 0.0
+
+    def test_summary_fields(self, random_tile_pattern):
+        summary = summarize_pattern(random_tile_pattern)
+        as_dict = summary.as_dict()
+        assert as_dict["num_slots"] == 8
+        assert as_dict["tile_height"] == 4 and as_dict["tile_width"] == 4
+        assert 0.0 < as_dict["exposure_density"] < 1.0
+        assert as_dict["min_slot_density"] <= as_dict["max_slot_density"]
+        assert 0.0 <= as_dict["dead_pixel_fraction"] <= 1.0
+
+    def test_summary_rejects_invalid_pattern(self):
+        with pytest.raises(ValueError):
+            summarize_pattern(np.zeros((4, 4)))  # not 3-D
+        with pytest.raises(ValueError):
+            summarize_pattern(np.full((4, 4, 4), 0.5))  # not binary
+
+    def test_pattern_to_text_dimensions(self, random_tile_pattern):
+        text = pattern_to_text(random_tile_pattern)
+        blocks = text.split("\n\n")
+        assert len(blocks) == 8
+        first_rows = blocks[0].splitlines()
+        assert first_rows[0] == "slot 0:"
+        assert all(len(row) == 4 for row in first_rows[1:])
+        exposed = sum(line.count("#") for line in text.splitlines())
+        assert exposed == int(random_tile_pattern.sum())
+
+    def test_compare_patterns_rows(self, rng):
+        rows = compare_patterns({
+            "long": long_exposure_pattern(8, 4),
+            "random": random_pattern(8, 4, rng=rng),
+        })
+        assert {row["pattern"] for row in rows} == {"long", "random"}
+        by_name = {row["pattern"]: row for row in rows}
+        assert by_name["long"]["mean_pairwise_hamming"] == 0.0
+        assert by_name["random"]["mean_pairwise_hamming"] > 0.0
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_density_matches_mean_of_slot_densities(self, num_slots, tile):
+        rng = np.random.default_rng(num_slots * 100 + tile)
+        pattern = random_pattern(num_slots, tile, probability=0.6, rng=rng)
+        summary = summarize_pattern(pattern)
+        assert summary.exposure_density == pytest.approx(
+            float(np.mean(per_slot_density(pattern))))
+
+
+# ----------------------------------------------------------------------
+# Serialisation
+# ----------------------------------------------------------------------
+class TestPatternIO:
+    @pytest.fixture
+    def bundle(self, rng):
+        config = CEConfig(num_slots=8, tile_size=4, frame_height=16, frame_width=16)
+        pattern = make_pattern("random", 8, 4, rng=rng)
+        return PatternBundle(pattern=pattern, config=config,
+                             metadata={"source": "unit-test", "epochs": 3})
+
+    def test_bundle_validates_pattern_against_config(self, rng):
+        config = CEConfig(num_slots=16, tile_size=4, frame_height=16, frame_width=16)
+        with pytest.raises(ValueError):
+            PatternBundle(pattern=make_pattern("random", 8, 4, rng=rng), config=config)
+
+    def test_json_roundtrip(self, bundle, tmp_path):
+        path = save_pattern(bundle, tmp_path / "pattern.json")
+        loaded = load_pattern(path)
+        assert np.array_equal(loaded.pattern, bundle.pattern)
+        assert loaded.config == bundle.config
+        assert loaded.metadata["source"] == "unit-test"
+
+    def test_npz_roundtrip(self, bundle, tmp_path):
+        path = save_pattern(bundle, tmp_path / "pattern.npz")
+        loaded = load_pattern(path)
+        assert np.array_equal(loaded.pattern, bundle.pattern)
+        assert loaded.config.num_slots == 8
+        assert loaded.metadata["epochs"] == 3
+
+    def test_dict_roundtrip(self, bundle):
+        restored = PatternBundle.from_dict(bundle.as_dict())
+        assert np.array_equal(restored.pattern, bundle.pattern)
+        assert restored.config == bundle.config
+
+    def test_from_dict_rejects_unknown_version(self, bundle):
+        payload = bundle.as_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            PatternBundle.from_dict(payload)
+
+    def test_unsupported_extension(self, bundle, tmp_path):
+        with pytest.raises(ValueError):
+            save_pattern(bundle, tmp_path / "pattern.txt")
+        existing = tmp_path / "pattern.txt"
+        existing.write_text("not a pattern")
+        with pytest.raises(ValueError):
+            load_pattern(existing)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_pattern(tmp_path / "does_not_exist.json")
+
+    def test_loaded_pattern_reproduces_sensor_output(self, bundle, tmp_path, rng):
+        from repro.ce import CodedExposureSensor
+
+        path = save_pattern(bundle, tmp_path / "pattern.json")
+        loaded = load_pattern(path)
+        videos = rng.random((2, 8, 16, 16))
+        original = CodedExposureSensor(bundle.config, bundle.pattern).capture(videos)
+        restored = CodedExposureSensor(loaded.config, loaded.pattern).capture(videos)
+        assert np.allclose(original, restored)

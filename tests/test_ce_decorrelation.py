@@ -1,0 +1,246 @@
+"""Tests for tile statistics, zero-mean encoding, and decorrelation pattern learning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ce import (
+    CEConfig,
+    DecorrelationPatternLearner,
+    coded_pixel_correlation,
+    differentiable_correlation_loss,
+    extract_tiles,
+    learn_decorrelated_pattern,
+    long_exposure_pattern,
+    mean_absolute_offdiagonal,
+    mean_squared_offdiagonal,
+    pearson_correlation_matrix,
+    random_pattern,
+    short_exposure_pattern,
+    sparse_random_pattern,
+    straight_through_binarize,
+    video_batch_to_tiles,
+    zero_mean_contrast_encode,
+)
+from repro.nn import Parameter, Tensor
+
+
+def make_correlated_videos(num_clips=12, slots=8, size=16, seed=0):
+    """Smooth, temporally-correlated synthetic clips (natural-video-like)."""
+    rng = np.random.default_rng(seed)
+    clips = []
+    for _ in range(num_clips):
+        base = rng.random((size // 4, size // 4))
+        base = np.kron(base, np.ones((4, 4)))  # spatially smooth
+        frames = []
+        shift = rng.integers(0, 3)
+        for t in range(slots):
+            frame = np.roll(base, shift * t, axis=1)
+            frame = frame + 0.05 * rng.random((size, size))
+            frames.append(frame)
+        clips.append(np.stack(frames))
+    return np.stack(clips)
+
+
+class TestTileStatistics:
+    def test_extract_tiles_shape(self, rng):
+        images = rng.random((3, 16, 16))
+        tiles = extract_tiles(images, 4)
+        assert tiles.shape == (3 * 16, 16)
+
+    def test_extract_tiles_content(self):
+        image = np.arange(16, dtype=float).reshape(4, 4)
+        tiles = extract_tiles(image[None], 2)
+        assert np.allclose(tiles[0], [0, 1, 4, 5])  # top-left tile, row-major
+
+    def test_extract_tiles_bad_size(self, rng):
+        with pytest.raises(ValueError):
+            extract_tiles(rng.random((2, 10, 10)), 4)
+
+    def test_zero_mean_encoding(self, rng):
+        tiles = rng.random((50, 16)) + 5.0
+        encoded = zero_mean_contrast_encode(tiles)
+        assert abs(encoded.mean()) < 1e-10
+
+    def test_zero_mean_with_given_mean(self):
+        tiles = np.full((4, 4), 2.0)
+        encoded = zero_mean_contrast_encode(tiles, dataset_mean=1.5)
+        assert np.allclose(encoded, 0.5)
+
+    def test_pearson_identity_diagonal(self, rng):
+        samples = rng.random((100, 8))
+        corr = pearson_correlation_matrix(samples)
+        assert np.allclose(np.diag(corr), 1.0)
+        assert np.all(corr <= 1.0) and np.all(corr >= -1.0)
+
+    def test_pearson_perfectly_correlated(self, rng):
+        base = rng.random(200)
+        samples = np.stack([base, 2 * base + 1], axis=1)
+        corr = pearson_correlation_matrix(samples)
+        assert np.isclose(corr[0, 1], 1.0, atol=1e-6)
+
+    def test_pearson_anticorrelated(self, rng):
+        base = rng.random(200)
+        samples = np.stack([base, -base], axis=1)
+        corr = pearson_correlation_matrix(samples)
+        assert np.isclose(corr[0, 1], -1.0, atol=1e-6)
+
+    def test_pearson_independent_near_zero(self, rng):
+        samples = rng.standard_normal((5000, 2))
+        corr = pearson_correlation_matrix(samples)
+        assert abs(corr[0, 1]) < 0.1
+
+    def test_pearson_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            pearson_correlation_matrix(np.ones((1, 4)))
+
+    def test_offdiagonal_metrics(self):
+        corr = np.array([[1.0, 0.5], [0.5, 1.0]])
+        assert np.isclose(mean_squared_offdiagonal(corr), 0.25)
+        assert np.isclose(mean_absolute_offdiagonal(corr), 0.5)
+        assert mean_squared_offdiagonal(np.eye(1)) == 0.0
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=15, deadline=None)
+    def test_correlation_matrix_symmetry(self, pixels):
+        rng = np.random.default_rng(pixels)
+        samples = rng.random((64, pixels))
+        corr = pearson_correlation_matrix(samples)
+        assert np.allclose(corr, corr.T, atol=1e-10)
+
+
+class TestStraightThrough:
+    def test_forward_is_binary(self):
+        probs = Tensor(np.array([0.2, 0.6, 0.5, 0.9]), requires_grad=True)
+        hard = straight_through_binarize(probs)
+        assert np.allclose(hard.data, [0.0, 1.0, 0.0, 1.0])
+
+    def test_gradient_passes_through(self):
+        logits = Parameter(np.array([0.3, -0.4]))
+        probs = logits.sigmoid()
+        hard = straight_through_binarize(probs)
+        (hard * Tensor(np.array([2.0, 3.0]))).sum().backward()
+        # Gradient reaches the logits despite the hard threshold.
+        assert logits.grad is not None
+        assert np.all(np.abs(logits.grad) > 0)
+
+
+class TestDifferentiableCorrelationLoss:
+    def test_matches_numpy_reference(self, rng):
+        samples = rng.random((64, 6))
+        loss = differentiable_correlation_loss(Tensor(samples))
+        reference = mean_squared_offdiagonal(pearson_correlation_matrix(samples))
+        assert np.isclose(loss.data, reference, rtol=1e-2, atol=1e-3)
+
+    def test_zero_for_uncorrelated_orthogonal(self):
+        # Two orthogonal sinusoids are (empirically) uncorrelated.
+        t = np.linspace(0, 2 * np.pi, 400, endpoint=False)
+        samples = np.stack([np.sin(t), np.cos(t)], axis=1)
+        loss = differentiable_correlation_loss(Tensor(samples))
+        assert loss.data < 1e-3
+
+    def test_gradient_flows(self, rng):
+        x = Tensor(rng.random((32, 4)), requires_grad=True)
+        differentiable_correlation_loss(x).backward()
+        assert x.grad is not None
+        assert x.grad.shape == (32, 4)
+
+
+class TestVideoBatchToTiles:
+    def test_shape(self, rng):
+        videos = rng.random((3, 8, 16, 16))
+        tiles = video_batch_to_tiles(videos, 4)
+        assert tiles.shape == (3 * 16, 8, 16)
+
+    def test_consistency_with_coded_exposure(self, rng):
+        """Applying a tile pattern to tile samples == full CE then tiling."""
+        from repro.ce import coded_exposure, expand_tile_pattern
+        videos = rng.random((2, 4, 8, 8))
+        pattern = random_pattern(4, 4, rng=rng)
+        tiles = video_batch_to_tiles(videos, 4)  # (S, T, P)
+        coded_tiles = np.einsum("stp,tp->sp", tiles,
+                                pattern.reshape(4, 16))
+        full = coded_exposure(videos, expand_tile_pattern(pattern, 8, 8))
+        coded_tiles_ref = extract_tiles(full, 4)
+        assert np.allclose(np.sort(coded_tiles.ravel()),
+                           np.sort(coded_tiles_ref.ravel()))
+
+    def test_bad_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            video_batch_to_tiles(rng.random((8, 16, 16)), 4)
+
+
+class TestPatternLearning:
+    def _config(self):
+        return CEConfig(num_slots=8, tile_size=4, frame_height=16, frame_width=16)
+
+    def test_training_reduces_loss(self):
+        videos = make_correlated_videos()
+        config = self._config()
+        learner = DecorrelationPatternLearner(config, lr=0.05, seed=0)
+        losses = [learner.training_step(videos) for _ in range(30)]
+        assert losses[-1] < losses[0]
+
+    def test_learned_pattern_is_valid(self):
+        videos = make_correlated_videos()
+        config = self._config()
+        result = learn_decorrelated_pattern(videos, config, epochs=3, batch_size=6)
+        pattern = result.tile_pattern
+        assert pattern.shape == (8, 4, 4)
+        assert set(np.unique(pattern)).issubset({0.0, 1.0})
+        assert pattern.sum() > 0  # no collapse
+
+    def test_decorrelated_beats_long_and_short_exposure(self):
+        """Core claim of Sec. III: the learned pattern decorrelates coded pixels
+        better than the naive long/short exposure baselines."""
+        videos = make_correlated_videos(num_clips=16)
+        config = self._config()
+        result = learn_decorrelated_pattern(videos, config, epochs=4, batch_size=8)
+
+        def corr_of(pattern):
+            _, mean_abs, _ = coded_pixel_correlation(videos, pattern, config.tile_size)
+            return mean_abs
+
+        learned = corr_of(result.tile_pattern)
+        long_corr = corr_of(long_exposure_pattern(8, 4))
+        short_corr = corr_of(short_exposure_pattern(8, 4, period=4))
+        assert learned < long_corr
+        assert learned < short_corr
+
+    def test_correlation_history_recorded(self):
+        videos = make_correlated_videos(num_clips=8)
+        result = learn_decorrelated_pattern(videos, self._config(), epochs=2, batch_size=4)
+        assert len(result.loss_history) == len(result.correlation_history)
+        assert len(result.loss_history) > 0
+        assert np.isfinite(result.final_loss)
+
+    def test_empty_batches_raises(self):
+        learner = DecorrelationPatternLearner(self._config())
+        with pytest.raises(ValueError):
+            learner.fit([], epochs=1)
+
+    def test_measure_correlation_collapsed_pattern(self):
+        learner = DecorrelationPatternLearner(self._config(), seed=0)
+        learner.logits.data[...] = -100.0  # force all-closed pattern
+        videos = make_correlated_videos(num_clips=4)
+        assert learner.measure_correlation(videos) == 1.0
+
+
+class TestPatternCorrelationOrdering:
+    def test_long_exposure_most_correlated(self):
+        """Fig. 6 legend ordering: long/short exposure yield higher coded-pixel
+        correlation than random/sparse-random on natural-like video."""
+        videos = make_correlated_videos(num_clips=16)
+        tile = 4
+
+        def corr_of(pattern):
+            _, mean_abs, _ = coded_pixel_correlation(videos, pattern, tile)
+            return mean_abs
+
+        rng = np.random.default_rng(3)
+        long_corr = corr_of(long_exposure_pattern(8, tile))
+        rand_corr = corr_of(random_pattern(8, tile, rng=rng))
+        sparse_corr = corr_of(sparse_random_pattern(8, tile, rng=rng))
+        assert rand_corr < long_corr
+        assert sparse_corr < long_corr

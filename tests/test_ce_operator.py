@@ -1,0 +1,220 @@
+"""Tests for the coded-exposure operator, configs, and baseline patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ce import (
+    CEConfig,
+    CodedExposureSensor,
+    coded_exposure,
+    compression_ratio,
+    expand_tile_pattern,
+    exposure_counts,
+    global_random_pattern,
+    long_exposure_pattern,
+    make_pattern,
+    pattern_exposure_density,
+    random_pattern,
+    short_exposure_pattern,
+    sparse_random_pattern,
+    validate_pattern,
+)
+
+
+class TestCodedExposure:
+    def test_matches_equation_one(self, rng):
+        video = rng.random((5, 4, 4))
+        mask = (rng.random((5, 4, 4)) > 0.5).astype(float)
+        coded = coded_exposure(video, mask)
+        expected = np.zeros((4, 4))
+        for t in range(5):
+            expected += mask[t] * video[t]
+        assert np.allclose(coded, expected)
+
+    def test_batched(self, rng):
+        video = rng.random((3, 5, 4, 4))
+        mask = np.ones((5, 4, 4))
+        coded = coded_exposure(video, mask)
+        assert coded.shape == (3, 4, 4)
+        assert np.allclose(coded, video.sum(axis=1))
+
+    def test_normalize_by_exposure_counts(self, rng):
+        video = np.ones((4, 2, 2))
+        mask = np.zeros((4, 2, 2))
+        mask[:2, 0, 0] = 1.0   # pixel (0,0): 2 exposures
+        mask[:, 1, 1] = 1.0    # pixel (1,1): 4 exposures
+        coded = coded_exposure(video, mask, normalize=True)
+        assert np.isclose(coded[0, 0], 1.0)
+        assert np.isclose(coded[1, 1], 1.0)
+        assert np.isclose(coded[0, 1], 0.0)  # unexposed stays zero
+
+    def test_long_exposure_is_frame_sum(self, rng):
+        video = rng.random((8, 6, 6))
+        mask = np.ones((8, 6, 6))
+        assert np.allclose(coded_exposure(video, mask), video.sum(axis=0))
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            coded_exposure(rng.random((4, 4, 4)), np.ones((5, 4, 4)))
+
+    def test_bad_ndim_raises(self, rng):
+        with pytest.raises(ValueError):
+            coded_exposure(rng.random((4, 4)), np.ones((4, 4)))
+
+    def test_compression_ratio(self):
+        assert compression_ratio(16) == 16.0
+        with pytest.raises(ValueError):
+            compression_ratio(0)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity_property(self, slots, scale):
+        """CE is linear in the video: f(a*Y) == a*f(Y)."""
+        rng = np.random.default_rng(slots)
+        video = rng.random((slots, 4, 4))
+        mask = (rng.random((slots, 4, 4)) > 0.5).astype(float)
+        assert np.allclose(coded_exposure(video * scale, mask),
+                           scale * coded_exposure(video, mask))
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_mask_superposition_property(self, slots):
+        """CE with mask m1+m2 (disjoint) equals sum of individual CEs."""
+        rng = np.random.default_rng(slots)
+        video = rng.random((slots, 4, 4))
+        m1 = np.zeros((slots, 4, 4))
+        m2 = np.zeros((slots, 4, 4))
+        m1[: slots // 2] = 1.0
+        m2[slots // 2:] = 1.0
+        total = coded_exposure(video, m1 + m2)
+        assert np.allclose(total, coded_exposure(video, m1) + coded_exposure(video, m2))
+
+
+class TestTileExpansion:
+    def test_expand_shape(self):
+        tile = np.ones((4, 2, 2))
+        full = expand_tile_pattern(tile, 8, 6)
+        assert full.shape == (4, 8, 6)
+
+    def test_expansion_is_periodic(self, rng):
+        tile = (rng.random((3, 4, 4)) > 0.5).astype(float)
+        full = expand_tile_pattern(tile, 16, 16)
+        assert np.allclose(full[:, :4, :4], tile)
+        assert np.allclose(full[:, 4:8, 8:12], tile)
+
+    def test_non_multiple_raises(self):
+        with pytest.raises(ValueError):
+            expand_tile_pattern(np.ones((2, 3, 3)), 8, 8)
+
+    def test_bad_ndim_raises(self):
+        with pytest.raises(ValueError):
+            expand_tile_pattern(np.ones((3, 3)), 6, 6)
+
+    def test_exposure_counts(self):
+        mask = np.zeros((4, 2, 2))
+        mask[:3, 0, 0] = 1
+        counts = exposure_counts(mask)
+        assert counts[0, 0] == 3
+        assert counts[1, 1] == 0
+
+
+class TestCEConfig:
+    def test_defaults_match_paper(self):
+        config = CEConfig()
+        assert config.num_slots == 16
+        assert config.tile_size == 8
+        assert config.compression_ratio == 16.0
+        assert config.pixels_per_tile == 64
+
+    def test_tiles_per_frame(self):
+        config = CEConfig(num_slots=16, tile_size=8, frame_height=112, frame_width=112)
+        assert config.tiles_per_frame == 14 * 14
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            CEConfig(num_slots=0)
+        with pytest.raises(ValueError):
+            CEConfig(tile_size=5, frame_height=112, frame_width=112)
+
+
+class TestCodedExposureSensor:
+    def _config(self):
+        return CEConfig(num_slots=8, tile_size=4, frame_height=16, frame_width=16)
+
+    def test_capture_shapes(self, rng):
+        config = self._config()
+        sensor = CodedExposureSensor(config, random_pattern(8, 4, rng=rng))
+        video = rng.random((2, 8, 16, 16))
+        coded = sensor.capture(video)
+        assert coded.shape == (2, 16, 16)
+
+    def test_capture_single_clip(self, rng):
+        config = self._config()
+        sensor = CodedExposureSensor(config, long_exposure_pattern(8, 4))
+        coded = sensor.capture_raw(rng.random((8, 16, 16)))
+        assert coded.shape == (16, 16)
+
+    def test_wrong_pattern_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            CodedExposureSensor(self._config(), np.ones((8, 8, 8)))
+
+    def test_non_binary_pattern_raises(self):
+        pattern = np.full((8, 4, 4), 0.5)
+        with pytest.raises(ValueError):
+            CodedExposureSensor(self._config(), pattern)
+
+    def test_readout_reduction_equals_T(self, rng):
+        config = self._config()
+        sensor = CodedExposureSensor(config, random_pattern(8, 4, rng=rng))
+        assert sensor.uncompressed_pixels() / sensor.readout_pixels() == config.num_slots
+
+
+class TestPatterns:
+    def test_long_exposure_all_ones(self):
+        pattern = long_exposure_pattern(16, 8)
+        assert pattern.shape == (16, 8, 8)
+        assert pattern.sum() == 16 * 64
+
+    def test_short_exposure_every_8th(self):
+        pattern = short_exposure_pattern(16, 8, period=8)
+        assert np.allclose(pattern[0], 1.0)
+        assert np.allclose(pattern[8], 1.0)
+        assert np.allclose(pattern[1:8], 0.0)
+        assert np.isclose(pattern_exposure_density(pattern), 2 / 16)
+
+    def test_random_pattern_density(self):
+        pattern = random_pattern(16, 8, probability=0.5, rng=np.random.default_rng(0))
+        assert 0.4 < pattern_exposure_density(pattern) < 0.6
+
+    def test_random_pattern_invalid_probability(self):
+        with pytest.raises(ValueError):
+            random_pattern(16, 8, probability=1.5)
+
+    def test_sparse_random_exactly_one_exposure(self):
+        pattern = sparse_random_pattern(16, 8, rng=np.random.default_rng(0))
+        assert np.allclose(pattern.sum(axis=0), 1.0)
+
+    def test_global_pattern_not_tile_repetitive(self):
+        pattern = global_random_pattern(8, 32, 32, rng=np.random.default_rng(0))
+        assert pattern.shape == (8, 32, 32)
+        # With overwhelming probability the first two 8x8 tiles differ.
+        assert not np.allclose(pattern[:, :8, :8], pattern[:, :8, 8:16])
+
+    def test_make_pattern_dispatch(self):
+        for name in ("long_exposure", "short_exposure", "random", "sparse_random"):
+            pattern = make_pattern(name, 16, 8, rng=np.random.default_rng(1))
+            validate_pattern(pattern, num_slots=16)
+
+    def test_make_pattern_unknown(self):
+        with pytest.raises(KeyError):
+            make_pattern("nonexistent", 16, 8)
+
+    def test_validate_pattern_rejects_collapsed(self):
+        with pytest.raises(ValueError):
+            validate_pattern(np.zeros((4, 2, 2)))
+
+    def test_validate_pattern_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            validate_pattern(np.full((4, 2, 2), 0.3))

@@ -1,0 +1,134 @@
+"""Property-based tests of the coded-exposure operator's invariants (Eqn. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ce import (
+    CEConfig,
+    CodedExposureSensor,
+    coded_exposure,
+    compression_ratio,
+    expand_tile_pattern,
+    exposure_counts,
+    long_exposure_pattern,
+    make_pattern,
+    random_pattern,
+    sparse_random_pattern,
+    straight_through_binarize,
+)
+
+
+def _random_mask(rng, num_slots, size):
+    mask = rng.integers(0, 2, size=(num_slots, size, size)).astype(float)
+    mask[0, 0, 0] = 1.0  # avoid a fully-closed mask
+    return mask
+
+
+class TestCodedExposureInvariants:
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=4, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_direct_sum_formula(self, num_slots, size):
+        rng = np.random.default_rng(num_slots * 100 + size)
+        video = rng.random((2, num_slots, size, size))
+        mask = _random_mask(rng, num_slots, size)
+        coded = coded_exposure(video, mask, normalize=False)
+        direct = np.einsum("btij,tij->bij", video, mask)
+        assert np.allclose(coded, direct)
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity_without_normalisation(self, num_slots):
+        rng = np.random.default_rng(num_slots)
+        size = 8
+        mask = _random_mask(rng, num_slots, size)
+        video_a = rng.random((1, num_slots, size, size))
+        video_b = rng.random((1, num_slots, size, size))
+        alpha, beta = 0.3, 1.7
+        combined = coded_exposure(alpha * video_a + beta * video_b, mask,
+                                  normalize=False)
+        separate = (alpha * coded_exposure(video_a, mask, normalize=False)
+                    + beta * coded_exposure(video_b, mask, normalize=False))
+        assert np.allclose(combined, separate)
+
+    def test_long_exposure_with_normalisation_is_temporal_mean(self, rng):
+        video = rng.random((3, 8, 16, 16))
+        mask = expand_tile_pattern(long_exposure_pattern(8, 4), 16, 16)
+        coded = coded_exposure(video, mask, normalize=True)
+        assert np.allclose(coded, video.mean(axis=1))
+
+    def test_output_bounded_by_exposure_counts(self, rng):
+        video = rng.random((2, 8, 16, 16))  # values in [0, 1]
+        mask = _random_mask(rng, 8, 16)
+        coded = coded_exposure(video, mask, normalize=False)
+        counts = exposure_counts(mask)
+        assert np.all(coded <= counts + 1e-12)
+        assert np.all(coded >= 0.0)
+
+    def test_normalised_output_stays_in_unit_range(self, rng):
+        config = CEConfig(num_slots=8, tile_size=4, frame_height=16, frame_width=16)
+        sensor = CodedExposureSensor(config, random_pattern(8, 4, rng=rng))
+        video = rng.random((4, 8, 16, 16))
+        coded = sensor.capture(video)
+        assert coded.min() >= 0.0
+        assert coded.max() <= 1.0 + 1e-12
+
+    def test_sparse_random_selects_one_frame_value_per_pixel(self, rng):
+        config = CEConfig(num_slots=8, tile_size=4, frame_height=8, frame_width=8)
+        pattern = sparse_random_pattern(8, 4, rng=rng)
+        sensor = CodedExposureSensor(config, pattern)
+        video = rng.random((1, 8, 8, 8))
+        coded = sensor.capture(video)
+        # With exactly one exposure per pixel, each coded pixel equals one
+        # of that pixel's frame values exactly.
+        full_mask = sensor.full_mask
+        for row in range(8):
+            for col in range(8):
+                slot = int(np.argmax(full_mask[:, row, col]))
+                assert coded[0, row, col] == pytest.approx(video[0, slot, row, col])
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_compression_ratio_equals_t(self, num_slots):
+        assert compression_ratio(num_slots) == pytest.approx(float(num_slots))
+
+
+class TestTilePatternExpansion:
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_expansion_is_periodic(self, reps_h, reps_w):
+        rng = np.random.default_rng(reps_h * 10 + reps_w)
+        tile = 4
+        pattern = random_pattern(6, tile, rng=rng)
+        full = expand_tile_pattern(pattern, reps_h * tile, reps_w * tile)
+        assert full.shape == (6, reps_h * tile, reps_w * tile)
+        for block_row in range(reps_h):
+            for block_col in range(reps_w):
+                window = full[:, block_row * tile:(block_row + 1) * tile,
+                              block_col * tile:(block_col + 1) * tile]
+                assert np.array_equal(window, pattern)
+
+    def test_exposure_counts_matches_mask_sum(self, rng):
+        mask = _random_mask(rng, 8, 16)
+        assert np.array_equal(exposure_counts(mask), mask.sum(axis=0))
+
+
+class TestStraightThroughBinarisation:
+    @given(st.floats(min_value=-5.0, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_output_is_binary(self, logit):
+        from repro.nn import Tensor
+
+        logits = Tensor(np.full((4, 2, 2), logit), requires_grad=True)
+        binary = straight_through_binarize(logits)
+        assert set(np.unique(binary.data)).issubset({0.0, 1.0})
+
+    def test_gradient_passes_through(self):
+        from repro.nn import Tensor
+
+        logits = Tensor(np.zeros((2, 2, 2)), requires_grad=True)
+        binary = straight_through_binarize(logits)
+        binary.sum().backward()
+        assert logits.grad is not None
+        assert np.all(np.isfinite(logits.grad))

@@ -1,0 +1,76 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.ce import load_pattern
+from repro.core import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["energy"])
+        assert args.frame_size == 112
+        assert args.num_slots == 16
+
+    def test_sweep_choices(self):
+        args = build_parser().parse_args(["sweep", "tile"])
+        assert args.name == "tile"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "nonexistent"])
+
+
+class TestCommands:
+    def test_energy_command(self, capsys):
+        assert main(["energy", "--frame-size", "112", "--num-slots", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "readout_reduction : 16" in output
+        assert "long_range_saving" in output
+
+    def test_hardware_command(self, capsys):
+        assert main(["hardware", "--tile-size", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "ce_logic_area_um2" in output
+        assert "coded_frame_rate_hz" in output
+
+    def test_sweep_command_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "tile.csv"
+        assert main(["sweep", "tile", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        output = capsys.readouterr().out
+        assert "tile_size" in output
+
+    def test_correlation_command(self, capsys):
+        assert main(["correlation", "--frame-size", "16", "--num-slots", "8",
+                     "--tile-size", "4", "--clips", "8", "--epochs", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "decorrelated" in output
+        assert "long_exposure" in output
+
+    def test_pattern_command_saves_bundle(self, tmp_path, capsys):
+        save_path = tmp_path / "pattern.json"
+        assert main(["pattern", "--frame-size", "16", "--num-slots", "8",
+                     "--tile-size", "4", "--clips", "8", "--epochs", "2",
+                     "--save", str(save_path), "--show"]) == 0
+        output = capsys.readouterr().out
+        assert "exposure_density" in output
+        assert "slot 0:" in output
+        bundle = load_pattern(save_path)
+        assert bundle.pattern.shape == (8, 4, 4)
+        assert bundle.metadata["epochs"] == 2
+
+    def test_pipeline_command_fast(self, capsys):
+        assert main(["pipeline", "--task", "ar", "--dataset", "ssv2",
+                     "--frame-size", "16", "--num-slots", "8",
+                     "--no-pretrain", "--epochs", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "test_accuracy" in output
+        assert "pattern_correlation" in output

@@ -1,0 +1,425 @@
+"""Tests for the digital-domain compression baselines (repro.compression)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    AutoencoderConfig,
+    AutoencoderTrainer,
+    CompressiveAutoencoder,
+    DigitalCompressionEnergyModel,
+    HuffmanCode,
+    JPEGLikeCodec,
+    JPEGLikeConfig,
+    JPEG_LUMA_QUANT_TABLE,
+    block_dequantize,
+    block_quantize,
+    blocks_to_image,
+    blockwise_dct,
+    blockwise_idct,
+    dct2,
+    dct_matrix,
+    digital_vs_ce_saving_factor,
+    frames_from_videos,
+    idct2,
+    image_to_blocks,
+    inverse_zigzag,
+    quality_scaled_table,
+    rate_distortion_curve,
+    run_length_decode,
+    run_length_encode,
+    shannon_entropy_bits,
+    uniform_dequantize,
+    uniform_quantize,
+    video_bits_per_pixel,
+    zigzag_scan,
+)
+from repro.tasks import psnr
+
+
+# ----------------------------------------------------------------------
+# DCT
+# ----------------------------------------------------------------------
+class TestDCT:
+    def test_dct_matrix_is_orthonormal(self):
+        for size in (4, 8, 16):
+            matrix = dct_matrix(size)
+            assert np.allclose(matrix @ matrix.T, np.eye(size), atol=1e-12)
+
+    def test_dct_matrix_invalid_size(self):
+        with pytest.raises(ValueError):
+            dct_matrix(0)
+
+    def test_dct2_idct2_roundtrip(self, rng):
+        blocks = rng.random((5, 8, 8))
+        assert np.allclose(idct2(dct2(blocks)), blocks, atol=1e-10)
+
+    def test_dct2_constant_block_is_dc_only(self):
+        block = np.full((8, 8), 0.5)
+        coefficients = dct2(block)
+        assert abs(coefficients[0, 0]) > 1.0
+        assert np.allclose(coefficients.ravel()[1:], 0.0, atol=1e-12)
+
+    def test_dct2_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            dct2(np.zeros((4, 8)))
+
+    def test_blockwise_roundtrip_with_padding(self, rng):
+        image = rng.random((30, 29))  # not a multiple of the block size
+        coefficients, padded_shape = blockwise_dct(image, block_size=8)
+        recovered = blockwise_idct(coefficients, padded_shape, image.shape)
+        assert recovered.shape == image.shape
+        assert np.allclose(recovered, image, atol=1e-10)
+
+    def test_image_to_blocks_counts(self, rng):
+        image = rng.random((16, 24))
+        blocks, padded_shape = image_to_blocks(image, 8)
+        assert blocks.shape == (2 * 3, 8, 8)
+        assert padded_shape == (16, 24)
+        assert np.allclose(blocks_to_image(blocks, padded_shape, image.shape), image)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_block_split_merge_property(self, n_h, n_w):
+        rng = np.random.default_rng(n_h * 10 + n_w)
+        image = rng.random((n_h * 8, n_w * 8))
+        blocks, padded = image_to_blocks(image, 8)
+        assert np.allclose(blocks_to_image(blocks, padded, image.shape), image)
+
+
+# ----------------------------------------------------------------------
+# Quantisation
+# ----------------------------------------------------------------------
+class TestQuantization:
+    def test_quality_50_returns_base_table(self):
+        assert np.allclose(quality_scaled_table(50), JPEG_LUMA_QUANT_TABLE)
+
+    def test_quality_scaling_monotonic(self):
+        low = quality_scaled_table(10)
+        high = quality_scaled_table(90)
+        assert np.all(low >= high)
+
+    def test_quality_bounds(self):
+        for quality in (0, 101):
+            with pytest.raises(ValueError):
+                quality_scaled_table(quality)
+
+    def test_table_entries_clipped(self):
+        table = quality_scaled_table(1)
+        assert table.max() <= 255.0
+        assert quality_scaled_table(100).min() >= 1.0
+
+    def test_block_quantize_roundtrip_error_bounded(self, rng):
+        table = quality_scaled_table(75)
+        coefficients = rng.normal(0.0, 50.0, size=(6, 8, 8))
+        recovered = block_dequantize(block_quantize(coefficients, table), table)
+        assert np.all(np.abs(recovered - coefficients) <= table / 2 + 1e-9)
+
+    def test_block_quantize_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            block_quantize(np.zeros((2, 4, 4)), JPEG_LUMA_QUANT_TABLE)
+
+    @given(st.floats(min_value=0.01, max_value=2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_quantize_error_bound(self, step):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.0, 1.0, size=100)
+        recovered = uniform_dequantize(uniform_quantize(values, step), step)
+        assert np.all(np.abs(recovered - values) <= step / 2 + 1e-12)
+
+    def test_uniform_quantize_invalid_step(self):
+        with pytest.raises(ValueError):
+            uniform_quantize(np.zeros(3), 0.0)
+        with pytest.raises(ValueError):
+            uniform_dequantize(np.zeros(3, dtype=np.int64), -1.0)
+
+
+# ----------------------------------------------------------------------
+# Entropy coding
+# ----------------------------------------------------------------------
+class TestEntropyCoding:
+    def test_zigzag_visits_every_index_once(self):
+        block = np.arange(64).reshape(8, 8)
+        flat = zigzag_scan(block)
+        assert sorted(flat.tolist()) == list(range(64))
+
+    def test_zigzag_starts_with_dc_then_low_frequencies(self):
+        block = np.arange(16).reshape(4, 4)
+        flat = zigzag_scan(block)
+        assert flat[0] == block[0, 0]
+        assert set(flat[:3].tolist()) == {block[0, 0], block[0, 1], block[1, 0]}
+
+    def test_inverse_zigzag_roundtrip(self, rng):
+        block = rng.integers(-10, 10, size=(8, 8))
+        assert np.array_equal(inverse_zigzag(zigzag_scan(block), 8), block)
+
+    def test_run_length_roundtrip_sparse(self):
+        data = np.array([5, 0, 0, -3, 0, 0, 0, 0, 1, 0, 0, 0])
+        symbols = run_length_encode(data)
+        assert np.array_equal(run_length_decode(symbols, len(data)), data)
+
+    def test_run_length_all_zero_is_single_eob(self):
+        symbols = run_length_encode(np.zeros(64, dtype=np.int64))
+        assert len(symbols) == 1
+
+    @given(st.lists(st.integers(min_value=-20, max_value=20), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_run_length_roundtrip_property(self, values):
+        data = np.array(values, dtype=np.int64)
+        symbols = run_length_encode(data)
+        assert np.array_equal(run_length_decode(symbols, len(data)), data)
+
+    def test_huffman_roundtrip(self):
+        symbols = list("abracadabra")
+        code = HuffmanCode.from_symbols(symbols)
+        assert code.decode(code.encode(symbols)) == symbols
+
+    def test_huffman_single_symbol_stream(self):
+        code = HuffmanCode.from_symbols(["x"] * 10)
+        bits = code.encode(["x"] * 10)
+        assert len(bits) == 10
+        assert code.decode(bits) == ["x"] * 10
+
+    def test_huffman_unknown_symbol(self):
+        code = HuffmanCode.from_symbols(["a", "b"])
+        with pytest.raises(KeyError):
+            code.encode(["c"])
+
+    def test_huffman_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCode.from_symbols([])
+
+    def test_huffman_frequent_symbols_get_short_codes(self):
+        symbols = ["common"] * 90 + ["rare"] * 10
+        code = HuffmanCode.from_symbols(symbols)
+        assert len(code.codebook["common"]) <= len(code.codebook["rare"])
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_huffman_within_one_bit_of_entropy(self, values):
+        code = HuffmanCode.from_symbols(values)
+        mean_length = code.encoded_length_bits(values) / len(values)
+        entropy = shannon_entropy_bits(values)
+        assert mean_length <= entropy + 1.0 + 1e-9
+
+    def test_shannon_entropy_uniform(self):
+        assert shannon_entropy_bits([0, 1, 2, 3]) == pytest.approx(2.0)
+
+    def test_shannon_entropy_empty(self):
+        assert shannon_entropy_bits([]) == 0.0
+
+
+# ----------------------------------------------------------------------
+# JPEG-class codec
+# ----------------------------------------------------------------------
+class TestJPEGLikeCodec:
+    @pytest.fixture
+    def frame(self, rng):
+        # A structured frame (smooth gradient + texture) compresses realistically.
+        grid = np.linspace(0, 1, 32)
+        base = np.outer(grid, grid)
+        return np.clip(base + 0.1 * rng.random((32, 32)), 0.0, 1.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            JPEGLikeConfig(quality=0)
+        with pytest.raises(ValueError):
+            JPEGLikeConfig(block_size=1)
+
+    def test_roundtrip_reasonable_quality(self, frame):
+        codec = JPEGLikeCodec(JPEGLikeConfig(quality=90))
+        reconstruction, encoded = codec.transcode(frame)
+        assert reconstruction.shape == frame.shape
+        assert reconstruction.min() >= 0.0 and reconstruction.max() <= 1.0
+        assert psnr(reconstruction, frame) > 25.0
+
+    def test_decode_matches_header_blocks(self, frame):
+        codec = JPEGLikeCodec()
+        encoded = codec.encode(frame)
+        assert encoded.num_blocks == (32 // 8) ** 2
+        assert codec.decode(encoded).shape == frame.shape
+
+    def test_quality_monotonic_in_distortion(self, frame):
+        psnrs = []
+        for quality in (10, 50, 90):
+            reconstruction, _ = JPEGLikeCodec(JPEGLikeConfig(quality=quality)).transcode(frame)
+            psnrs.append(psnr(reconstruction, frame))
+        assert psnrs[0] <= psnrs[1] <= psnrs[2]
+
+    def test_quality_monotonic_in_rate(self, frame):
+        rates = []
+        for quality in (10, 50, 90):
+            encoded = JPEGLikeCodec(JPEGLikeConfig(quality=quality)).encode(frame)
+            rates.append(encoded.bits_per_pixel)
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_achieves_compression(self, frame):
+        encoded = JPEGLikeCodec(JPEGLikeConfig(quality=50)).encode(frame)
+        assert encoded.compression_ratio > 1.0
+        assert encoded.bits_per_pixel < 8.0
+        assert encoded.num_bytes == (encoded.num_bits + 7) // 8
+
+    def test_rejects_non_2d_frame(self):
+        with pytest.raises(ValueError):
+            JPEGLikeCodec().encode(np.zeros((2, 8, 8)))
+
+    def test_video_compression(self, rng):
+        video = rng.random((3, 16, 16))
+        codec = JPEGLikeCodec(JPEGLikeConfig(quality=75))
+        reconstructions, encoded_frames = codec.compress_video(video)
+        assert reconstructions.shape == video.shape
+        assert len(encoded_frames) == 3
+        assert video_bits_per_pixel(encoded_frames) > 0.0
+
+    def test_video_requires_3d(self):
+        with pytest.raises(ValueError):
+            JPEGLikeCodec().compress_video(np.zeros((8, 8)))
+
+    def test_entropy_estimate_below_actual_bits(self, frame):
+        codec = JPEGLikeCodec(JPEGLikeConfig(quality=50))
+        encoded = codec.encode(frame)
+        estimate = codec.entropy_estimate_bits(frame)
+        # Huffman is within one bit/symbol of the entropy bound.
+        assert estimate <= encoded.num_bits + encoded.num_blocks * 64
+
+    def test_rate_distortion_curve(self, frame):
+        points = rate_distortion_curve(frame, qualities=(25, 75))
+        assert len(points) == 2
+        assert points[0].bits_per_pixel <= points[1].bits_per_pixel
+        assert points[0].psnr_db <= points[1].psnr_db
+        assert set(points[0].as_dict()) == {"quality", "bits_per_pixel",
+                                            "psnr_db", "compression_ratio"}
+
+    def test_non_default_block_size(self, rng):
+        frame = rng.random((16, 16))
+        codec = JPEGLikeCodec(JPEGLikeConfig(block_size=4, quality=50))
+        reconstruction, encoded = codec.transcode(frame)
+        assert reconstruction.shape == frame.shape
+        assert encoded.num_blocks == 16
+
+    def test_video_bits_per_pixel_empty(self):
+        assert video_bits_per_pixel([]) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Compressive autoencoder
+# ----------------------------------------------------------------------
+class TestCompressiveAutoencoder:
+    @pytest.fixture
+    def frames(self, rng):
+        grid = np.linspace(0, 1, 16)
+        base = np.outer(grid, grid)
+        return np.clip(base + 0.2 * rng.random((12, 16, 16)), 0.0, 1.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoencoderConfig(latent_dim=0)
+        with pytest.raises(ValueError):
+            AutoencoderConfig(quant_step=0.0)
+
+    def test_nominal_compression_ratio(self):
+        config = AutoencoderConfig(patch_size=8, latent_dim=8)
+        assert config.nominal_compression_ratio == pytest.approx(8.0)
+
+    def test_forward_shape(self, frames):
+        model = CompressiveAutoencoder(AutoencoderConfig(patch_size=8, latent_dim=4))
+        prediction = model(frames[:2])
+        assert prediction.shape == (2, 4, 64)
+
+    def test_reconstruct_range_and_shape(self, frames):
+        model = CompressiveAutoencoder(AutoencoderConfig(patch_size=8, latent_dim=4))
+        reconstruction = model.reconstruct(frames[:3])
+        assert reconstruction.shape == (3, 16, 16)
+        assert reconstruction.min() >= 0.0 and reconstruction.max() <= 1.0
+
+    def test_quantize_ste_is_identity_for_gradient(self, frames):
+        model = CompressiveAutoencoder()
+        latents = model.encode(frames[:1])
+        quantized = model.quantize_ste(latents)
+        step = model.config.quant_step
+        assert np.all(np.abs(quantized.data - latents.data) <= step / 2 + 1e-12)
+
+    def test_training_reduces_loss(self, frames):
+        model = CompressiveAutoencoder(AutoencoderConfig(patch_size=8, latent_dim=8,
+                                                         hidden_dim=32))
+        trainer = AutoencoderTrainer(model, lr=5e-3, epochs=8, batch_size=6, seed=0)
+        history = trainer.fit(frames)
+        assert history.final_loss < history.losses[0]
+        assert len(history.losses) == 8
+
+    def test_evaluate_psnr_finite(self, frames):
+        model = CompressiveAutoencoder(AutoencoderConfig(patch_size=8, latent_dim=8))
+        trainer = AutoencoderTrainer(model, epochs=1, seed=0)
+        trainer.fit(frames)
+        assert np.isfinite(trainer.evaluate_psnr(frames))
+
+    def test_measured_rate_positive_and_ratio_reasonable(self, frames):
+        model = CompressiveAutoencoder(AutoencoderConfig(patch_size=8, latent_dim=4))
+        rate = model.measured_rate_bits_per_pixel(frames)
+        assert rate >= 0.0
+        assert model.measured_compression_ratio(frames) >= 1.0
+
+    def test_latent_symbols_are_integers(self, frames):
+        model = CompressiveAutoencoder()
+        symbols = model.latent_symbols(frames[:2])
+        assert symbols.dtype == np.int64
+
+    def test_frames_from_videos(self, rng):
+        videos = rng.random((3, 4, 8, 8))
+        frames = frames_from_videos(videos)
+        assert frames.shape == (12, 8, 8)
+        with pytest.raises(ValueError):
+            frames_from_videos(rng.random((4, 8, 8)))
+
+
+# ----------------------------------------------------------------------
+# Digital compression energy model
+# ----------------------------------------------------------------------
+class TestDigitalCompressionEnergy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DigitalCompressionEnergyModel(32, 32, 16, compression_ratio=0.0)
+        with pytest.raises(ValueError):
+            DigitalCompressionEnergyModel(32, 32, 0, compression_ratio=4.0)
+
+    def test_report_components_positive(self):
+        model = DigitalCompressionEnergyModel(112, 112, 16, compression_ratio=16.0)
+        report = model.report("passive_wifi")
+        assert report.sensor_energy > 0
+        assert report.compute_energy > 0
+        assert report.transmission_energy > 0
+        assert report.total == pytest.approx(report.sensor_energy
+                                             + report.compute_energy
+                                             + report.transmission_energy)
+
+    def test_in_sensor_ce_always_wins(self):
+        # Even at an identical compression ratio, digital compression pays
+        # the full read-out plus the encoder energy, so CE must win.
+        comparison = DigitalCompressionEnergyModel(
+            112, 112, 16, compression_ratio=16.0).compare_with_in_sensor_ce()
+        assert comparison.saving_factor > 1.0
+
+    def test_saving_factor_wrapper_matches_model(self):
+        factor = digital_vs_ce_saving_factor(112, 112, 16, 16.0, "passive_wifi")
+        model = DigitalCompressionEnergyModel(112, 112, 16, 16.0)
+        assert factor == pytest.approx(model.compare_with_in_sensor_ce().saving_factor)
+
+    def test_higher_ratio_reduces_transmission_only(self):
+        low = DigitalCompressionEnergyModel(64, 64, 8, compression_ratio=4.0).report()
+        high = DigitalCompressionEnergyModel(64, 64, 8, compression_ratio=32.0).report()
+        assert high.transmission_energy < low.transmission_energy
+        assert high.sensor_energy == pytest.approx(low.sensor_energy)
+        assert high.compute_energy == pytest.approx(low.compute_energy)
+
+    def test_breakdown_keys(self):
+        breakdown = DigitalCompressionEnergyModel(64, 64, 8, 10.0).breakdown()
+        assert set(breakdown) == {"sensor_energy_j", "compression_energy_j",
+                                  "transmission_energy_j", "total_energy_j",
+                                  "compression_ratio"}
+
+    def test_lora_dominated_by_transmission(self):
+        model = DigitalCompressionEnergyModel(112, 112, 16, compression_ratio=16.0)
+        report = model.report("lora_backscatter")
+        assert report.transmission_energy > report.sensor_energy

@@ -1,0 +1,130 @@
+"""Integration tests for the end-to-end SnapPix pipeline and experiment runners."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FIG6_PATTERNS,
+    PipelineConfig,
+    SnapPixSystem,
+    run_correlation_comparison,
+    run_throughput_comparison,
+)
+
+
+def fast_config(**overrides):
+    defaults = dict(frame_size=16, num_slots=8, tile_size=8, model_variant="tiny",
+                    pattern_epochs=1, pretrain_epochs=1, finetune_epochs=3,
+                    pretrain_clips=12, train_clips_per_class=3,
+                    test_clips_per_class=2, batch_size=6)
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+class TestPipelineConfig:
+    def test_defaults_match_paper_settings(self):
+        config = PipelineConfig()
+        assert config.num_slots == 16
+        assert config.tile_size == 8
+        assert config.mask_ratio == 0.85
+        assert config.pattern == "decorrelated"
+
+    def test_invalid_pattern(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(pattern="checkerboard")
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(model_variant="xl")
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(frame_size=30, tile_size=8)
+
+    def test_ce_config_derivation(self):
+        config = fast_config()
+        ce = config.ce_config()
+        assert ce.num_slots == 8
+        assert ce.frame_height == 16
+
+
+class TestSnapPixSystem:
+    def test_full_ar_pipeline(self):
+        system = SnapPixSystem(fast_config(use_pretraining=True))
+        result = system.run(task="ar")
+        assert 0.0 <= result.test_accuracy <= 1.0
+        assert np.isfinite(result.pattern_correlation)
+        assert np.isfinite(result.pretrain_final_loss)
+        assert result.inference_per_second > 0
+        assert result.energy_summary["readout_reduction"] == pytest.approx(8.0)
+        as_dict = result.as_dict()
+        assert as_dict["dataset"] == "ssv2"
+        assert as_dict["pattern"] == "decorrelated"
+
+    def test_rec_pipeline_without_pretraining(self):
+        system = SnapPixSystem(fast_config(use_pretraining=False))
+        result = system.run(task="rec")
+        assert np.isfinite(result.test_psnr)
+        assert result.test_psnr > 0
+
+    def test_invalid_task(self):
+        system = SnapPixSystem(fast_config())
+        with pytest.raises(ValueError):
+            system.run(task="detection")
+
+    def test_training_before_pattern_raises(self):
+        system = SnapPixSystem(fast_config())
+        with pytest.raises(RuntimeError):
+            system.train_action_recognition()
+        with pytest.raises(RuntimeError):
+            system.pretrain()
+
+    def test_baseline_pattern_pipeline(self):
+        system = SnapPixSystem(fast_config(pattern="sparse_random",
+                                           use_pretraining=False))
+        correlation = system.prepare_pattern()
+        assert 0.0 <= correlation <= 1.0
+        metrics = system.train_action_recognition()
+        assert 0.0 <= metrics["test_accuracy"] <= 1.0
+
+    def test_global_pattern_pipeline(self):
+        system = SnapPixSystem(fast_config(pattern="global", use_pretraining=False))
+        correlation = system.prepare_pattern()
+        assert 0.0 <= correlation <= 1.0
+        metrics = system.train_action_recognition()
+        assert 0.0 <= metrics["test_accuracy"] <= 1.0
+
+    def test_hardware_report(self):
+        system = SnapPixSystem(fast_config())
+        report = system.hardware_report()
+        assert report["logic_fits_under_pixel"] == 1.0
+        assert report["ce_logic_area_um2"] < report["aps_pixel_area_um2"]
+
+    def test_energy_report_scales_with_slots(self):
+        low = SnapPixSystem(fast_config(num_slots=8)).energy_report()
+        high = SnapPixSystem(fast_config(num_slots=16)).energy_report()
+        assert high["readout_reduction"] > low["readout_reduction"]
+        assert high["long_range_saving"] > low["long_range_saving"]
+
+
+class TestExperimentRunners:
+    def test_correlation_comparison_covers_all_patterns(self):
+        rows = run_correlation_comparison(num_slots=8, tile_size=4, frame_size=16,
+                                          num_clips=16, pattern_epochs=10)
+        assert {row["pattern"] for row in rows} == set(FIG6_PATTERNS)
+        by_name = {row["pattern"]: row["correlation"] for row in rows}
+        # Fig. 6 legend ordering: the learned pattern decorrelates best, the
+        # naive long/short exposures are the most correlated.
+        assert by_name["decorrelated"] <= min(by_name["long_exposure"],
+                                              by_name["short_exposure"])
+
+    def test_throughput_comparison_ce_faster_than_video(self):
+        rows = run_throughput_comparison(frame_size=16, num_slots=8, batch_size=4,
+                                         repeats=1)
+        speed = {row["model"]: row["inference_per_second"] for row in rows}
+        # Table I shape: the coded-image SnapPix models are faster than the
+        # video-input baselines of comparable capacity.
+        assert speed["snappix_s"] > speed["videomae_st"]
+        assert speed["snappix_s"] > speed["c3d"]
+        for row in rows:
+            assert row["inference_per_second"] > 0

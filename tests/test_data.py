@@ -1,0 +1,229 @@
+"""Tests for the synthetic dataset substrates and preprocessing pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    BatchLoader,
+    DATASET_SPECS,
+    MOTION_CLASSES,
+    available_motion_classes,
+    build_dataset,
+    build_pretrain_dataset,
+    center_crop,
+    generate_clips,
+    normalize_clip,
+    preprocess_clip,
+    render_clip,
+    resize_shorter_side,
+    rgb_to_grayscale_linear,
+    srgb_to_linear,
+)
+
+
+class TestSyntheticGeneration:
+    def test_clip_shape_and_range(self, rng):
+        clip = render_clip(MOTION_CLASSES[0], num_frames=8, size=32, rng=rng)
+        assert clip.shape == (8, 32, 32)
+        assert clip.min() >= 0.0 and clip.max() <= 1.0
+
+    def test_motion_classes_have_unique_names(self):
+        names = available_motion_classes()
+        assert len(names) == len(set(names))
+        assert len(names) >= 10
+
+    def test_clips_contain_motion(self, rng):
+        """Motion-defined classes must actually change over time."""
+        clip = render_clip(MOTION_CLASSES[0], num_frames=16, size=32, rng=rng,
+                           noise_std=0.0)
+        frame_diff = np.abs(clip[-1] - clip[0]).mean()
+        assert frame_diff > 0.01
+
+    def test_static_appearance_differs_by_motion_not_texture(self, rng):
+        """Different motion classes from the same generator seed should be
+        distinguished by their temporal behaviour."""
+        right = render_clip(MOTION_CLASSES[0], 16, 32, np.random.default_rng(5),
+                            noise_std=0.0)
+        left = render_clip(MOTION_CLASSES[1], 16, 32, np.random.default_rng(5),
+                           noise_std=0.0)
+        # The two trajectories cross mid-clip, so the per-frame difference
+        # must change over time (motion, not texture, separates the classes).
+        per_frame_diff = np.abs(right - left).mean(axis=(1, 2))
+        assert per_frame_diff.std() > 1e-3
+        assert per_frame_diff.max() > 0.01
+
+    def test_generate_clips_balanced_labels(self):
+        labels = np.repeat(np.arange(4), 3)
+        videos, out_labels = generate_clips(12, 8, 16, class_indices=labels,
+                                            num_classes=4, seed=0)
+        assert videos.shape == (12, 8, 16, 16)
+        assert np.array_equal(out_labels, labels)
+
+    def test_generate_clips_validates_inputs(self):
+        with pytest.raises(ValueError):
+            generate_clips(4, 8, 16, num_classes=99)
+        with pytest.raises(ValueError):
+            generate_clips(4, 8, 16, class_indices=np.array([0, 1]), num_classes=4)
+        with pytest.raises(ValueError):
+            generate_clips(2, 8, 16, class_indices=np.array([0, 9]), num_classes=4)
+
+    def test_generation_is_deterministic(self):
+        videos_a, _ = generate_clips(4, 8, 16, num_classes=4, seed=3)
+        videos_b, _ = generate_clips(4, 8, 16, num_classes=4, seed=3)
+        assert np.allclose(videos_a, videos_b)
+
+    @given(st.integers(min_value=0, max_value=11))
+    @settings(max_examples=12, deadline=None)
+    def test_all_motion_classes_render(self, class_index):
+        clip = render_clip(MOTION_CLASSES[class_index], 8, 24,
+                           np.random.default_rng(0))
+        assert clip.shape == (8, 24, 24)
+        assert np.isfinite(clip).all()
+
+
+class TestPreprocessing:
+    def test_srgb_to_linear_monotonic(self):
+        values = np.linspace(0, 1, 50)
+        linear = srgb_to_linear(values)
+        assert np.all(np.diff(linear) > 0)
+        assert linear[0] == 0.0
+        assert np.isclose(linear[-1], 1.0, atol=1e-6)
+
+    def test_rgb_to_grayscale_shapes(self, rng):
+        rgb = rng.random((4, 8, 8, 3))
+        gray = rgb_to_grayscale_linear(rgb)
+        assert gray.shape == (4, 8, 8)
+
+    def test_rgb_to_grayscale_white_is_one(self):
+        white = np.ones((2, 2, 3))
+        assert np.allclose(rgb_to_grayscale_linear(white, assume_linear=True), 1.0)
+
+    def test_rgb_requires_three_channels(self, rng):
+        with pytest.raises(ValueError):
+            rgb_to_grayscale_linear(rng.random((4, 4, 4)))
+
+    def test_center_crop(self, rng):
+        frames = rng.random((3, 10, 12))
+        cropped = center_crop(frames, (6, 6))
+        assert cropped.shape == (3, 6, 6)
+        assert np.allclose(cropped, frames[:, 2:8, 3:9])
+
+    def test_center_crop_too_large(self, rng):
+        with pytest.raises(ValueError):
+            center_crop(rng.random((3, 4, 4)), (8, 8))
+
+    def test_resize_shorter_side_integer_factor(self, rng):
+        frames = rng.random((2, 32, 32))
+        resized = resize_shorter_side(frames, 16)
+        assert resized.shape == (2, 16, 16)
+        assert np.isclose(resized[0, 0, 0], frames[0, :2, :2].mean())
+
+    def test_resize_shorter_side_noop(self, rng):
+        frames = rng.random((2, 16, 16))
+        assert np.allclose(resize_shorter_side(frames, 16), frames)
+
+    def test_resize_non_integer_factor(self, rng):
+        frames = rng.random((2, 30, 40))
+        resized = resize_shorter_side(frames, 16)
+        assert min(resized.shape[-2:]) == 16
+
+    def test_normalize_clip(self):
+        clip = np.array([[1.0, 3.0], [5.0, 7.0]])
+        normalized = normalize_clip(clip)
+        assert normalized.min() == 0.0 and normalized.max() == 1.0
+        assert np.allclose(normalize_clip(np.full((2, 2), 3.0)), 0.0)
+
+    def test_preprocess_clip_grayscale(self, rng):
+        clip = rng.random((8, 48, 64))
+        processed = preprocess_clip(clip, 32)
+        assert processed.shape == (8, 32, 32)
+        assert processed.min() >= 0.0 and processed.max() <= 1.0
+
+    def test_preprocess_clip_rgb(self, rng):
+        clip = rng.random((4, 40, 40, 3))
+        processed = preprocess_clip(clip, 32)
+        assert processed.shape == (4, 32, 32)
+
+    def test_preprocess_clip_invalid(self, rng):
+        with pytest.raises(ValueError):
+            preprocess_clip(rng.random((4, 4)), 32)
+
+
+class TestDatasets:
+    def test_build_all_named_datasets(self):
+        for name in DATASET_SPECS:
+            dataset = build_dataset(name, train_clips_per_class=2,
+                                    test_clips_per_class=1, num_frames=8,
+                                    frame_size=16)
+            info = dataset.describe()
+            assert info["name"] == name
+            assert info["num_classes"] == DATASET_SPECS[name].num_classes
+            assert dataset.num_frames == 8
+            assert dataset.frame_size == 16
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            build_dataset("imagenet")
+
+    def test_labels_are_balanced(self):
+        dataset = build_dataset("ssv2", train_clips_per_class=3,
+                                test_clips_per_class=2, num_frames=8, frame_size=16)
+        counts = np.bincount(dataset.train_labels, minlength=dataset.num_classes)
+        assert np.all(counts == 3)
+        counts = np.bincount(dataset.test_labels, minlength=dataset.num_classes)
+        assert np.all(counts == 2)
+
+    def test_train_test_disjoint(self):
+        dataset = build_dataset("ucf101", train_clips_per_class=2,
+                                test_clips_per_class=2, num_frames=8, frame_size=16)
+        # Different generation seeds mean the clips differ.
+        assert not np.allclose(dataset.train_videos[:2], dataset.test_videos[:2])
+
+    def test_dataset_len(self):
+        dataset = build_dataset("ssv2", train_clips_per_class=2,
+                                test_clips_per_class=1, num_frames=8, frame_size=16)
+        assert len(dataset) == dataset.num_classes * 3
+
+    def test_mismatched_labels_rejected(self):
+        from repro.data import VideoDataset
+        with pytest.raises(ValueError):
+            VideoDataset("bad", np.zeros((4, 2, 8, 8)), np.zeros(3),
+                         np.zeros((2, 2, 8, 8)), np.zeros(2), num_classes=2)
+
+    def test_pretrain_dataset_shape(self):
+        videos = build_pretrain_dataset(num_clips=10, num_frames=8, frame_size=16)
+        assert videos.shape == (10, 8, 16, 16)
+
+
+class TestBatchLoader:
+    def test_iterates_all_samples(self, rng):
+        videos = rng.random((10, 4, 8, 8))
+        labels = np.arange(10)
+        loader = BatchLoader(videos, labels, batch_size=3, shuffle=False)
+        seen = []
+        for batch_videos, batch_labels in loader:
+            assert batch_videos.shape[0] == batch_labels.shape[0]
+            seen.extend(batch_labels.tolist())
+        assert sorted(seen) == list(range(10))
+        assert len(loader) == 4
+
+    def test_shuffle_changes_order(self, rng):
+        videos = rng.random((20, 2, 4, 4))
+        labels = np.arange(20)
+        loader = BatchLoader(videos, labels, batch_size=20, shuffle=True, seed=1)
+        (_, first_order), = list(loader)
+        assert not np.array_equal(first_order, labels)
+
+    def test_unlabelled_iteration(self, rng):
+        loader = BatchLoader(rng.random((6, 2, 4, 4)), batch_size=4, shuffle=False)
+        batches = list(loader)
+        assert batches[0].shape[0] == 4
+        assert batches[1].shape[0] == 2
+
+    def test_invalid_construction(self, rng):
+        with pytest.raises(ValueError):
+            BatchLoader(rng.random((4, 2, 4, 4)), np.arange(3))
+        with pytest.raises(ValueError):
+            BatchLoader(rng.random((4, 2, 4, 4)), batch_size=0)

@@ -1,0 +1,220 @@
+"""Tests for the energy models: sensor, transmission, compute, scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    EdgeGPUModel,
+    EdgeSensingScenario,
+    LORA_BACKSCATTER,
+    PASSIVE_WIFI,
+    SensorEnergyModel,
+    WirelessLink,
+    c3d_flops,
+    constants,
+    get_link,
+    paper_energy_summary,
+    paper_flop_profiles,
+    transformer_flops,
+    video_vit_flops,
+    vit_flops,
+)
+from repro.models import PAPER_VIT_BASE, PAPER_VIT_SMALL, VideoViTConfig, ViTConfig
+
+
+class TestConstants:
+    def test_paper_constants(self):
+        assert constants.SENSING_ENERGY_PER_PIXEL == pytest.approx(220e-12)
+        assert constants.ADC_MIPI_FRACTION == pytest.approx(0.956)
+        assert constants.CE_OVERHEAD_PER_PIXEL_PER_SLOT == pytest.approx(9e-12)
+        assert constants.PASSIVE_WIFI_ENERGY_PER_PIXEL == pytest.approx(43.04e-12)
+        assert constants.LORA_ENERGY_PER_PIXEL == pytest.approx(7.4e-6)
+
+    def test_readout_plus_exposure_is_total(self):
+        assert (constants.READOUT_ENERGY_PER_PIXEL +
+                constants.EXPOSURE_ENERGY_PER_PIXEL) == pytest.approx(
+            constants.SENSING_ENERGY_PER_PIXEL)
+
+    def test_lora_orders_of_magnitude_above_wifi(self):
+        """Sec. II-A: wireless long-range adds an order of magnitude (or more)."""
+        assert constants.LORA_ENERGY_PER_PIXEL > 1e4 * constants.PASSIVE_WIFI_ENERGY_PER_PIXEL
+
+
+class TestSensorEnergyModel:
+    def test_conventional_scales_with_slots(self):
+        model = SensorEnergyModel(112, 112, num_slots=16)
+        single = SensorEnergyModel(112, 112, num_slots=1)
+        assert model.conventional_capture().total == pytest.approx(
+            16 * single.conventional_capture().total)
+
+    def test_ce_readout_paid_once(self):
+        model = SensorEnergyModel(112, 112, num_slots=16)
+        ce = model.ce_capture()
+        conventional = model.conventional_capture()
+        assert ce.readout == pytest.approx(conventional.readout / 16)
+
+    def test_readout_reduction_equals_T(self):
+        """Sec. VI-D: SnapPix reduces ADC/MIPI energy by 16x at T = 16."""
+        model = SensorEnergyModel(112, 112, num_slots=16)
+        assert model.readout_reduction_factor() == pytest.approx(16.0)
+
+    def test_ce_overhead_only_for_ce(self):
+        model = SensorEnergyModel(64, 64, num_slots=8)
+        assert model.conventional_capture().ce_overhead == 0.0
+        assert model.ce_capture().ce_overhead > 0.0
+
+    def test_ce_cheaper_than_conventional(self):
+        model = SensorEnergyModel(112, 112, num_slots=16)
+        assert model.ce_capture().total < model.conventional_capture().total
+
+    def test_pixels_read_out(self):
+        model = SensorEnergyModel(32, 32, num_slots=4)
+        assert model.pixels_read_out(coded=True) == 32 * 32
+        assert model.pixels_read_out(coded=False) == 4 * 32 * 32
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SensorEnergyModel(0, 10, 4)
+        with pytest.raises(ValueError):
+            SensorEnergyModel(10, 10, 0)
+
+
+class TestTransmission:
+    def test_energy_scales_with_pixels(self):
+        assert PASSIVE_WIFI.transmission_energy(200) == pytest.approx(
+            2 * PASSIVE_WIFI.transmission_energy(100))
+
+    def test_lora_more_expensive_than_wifi(self):
+        assert LORA_BACKSCATTER.transmission_energy(100) > \
+            PASSIVE_WIFI.transmission_energy(100)
+
+    def test_bytes_conversion(self):
+        assert PASSIVE_WIFI.transmission_energy_bytes(100) == pytest.approx(
+            PASSIVE_WIFI.transmission_energy(100))
+
+    def test_negative_pixels_rejected(self):
+        with pytest.raises(ValueError):
+            PASSIVE_WIFI.transmission_energy(-1)
+
+    def test_link_lookup(self):
+        assert get_link("passive_wifi") is PASSIVE_WIFI
+        assert get_link("lora_backscatter") is LORA_BACKSCATTER
+        with pytest.raises(KeyError):
+            get_link("5g")
+
+    def test_invalid_link_energy(self):
+        with pytest.raises(ValueError):
+            WirelessLink("bad", 0.0, 1.0)
+
+
+class TestComputeModel:
+    def test_transformer_flops_scaling(self):
+        base = transformer_flops(196, 384, 12)
+        assert transformer_flops(196, 384, 24) == pytest.approx(2 * base)
+        assert transformer_flops(196, 768, 12) > 3 * base
+
+    def test_transformer_flops_invalid(self):
+        with pytest.raises(ValueError):
+            transformer_flops(0, 384, 12)
+
+    def test_vit_b_flops_larger_than_vit_s(self):
+        assert vit_flops(PAPER_VIT_BASE) > 3 * vit_flops(PAPER_VIT_SMALL)
+
+    def test_video_vit_flops_exceed_image_vit(self):
+        """A video ViT over 16 frames processes many more tokens than the
+        single-coded-image ViT of the same width."""
+        video = VideoViTConfig(image_size=112, patch_size=8, num_frames=16,
+                               tube_frames=2, dim=384, depth=12)
+        image = ViTConfig(image_size=112, patch_size=8, dim=384, depth=12,
+                          num_heads=6)
+        assert video_vit_flops(video) > 5 * vit_flops(image)
+
+    def test_c3d_flops_positive_and_large(self):
+        assert c3d_flops() > 1e9
+
+    def test_paper_flop_profiles_ordering(self):
+        profiles = paper_flop_profiles()
+        assert profiles["snappix_s"] < profiles["snappix_b"]
+        assert profiles["videomae_st"] == pytest.approx(profiles["snappix_b"])
+        assert profiles["svc2d"] > profiles["snappix_s"]
+
+    def test_edge_gpu_energy_monotonic_in_flops(self):
+        gpu = EdgeGPUModel()
+        assert gpu.inference_energy(2e9) > gpu.inference_energy(1e9)
+
+    def test_edge_gpu_conv3d_slower(self):
+        gpu = EdgeGPUModel()
+        assert gpu.latency(1e9, "conv3d") > gpu.latency(1e9, "transformer")
+
+    def test_edge_gpu_invalid(self):
+        gpu = EdgeGPUModel()
+        with pytest.raises(ValueError):
+            gpu.latency(-1)
+        with pytest.raises(ValueError):
+            gpu.latency(1e9, "tpu")
+
+
+class TestScenarios:
+    def test_short_range_saving_matches_paper(self):
+        """Sec. VI-D: 7.6x edge energy saving with passive WiFi."""
+        scenario = EdgeSensingScenario(112, 112, 16)
+        saving = scenario.edge_server("passive_wifi").saving_factor
+        assert 7.0 < saving < 8.2
+
+    def test_long_range_saving_matches_paper(self):
+        """Sec. VI-D: 15.4x saving with LoRa backscatter (we measure ~16x)."""
+        scenario = EdgeSensingScenario(112, 112, 16)
+        saving = scenario.edge_server("lora_backscatter").saving_factor
+        assert 14.0 < saving < 16.5
+
+    def test_long_range_saves_more_than_short_range(self):
+        scenario = EdgeSensingScenario(112, 112, 16)
+        assert (scenario.edge_server("lora_backscatter").saving_factor >
+                scenario.edge_server("passive_wifi").saving_factor)
+
+    def test_readout_and_transmission_reductions(self):
+        scenario = EdgeSensingScenario(112, 112, 16)
+        assert scenario.readout_reduction() == pytest.approx(16.0)
+        assert scenario.transmission_reduction() == pytest.approx(16.0)
+
+    def test_edge_gpu_scenario_matches_paper_shape(self):
+        """Sec. VI-D: 1.4x saving vs VideoMAEv2-ST and 4.5x vs C3D."""
+        scenario = EdgeSensingScenario(112, 112, 16)
+        vs_videomae = scenario.edge_gpu(baseline_model="videomae_st").saving_factor
+        vs_c3d = scenario.edge_gpu(baseline_model="c3d").saving_factor
+        assert 1.1 < vs_videomae < 2.2
+        assert 3.5 < vs_c3d < 5.5
+        assert vs_c3d > vs_videomae
+
+    def test_edge_gpu_unknown_model(self):
+        scenario = EdgeSensingScenario(112, 112, 16)
+        with pytest.raises(KeyError):
+            scenario.edge_gpu(baseline_model="resnet")
+
+    def test_digital_compression_loses(self):
+        """Sec. VII: digital compression cannot reduce read-out energy and its
+        compute cost dwarfs sensing, so in-sensor CE wins."""
+        scenario = EdgeSensingScenario(112, 112, 16)
+        comparison = scenario.digital_compression_comparison()
+        assert comparison.saving_factor > 10.0
+
+    def test_energy_report_dict(self):
+        scenario = EdgeSensingScenario(32, 32, 4)
+        report = scenario.edge_server("passive_wifi").snappix.as_dict()
+        assert report["total_energy_j"] == pytest.approx(
+            report["sensor_energy_j"] + report["transmission_energy_j"]
+            + report["compute_energy_j"])
+
+    def test_saving_scales_with_compression(self):
+        """More exposure slots -> higher compression -> larger saving."""
+        small = EdgeSensingScenario(64, 64, 4).edge_server("lora_backscatter")
+        large = EdgeSensingScenario(64, 64, 32).edge_server("lora_backscatter")
+        assert large.saving_factor > small.saving_factor
+
+    def test_paper_energy_summary_keys(self):
+        summary = paper_energy_summary()
+        for key in ("readout_reduction", "transmission_reduction",
+                    "short_range_saving", "long_range_saving",
+                    "edge_gpu_saving_vs_videomae", "edge_gpu_saving_vs_c3d"):
+            assert key in summary
+            assert summary[key] > 1.0

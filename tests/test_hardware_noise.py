@@ -1,0 +1,119 @@
+"""Tests for the sensor noise model (repro.hardware.noise)."""
+
+import numpy as np
+import pytest
+
+from repro.ce import CEConfig, make_pattern
+from repro.hardware.noise import (
+    NoisyCodedExposureSensor,
+    SensorNoiseModel,
+    capture_snr_db,
+)
+
+
+@pytest.fixture
+def config():
+    return CEConfig(num_slots=8, tile_size=4, frame_height=16, frame_width=16)
+
+
+@pytest.fixture
+def sensor(config, rng):
+    pattern = make_pattern("random", 8, 4, rng=rng)
+    return NoisyCodedExposureSensor(config, pattern,
+                                    noise=SensorNoiseModel(seed=0))
+
+
+class TestSensorNoiseModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorNoiseModel(full_well_electrons=0.0)
+        with pytest.raises(ValueError):
+            SensorNoiseModel(read_noise_electrons=-1.0)
+        with pytest.raises(ValueError):
+            SensorNoiseModel(adc_bits=0)
+
+    def test_apply_preserves_shape_and_range(self, rng):
+        model = SensorNoiseModel(seed=1)
+        signal = rng.random((2, 16, 16)) * 4.0
+        exposures = np.full((16, 16), 4.0)
+        noisy = model.apply(signal, exposures)
+        assert noisy.shape == signal.shape
+        assert noisy.min() >= 0.0
+        assert noisy.max() <= 4.0 + 1e-9
+
+    def test_apply_is_reproducible_from_seed(self, rng):
+        signal = rng.random((1, 8, 8))
+        exposures = np.ones((8, 8))
+        first = SensorNoiseModel(seed=7).apply(signal, exposures)
+        second = SensorNoiseModel(seed=7).apply(signal, exposures)
+        assert np.array_equal(first, second)
+
+    def test_more_adc_bits_reduce_quantisation_error(self, rng):
+        signal = rng.random((1, 16, 16))
+        exposures = np.ones((16, 16))
+        quiet = SensorNoiseModel(read_noise_electrons=0.0,
+                                 dark_current_electrons_per_slot=0.0,
+                                 full_well_electrons=1e9, seed=0)
+        coarse = SensorNoiseModel(adc_bits=4, read_noise_electrons=0.0,
+                                  dark_current_electrons_per_slot=0.0,
+                                  full_well_electrons=1e9, seed=0)
+        fine_error = np.abs(quiet.apply(signal, exposures) - signal).mean()
+        coarse_error = np.abs(coarse.apply(signal, exposures) - signal).mean()
+        assert fine_error < coarse_error
+
+    def test_snr_improves_with_light_and_exposures(self):
+        model = SensorNoiseModel()
+        assert model.snr_db(0.5) > model.snr_db(0.05)
+        assert model.snr_db(0.5, num_exposures=8) > model.snr_db(0.5, num_exposures=1)
+
+    def test_snr_validation(self):
+        model = SensorNoiseModel()
+        with pytest.raises(ValueError):
+            model.snr_db(0.0)
+        with pytest.raises(ValueError):
+            model.snr_db(0.5, num_exposures=0)
+
+
+class TestNoisyCodedExposureSensor:
+    def test_capture_shape_matches_clean_sensor(self, sensor, rng):
+        videos = rng.random((3, 8, 16, 16))
+        noisy = sensor.capture(videos)
+        clean = sensor.capture_clean(videos)
+        assert noisy.shape == clean.shape == (3, 16, 16)
+
+    def test_noisy_capture_close_to_clean_at_high_full_well(self, config, rng):
+        pattern = make_pattern("random", 8, 4, rng=rng)
+        quiet = NoisyCodedExposureSensor(
+            config, pattern,
+            noise=SensorNoiseModel(full_well_electrons=1e8, adc_bits=16,
+                                   read_noise_electrons=0.0,
+                                   dark_current_electrons_per_slot=0.0, seed=0))
+        videos = rng.random((2, 8, 16, 16))
+        assert np.allclose(quiet.capture(videos), quiet.capture_clean(videos),
+                           atol=1e-3)
+
+    def test_lower_full_well_means_lower_snr(self, config, rng):
+        pattern = make_pattern("random", 8, 4, rng=rng)
+        videos = rng.random((2, 8, 16, 16))
+
+        def snr(full_well):
+            noisy_sensor = NoisyCodedExposureSensor(
+                config, pattern, noise=SensorNoiseModel(
+                    full_well_electrons=full_well, adc_bits=16, seed=0))
+            return capture_snr_db(noisy_sensor.capture(videos),
+                                  noisy_sensor.capture_clean(videos))
+
+        assert snr(50000.0) > snr(500.0)
+
+    def test_exposure_counts_map(self, sensor):
+        counts = sensor.exposure_counts_map
+        assert counts.shape == (16, 16)
+        assert counts.max() <= 8
+
+    def test_capture_snr_validation(self, rng):
+        with pytest.raises(ValueError):
+            capture_snr_db(rng.random((2, 4, 4)), rng.random((2, 5, 5)))
+
+    def test_identical_captures_give_infinite_snr(self, rng):
+        capture = rng.random((2, 4, 4))
+        assert capture_snr_db(capture, capture) == float("inf")

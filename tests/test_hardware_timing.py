@@ -1,0 +1,133 @@
+"""Tests for the CE pattern-streaming / read-out timing models (repro.hardware.timing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import constants
+from repro.hardware import (
+    LOADS_PER_SLOT,
+    FrameRateModel,
+    PatternStreamTiming,
+    ReadoutTiming,
+    pattern_streaming_energy_per_pixel,
+)
+
+
+class TestPatternStreamTiming:
+    def test_defaults_match_paper_constants(self):
+        stream = PatternStreamTiming()
+        assert stream.clock_hz == constants.PATTERN_CLOCK_HZ
+        assert stream.bits_per_load == 64
+        assert LOADS_PER_SLOT == 2
+
+    def test_load_time_at_20mhz(self):
+        stream = PatternStreamTiming(tile_size=8, clock_hz=20e6)
+        # 64 bits at 20 MHz = 3.2 us per load.
+        assert stream.load_time_s == pytest.approx(3.2e-6)
+        assert stream.pattern_time_per_slot_s == pytest.approx(6.4e-6)
+
+    def test_per_frame_time_scales_with_slots(self):
+        short = PatternStreamTiming(num_slots=8)
+        long = PatternStreamTiming(num_slots=16)
+        assert long.pattern_time_per_coded_frame_s == pytest.approx(
+            2 * short.pattern_time_per_coded_frame_s)
+
+    def test_streaming_overhead_fraction_bounds(self):
+        stream = PatternStreamTiming(tile_size=8)
+        assert stream.streaming_overhead_fraction(1.0) < 1e-4
+        assert stream.streaming_overhead_fraction(1e-9) == 1.0
+        with pytest.raises(ValueError):
+            stream.streaming_overhead_fraction(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PatternStreamTiming(tile_size=0)
+        with pytest.raises(ValueError):
+            PatternStreamTiming(num_slots=0)
+        with pytest.raises(ValueError):
+            PatternStreamTiming(clock_hz=0.0)
+
+    @given(st.integers(min_value=1, max_value=32))
+    @settings(max_examples=25, deadline=None)
+    def test_bits_per_load_is_square_of_tile(self, tile_size):
+        assert PatternStreamTiming(tile_size=tile_size).bits_per_load == tile_size ** 2
+
+
+class TestReadoutTiming:
+    def test_frame_readout_time(self):
+        readout = ReadoutTiming(frame_height=112, frame_width=112, row_time_s=10e-6)
+        assert readout.frame_readout_time_s == pytest.approx(1.12e-3)
+
+    def test_ce_reads_one_frame_per_clip(self):
+        readout = ReadoutTiming(frame_height=64, frame_width=64)
+        assert readout.clip_readout_time_s(16, coded=True) == pytest.approx(
+            readout.frame_readout_time_s)
+        assert readout.clip_readout_time_s(16, coded=False) == pytest.approx(
+            16 * readout.frame_readout_time_s)
+
+    def test_readout_time_reduction_equals_t(self):
+        readout = ReadoutTiming()
+        for num_frames in (1, 8, 16):
+            assert readout.readout_time_reduction(num_frames) == pytest.approx(
+                float(num_frames))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadoutTiming(frame_height=0)
+        with pytest.raises(ValueError):
+            ReadoutTiming(row_time_s=0.0)
+        with pytest.raises(ValueError):
+            ReadoutTiming().clip_readout_time_s(0, coded=True)
+
+
+class TestFrameRateModel:
+    @pytest.fixture
+    def model(self):
+        return FrameRateModel(stream=PatternStreamTiming(tile_size=8, num_slots=16),
+                              readout=ReadoutTiming(112, 112),
+                              slot_exposure_s=1e-3)
+
+    def test_slot_time_includes_streaming(self, model):
+        assert model.slot_time_s > model.slot_exposure_s
+        assert model.slot_time_s == pytest.approx(
+            model.slot_exposure_s + model.stream.pattern_time_per_slot_s)
+
+    def test_coded_frame_rate_consistent(self, model):
+        assert model.coded_frame_rate_hz == pytest.approx(1.0 / model.coded_frame_time_s)
+        assert model.equivalent_video_frame_rate_hz == pytest.approx(
+            16 * model.coded_frame_rate_hz)
+
+    def test_ce_clip_faster_than_conventional_clip(self, model):
+        # CE pays one read-out instead of T, so covering the same footage
+        # takes less total time despite the pattern-streaming overhead.
+        assert model.coded_frame_time_s < model.conventional_clip_time_s()
+
+    def test_report_keys_and_values(self, model):
+        report = model.report()
+        assert report["readout_time_reduction"] == pytest.approx(16.0)
+        assert 0.0 < report["streaming_overhead_fraction"] < 0.05
+        assert report["coded_frame_rate_hz"] > 0
+        assert set(report) >= {"slot_time_s", "coded_frame_time_s",
+                               "conventional_clip_time_s", "bits_per_load"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameRateModel(stream=PatternStreamTiming(), readout=ReadoutTiming(),
+                           slot_exposure_s=0.0)
+
+
+class TestStreamingEnergy:
+    def test_matches_paper_constant(self):
+        assert pattern_streaming_energy_per_pixel(16) == pytest.approx(16 * 9e-12)
+
+    def test_scales_linearly_with_slots(self):
+        assert pattern_streaming_energy_per_pixel(32) == pytest.approx(
+            2 * pattern_streaming_energy_per_pixel(16))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pattern_streaming_energy_per_pixel(0)
+        with pytest.raises(ValueError):
+            pattern_streaming_energy_per_pixel(4, energy_per_pixel_per_slot=-1.0)

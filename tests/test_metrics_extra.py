@@ -1,0 +1,127 @@
+"""Tests for the extended evaluation metrics (top-k, per-class, SSIM, MAE)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks import (
+    mean_absolute_error,
+    mean_per_class_accuracy,
+    per_class_accuracy,
+    ssim,
+    topk_accuracy,
+)
+
+
+class TestTopKAccuracy:
+    def test_top1_matches_argmax(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2], [0.3, 0.7]])
+        labels = np.array([1, 0, 0])
+        assert topk_accuracy(logits, labels, k=1) == pytest.approx(2 / 3)
+
+    def test_topk_equals_one_when_k_is_num_classes(self, rng):
+        logits = rng.normal(size=(10, 4))
+        labels = rng.integers(0, 4, size=10)
+        assert topk_accuracy(logits, labels, k=4) == 1.0
+
+    def test_topk_monotone_in_k(self, rng):
+        logits = rng.normal(size=(50, 6))
+        labels = rng.integers(0, 6, size=50)
+        accuracies = [topk_accuracy(logits, labels, k=k) for k in range(1, 7)]
+        assert all(a <= b + 1e-12 for a, b in zip(accuracies, accuracies[1:]))
+
+    def test_validation(self, rng):
+        logits = rng.normal(size=(5, 3))
+        labels = np.zeros(5, dtype=int)
+        with pytest.raises(ValueError):
+            topk_accuracy(logits, labels, k=0)
+        with pytest.raises(ValueError):
+            topk_accuracy(logits, labels, k=4)
+        with pytest.raises(ValueError):
+            topk_accuracy(logits, np.zeros(4, dtype=int), k=1)
+
+
+class TestPerClassAccuracy:
+    def test_perfect_predictions(self):
+        labels = np.array([0, 0, 1, 2])
+        accuracies = per_class_accuracy(labels, labels, num_classes=3)
+        assert np.allclose(accuracies, 1.0)
+        assert mean_per_class_accuracy(labels, labels, num_classes=3) == 1.0
+
+    def test_missing_class_is_nan_and_excluded_from_mean(self):
+        predictions = np.array([0, 0, 1, 1])
+        labels = np.array([0, 0, 1, 0])
+        accuracies = per_class_accuracy(predictions, labels, num_classes=3)
+        assert np.isnan(accuracies[2])
+        mean = mean_per_class_accuracy(predictions, labels, num_classes=3)
+        assert mean == pytest.approx(np.nanmean(accuracies[:2]))
+
+    def test_all_classes_missing(self):
+        value = mean_per_class_accuracy(np.array([], dtype=int),
+                                        np.array([], dtype=int), num_classes=2)
+        assert np.isnan(value)
+
+    def test_imbalanced_classes_weighted_equally(self):
+        # Class 0 has 9 clips all correct, class 1 has 1 clip wrong:
+        # overall accuracy is 0.9 but mean per-class accuracy is 0.5.
+        labels = np.array([0] * 9 + [1])
+        predictions = np.array([0] * 9 + [0])
+        assert mean_per_class_accuracy(predictions, labels, 2) == pytest.approx(0.5)
+
+
+class TestMAE:
+    def test_zero_for_identical(self, rng):
+        frame = rng.random((4, 4))
+        assert mean_absolute_error(frame, frame) == 0.0
+
+    def test_known_value(self):
+        assert mean_absolute_error(np.ones((2, 2)), np.zeros((2, 2))) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestSSIM:
+    def test_identical_images_score_one(self, rng):
+        image = rng.random((16, 16))
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_noise_reduces_ssim(self, rng):
+        grid = np.linspace(0, 1, 16)
+        image = np.outer(grid, grid)
+        noisy = np.clip(image + rng.normal(0, 0.2, size=image.shape), 0, 1)
+        very_noisy = np.clip(image + rng.normal(0, 0.6, size=image.shape), 0, 1)
+        assert ssim(noisy, image) > ssim(very_noisy, image)
+
+    def test_bounded_above_by_one(self, rng):
+        a = rng.random((12, 12))
+        b = rng.random((12, 12))
+        assert ssim(a, b) <= 1.0 + 1e-9
+
+    def test_batched_input_averages(self, rng):
+        stack = rng.random((3, 12, 12))
+        assert ssim(stack, stack) == pytest.approx(1.0)
+
+    def test_constant_images(self):
+        a = np.full((10, 10), 0.5)
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_validation(self, rng):
+        image = rng.random((8, 8))
+        with pytest.raises(ValueError):
+            ssim(image, rng.random((9, 9)))
+        with pytest.raises(ValueError):
+            ssim(image, image, window=9)
+        with pytest.raises(ValueError):
+            ssim(np.zeros(5), np.zeros(5))
+
+    @given(st.floats(min_value=0.0, max_value=0.3))
+    @settings(max_examples=15, deadline=None)
+    def test_ssim_symmetry(self, noise):
+        rng = np.random.default_rng(42)
+        grid = np.linspace(0, 1, 10)
+        image = np.outer(grid, grid)
+        other = np.clip(image + rng.normal(0, noise + 1e-6, size=image.shape), 0, 1)
+        assert ssim(image, other) == pytest.approx(ssim(other, image), abs=1e-9)

@@ -1,0 +1,269 @@
+"""Tests for the vision models: CE-optimized ViT, baselines, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    C3DModel,
+    DownsampleBaseline,
+    MaskedAutoencoder,
+    PAPER_VIT_BASE,
+    PAPER_VIT_SMALL,
+    ShiftVariantConv2d,
+    SnapPixModel,
+    SVC2DModel,
+    VideoMAEClassifier,
+    VideoViTConfig,
+    ViTConfig,
+    ViTEncoder,
+    build_model,
+    build_snappix_model,
+    image_to_patches,
+    model_input_kind,
+    model_names,
+    patches_to_image,
+    patches_to_video,
+    spatial_downsample,
+    video_to_patches,
+)
+from repro.nn import SGD, Tensor
+from repro.nn import functional as F
+
+
+class TestPatchification:
+    def test_image_roundtrip(self, rng):
+        images = rng.random((3, 16, 16))
+        patches = image_to_patches(images, 4)
+        assert patches.shape == (3, 16, 16)
+        recovered = patches_to_image(patches, (16, 16), 4)
+        assert np.allclose(recovered, images)
+
+    def test_video_roundtrip(self, rng):
+        videos = rng.random((2, 8, 16, 16))
+        patches = video_to_patches(videos, 4)
+        assert patches.shape == (2, 16, 8 * 16)
+        recovered = patches_to_video(patches, 8, (16, 16), 4)
+        assert np.allclose(recovered, videos)
+
+    def test_patch_ordering_matches_tiles(self, rng):
+        """Patch pixel ordering must match the CE tile statistics ordering."""
+        from repro.ce import extract_tiles
+        images = rng.random((2, 16, 16))
+        assert np.allclose(image_to_patches(images, 4).reshape(-1, 16),
+                           extract_tiles(images, 4))
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            image_to_patches(rng.random((1, 10, 10)), 4)
+        with pytest.raises(ValueError):
+            patches_to_image(rng.random((1, 4, 16)), (16, 16), 4)
+        with pytest.raises(ValueError):
+            video_to_patches(rng.random((8, 16, 16)), 4)
+        with pytest.raises(ValueError):
+            patches_to_video(rng.random((1, 4, 10)), 8, (16, 16), 4)
+
+
+class TestViTConfig:
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ViTConfig(image_size=30, patch_size=8)
+        with pytest.raises(ValueError):
+            ViTConfig(dim=62, num_heads=4)
+
+    def test_num_patches(self):
+        config = ViTConfig(image_size=32, patch_size=8)
+        assert config.num_patches == 16
+
+    def test_paper_scale_parameter_counts(self):
+        """The paper reports ~22M (ViT-S) and ~87M (ViT-B) parameters."""
+        small = PAPER_VIT_SMALL.parameter_estimate()
+        base = PAPER_VIT_BASE.parameter_estimate()
+        assert 18e6 < small < 26e6
+        assert 80e6 < base < 95e6
+        assert base > 3.5 * small
+
+    def test_scaled_config_param_estimate_matches_model(self):
+        config = ViTConfig(image_size=32, patch_size=8, dim=48, depth=2, num_heads=4)
+        encoder = ViTEncoder(config)
+        assert encoder.num_parameters() == config.parameter_estimate()
+
+
+class TestSnapPixModel:
+    def test_ar_forward_shape(self, rng):
+        model = build_snappix_model("tiny", task="ar", num_classes=5, image_size=16)
+        logits = model(rng.random((3, 16, 16)))
+        assert logits.shape == (3, 5)
+
+    def test_rec_forward_shape(self, rng):
+        model = build_snappix_model("tiny", task="rec", image_size=16,
+                                    num_output_frames=8)
+        out = model(rng.random((2, 16, 16)))
+        assert out.shape == (2, 4, 8 * 64)  # 4 patches of 8x8, 8 frames each
+
+    def test_invalid_task(self):
+        with pytest.raises(ValueError):
+            SnapPixModel(ViTConfig(image_size=16, patch_size=8), task="segmentation")
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            build_snappix_model("xl", task="ar")
+
+    def test_b_variant_larger_than_s(self):
+        s_model = build_snappix_model("s", task="ar", image_size=32)
+        b_model = build_snappix_model("b", task="ar", image_size=32)
+        assert b_model.num_parameters() > s_model.num_parameters()
+
+    def test_training_step_reduces_loss(self, rng):
+        """A few gradient steps on a tiny problem must reduce the AR loss."""
+        model = build_snappix_model("tiny", task="ar", num_classes=3, image_size=16)
+        images = rng.random((6, 16, 16))
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        opt = SGD(model.parameters(), lr=0.1)
+        first = None
+        for _ in range(15):
+            opt.zero_grad()
+            loss = F.cross_entropy(model(images), labels)
+            if first is None:
+                first = float(loss.data)
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < first
+
+    def test_load_pretrained_encoder(self, rng):
+        pretrain = MaskedAutoencoder(ViTConfig(image_size=16, patch_size=8, dim=32,
+                                               depth=1, num_heads=4),
+                                     num_output_frames=4)
+        model = SnapPixModel(ViTConfig(image_size=16, patch_size=8, dim=32,
+                                       depth=1, num_heads=4), task="ar",
+                             num_classes=4)
+        model.load_pretrained_encoder(pretrain.encoder)
+        for key, value in pretrain.encoder.state_dict().items():
+            assert np.allclose(model.encoder.state_dict()[key], value)
+
+    def test_encoder_keep_indices(self, rng):
+        config = ViTConfig(image_size=32, patch_size=8, dim=32, depth=1, num_heads=4)
+        encoder = ViTEncoder(config)
+        tokens = encoder(rng.random((2, 32, 32)), keep_indices=np.array([0, 3, 7]))
+        assert tokens.shape == (2, 3, 32)
+
+
+class TestMaskedAutoencoder:
+    def test_output_covers_all_patches(self, rng):
+        config = ViTConfig(image_size=32, patch_size=8, dim=32, depth=1, num_heads=4)
+        mae = MaskedAutoencoder(config, num_output_frames=8, decoder_dim=24,
+                                decoder_depth=1)
+        out = mae(rng.random((2, 32, 32)), keep_indices=np.array([1, 5, 9]))
+        assert out.shape == (2, 16, 8 * 64)
+
+    def test_gradients_flow_to_mask_token(self, rng):
+        config = ViTConfig(image_size=16, patch_size=8, dim=24, depth=1, num_heads=4)
+        mae = MaskedAutoencoder(config, num_output_frames=4, decoder_dim=16)
+        out = mae(rng.random((1, 16, 16)), keep_indices=np.array([0]))
+        out.sum().backward()
+        assert mae.mask_token.grad is not None
+
+
+class TestSVC2D:
+    def test_shift_variant_conv_shape(self, rng):
+        svc = ShiftVariantConv2d(1, 3, kernel_size=3, tile_size=4, rng=rng)
+        out = svc(Tensor(rng.random((2, 1, 8, 8))))
+        assert out.shape == (2, 3, 8, 8)
+
+    def test_even_kernel_raises(self):
+        with pytest.raises(ValueError):
+            ShiftVariantConv2d(1, 1, kernel_size=2, tile_size=4)
+
+    def test_kernels_differ_across_tile_positions(self, rng):
+        """Two pixels at different in-tile positions use different kernels:
+        with a constant input, outputs generally differ inside a tile."""
+        svc = ShiftVariantConv2d(1, 1, kernel_size=3, tile_size=2, rng=rng)
+        out = svc(Tensor(np.ones((1, 1, 4, 4))))
+        tile = out.data[0, 0, 1:3, 1:3]  # interior 2x2 covers all positions
+        assert not np.allclose(tile, tile[0, 0])
+
+    def test_svc2d_model_forward_and_grad(self, rng):
+        model = SVC2DModel(num_classes=4, tile_size=4, base_channels=2, rng=rng)
+        logits = model(rng.random((2, 8, 8)))
+        assert logits.shape == (2, 4)
+        F.cross_entropy(logits, np.array([0, 1])).backward()
+        assert model.svc.weight.grad is not None
+        assert model.fc.weight.grad is not None
+
+
+class TestVideoBaselines:
+    def test_c3d_forward(self, rng):
+        model = C3DModel(num_classes=5, in_frames=8, base_channels=2, rng=rng)
+        logits = model(rng.random((2, 8, 16, 16)))
+        assert logits.shape == (2, 5)
+
+    def test_c3d_rejects_bad_input(self, rng):
+        model = C3DModel(num_classes=5, base_channels=2, rng=rng)
+        with pytest.raises(ValueError):
+            model(rng.random((8, 16, 16)))
+
+    def test_videomae_forward(self, rng):
+        config = VideoViTConfig(image_size=16, patch_size=8, num_frames=8,
+                                tube_frames=2, dim=32, depth=1, num_heads=4)
+        model = VideoMAEClassifier(config, num_classes=6, rng=rng)
+        logits = model(rng.random((2, 8, 16, 16)))
+        assert logits.shape == (2, 6)
+
+    def test_videomae_token_count(self):
+        config = VideoViTConfig(image_size=32, patch_size=8, num_frames=16,
+                                tube_frames=2)
+        # 16 spatial patches * 8 temporal tubes
+        assert config.num_tokens == 16 * 8
+
+    def test_videomae_invalid_config(self):
+        with pytest.raises(ValueError):
+            VideoViTConfig(image_size=30, patch_size=8)
+        with pytest.raises(ValueError):
+            VideoViTConfig(num_frames=15, tube_frames=2)
+
+    def test_spatial_downsample(self, rng):
+        videos = rng.random((2, 4, 16, 16))
+        down = spatial_downsample(videos, factor=4)
+        assert down.shape == (2, 4, 4, 4)
+        assert np.isclose(down[0, 0, 0, 0], videos[0, 0, :4, :4].mean())
+
+    def test_spatial_downsample_single_clip(self, rng):
+        down = spatial_downsample(rng.random((4, 16, 16)), factor=4)
+        assert down.shape == (4, 4, 4)
+
+    def test_spatial_downsample_bad_factor(self, rng):
+        with pytest.raises(ValueError):
+            spatial_downsample(rng.random((2, 4, 10, 10)), factor=4)
+
+    def test_downsample_baseline_forward(self, rng):
+        model = DownsampleBaseline(num_classes=4, image_size=32, num_frames=8,
+                                   dim=24, depth=1, rng=rng)
+        logits = model(rng.random((2, 8, 32, 32)))
+        assert logits.shape == (2, 4)
+
+
+class TestRegistry:
+    def test_all_names_buildable(self, rng):
+        for name in model_names():
+            model = build_model(name, num_classes=3, image_size=16, num_frames=8,
+                                tile_size=8)
+            kind = model_input_kind(name)
+            if kind == "ce":
+                out = model(rng.random((1, 16, 16)))
+            else:
+                out = model(rng.random((1, 8, 16, 16)))
+            assert out.shape == (1, 3)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("resnet50")
+        with pytest.raises(KeyError):
+            model_input_kind("resnet50")
+
+    def test_table1_input_column(self):
+        """Table I: SnapPix and SVC2D consume coded images; C3D and VideoMAE
+        consume uncompressed video."""
+        assert model_input_kind("snappix_s") == "ce"
+        assert model_input_kind("snappix_b") == "ce"
+        assert model_input_kind("svc2d") == "ce"
+        assert model_input_kind("c3d") == "video"
+        assert model_input_kind("videomae_st") == "video"

@@ -1,0 +1,247 @@
+"""Unit and property-based tests for the autodiff tensor engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, concatenate, no_grad, stack, where
+from repro.nn.tensor import _unbroadcast
+
+
+def finite_floats(shape):
+    return arrays(np.float64, shape,
+                  elements=st.floats(-3, 3, allow_nan=False, allow_infinity=False))
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = (a + b).sum()
+        out.backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [5.0, 7.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_div_backward(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.0])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).sum().backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([0.5, 0.5], requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [-1.0, -1.0])
+
+    def test_scalar_broadcasting(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = (a * 2.0 + 1.0).sum()
+        out.backward()
+        assert np.allclose(a.grad, 2.0 * np.ones((2, 3)))
+
+    def test_matmul_backward(self):
+        a = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]), requires_grad=True)
+        b = Tensor(np.array([[5.0], [6.0]]), requires_grad=True)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, [[5.0, 6.0], [5.0, 6.0]])
+        assert np.allclose(b.grad, [[4.0], [6.0]])
+
+    def test_batched_matmul_shapes(self):
+        a = Tensor(np.random.default_rng(0).random((4, 3, 5)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).random((4, 5, 2)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (4, 3, 2)
+        out.sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape
+
+
+class TestReductionsAndShape:
+    def test_mean_axis(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        a.mean(axis=1).sum().backward()
+        assert np.allclose(a.grad, np.full((2, 3), 1 / 3))
+
+    def test_sum_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=0, keepdims=True)
+        assert out.shape == (1, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_var_matches_numpy(self):
+        data = np.random.default_rng(0).random((4, 5))
+        t = Tensor(data)
+        assert np.allclose(t.var(axis=1).data, data.var(axis=1))
+
+    def test_reshape_transpose_roundtrip(self):
+        a = Tensor(np.arange(24, dtype=float).reshape(2, 3, 4), requires_grad=True)
+        out = a.reshape(6, 4).transpose(1, 0)
+        assert out.shape == (4, 6)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3, 4)))
+
+    def test_getitem_backward(self):
+        a = Tensor(np.arange(10, dtype=float), requires_grad=True)
+        a[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        assert np.allclose(a.grad, expected)
+
+    def test_max_reduction(self):
+        a = Tensor(np.array([[1.0, 5.0], [3.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_pad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = a.pad(((1, 1), (0, 0)))
+        assert out.shape == (4, 2)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 2)))
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["exp", "log", "sqrt", "tanh", "sigmoid", "gelu"])
+    def test_numeric_gradients(self, op):
+        rng = np.random.default_rng(7)
+        data = rng.random(5) + 0.5  # positive for log/sqrt
+        t = Tensor(data, requires_grad=True)
+        getattr(t, op)().sum().backward()
+        eps = 1e-6
+        numeric = np.zeros_like(data)
+        for i in range(data.size):
+            plus, minus = data.copy(), data.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            numeric[i] = (getattr(Tensor(plus), op)().sum().data -
+                          getattr(Tensor(minus), op)().sum().data) / (2 * eps)
+        assert np.allclose(t.grad, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_relu_gradient_mask(self):
+        a = Tensor([-1.0, 2.0, -3.0, 4.0], requires_grad=True)
+        a.relu().sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0, 1.0])
+
+    def test_clip(self):
+        a = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        a.clip(0.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestGraphSemantics:
+    def test_no_grad_context(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_detach(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a.detach() * 3
+        assert not b.requires_grad
+
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = a * a + a
+        out.sum().backward()
+        assert np.allclose(a.grad, [5.0])  # 2a + 1
+
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            a.sum().backward()
+
+    def test_concatenate_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 2)))
+        assert np.allclose(b.grad, np.ones((3, 2)))
+
+    def test_stack_backward(self):
+        tensors = [Tensor(np.full(3, float(i)), requires_grad=True) for i in range(4)]
+        out = stack(tensors, axis=0)
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        for t in tensors:
+            assert np.allclose(t.grad, np.ones(3))
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([10.0, 20.0, 30.0], requires_grad=True)
+        out = where(cond, a, b)
+        assert np.allclose(out.data, [1.0, 20.0, 3.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+        assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestUnbroadcast:
+    def test_leading_axis(self):
+        grad = np.ones((4, 3))
+        assert _unbroadcast(grad, (3,)).shape == (3,)
+        assert np.allclose(_unbroadcast(grad, (3,)), 4 * np.ones(3))
+
+    def test_keepdim_axis(self):
+        grad = np.ones((4, 3))
+        assert _unbroadcast(grad, (1, 3)).shape == (1, 3)
+
+    def test_identity(self):
+        grad = np.ones((2, 2))
+        assert _unbroadcast(grad, (2, 2)) is grad
+
+
+class TestPropertyBased:
+    @given(finite_floats((3, 4)), finite_floats((3, 4)))
+    @settings(max_examples=25, deadline=None)
+    def test_add_commutative(self, a, b):
+        assert np.allclose((Tensor(a) + Tensor(b)).data, (Tensor(b) + Tensor(a)).data)
+
+    @given(finite_floats((2, 3)))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_gradient_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.sum().backward()
+        assert np.allclose(t.grad, np.ones_like(a))
+
+    @given(finite_floats((4,)), finite_floats((4,)))
+    @settings(max_examples=25, deadline=None)
+    def test_product_rule(self, a, b):
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta * tb).sum().backward()
+        assert np.allclose(ta.grad, b)
+        assert np.allclose(tb.grad, a)
+
+    @given(finite_floats((3, 3)))
+    @settings(max_examples=20, deadline=None)
+    def test_double_reshape_identity(self, a):
+        t = Tensor(a, requires_grad=True)
+        out = t.reshape(9).reshape(3, 3)
+        assert np.allclose(out.data, a)

@@ -1,0 +1,88 @@
+"""Tests for the noise-robustness evaluation (repro.tasks.robustness)."""
+
+import numpy as np
+import pytest
+
+from repro.ce import CEConfig, CodedExposureSensor, make_pattern
+from repro.data import build_dataset
+from repro.models import build_snappix_model
+from repro.tasks import (
+    ActionRecognitionTrainer,
+    accuracy_retention,
+    evaluate_under_noise,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A quickly-trained AR model plus the data and sensor it was trained with."""
+    config = CEConfig(num_slots=8, tile_size=8, frame_height=16, frame_width=16)
+    pattern = make_pattern("random", 8, 8, rng=np.random.default_rng(0))
+    sensor = CodedExposureSensor(config, pattern)
+    dataset = build_dataset("ssv2", num_frames=8, frame_size=16,
+                            train_clips_per_class=4, test_clips_per_class=3, seed=0)
+    model = build_snappix_model("tiny", task="ar", num_classes=dataset.num_classes,
+                                image_size=16, seed=0)
+    trainer = ActionRecognitionTrainer(model, dataset, sensor=sensor, epochs=3,
+                                       batch_size=6, seed=0)
+    trainer.fit(evaluate_every=0)
+    return model, dataset, config, pattern
+
+
+class TestEvaluateUnderNoise:
+    def test_rows_structure(self, trained_setup):
+        model, dataset, config, pattern = trained_setup
+        rows = evaluate_under_noise(model, dataset.test_videos, dataset.test_labels,
+                                    config, pattern,
+                                    full_well_values=(50000.0, 500.0), seed=0)
+        assert len(rows) == 3
+        assert rows[0]["operating_point"] == "clean"
+        assert rows[0]["capture_snr_db"] == float("inf")
+        for row in rows:
+            assert 0.0 <= row["accuracy"] <= 1.0
+
+    def test_snr_decreases_with_full_well(self, trained_setup):
+        model, dataset, config, pattern = trained_setup
+        rows = evaluate_under_noise(model, dataset.test_videos, dataset.test_labels,
+                                    config, pattern,
+                                    full_well_values=(50000.0, 200.0), seed=0)
+        assert rows[1]["capture_snr_db"] > rows[2]["capture_snr_db"]
+
+    def test_validation(self, trained_setup):
+        model, dataset, config, pattern = trained_setup
+        with pytest.raises(ValueError):
+            evaluate_under_noise(model, dataset.test_videos[:, 0], dataset.test_labels,
+                                 config, pattern)
+        with pytest.raises(ValueError):
+            evaluate_under_noise(model, dataset.test_videos, dataset.test_labels[:-1],
+                                 config, pattern)
+        with pytest.raises(ValueError):
+            evaluate_under_noise(model, dataset.test_videos, dataset.test_labels,
+                                 config, pattern, full_well_values=())
+        with pytest.raises(ValueError):
+            evaluate_under_noise(model, dataset.test_videos, dataset.test_labels,
+                                 config, pattern, full_well_values=(-1.0,))
+
+
+class TestAccuracyRetention:
+    def test_retention_fractions(self):
+        rows = [
+            {"operating_point": "clean", "accuracy": 0.8},
+            {"operating_point": "full_well_5000", "accuracy": 0.6},
+            {"operating_point": "full_well_500", "accuracy": 0.4},
+        ]
+        retention = accuracy_retention(rows)
+        assert retention["full_well_5000"] == pytest.approx(0.75)
+        assert retention["full_well_500"] == pytest.approx(0.5)
+
+    def test_requires_clean_reference_first(self):
+        with pytest.raises(ValueError):
+            accuracy_retention([{"operating_point": "full_well_500", "accuracy": 0.4}])
+
+    def test_zero_clean_accuracy_gives_nan(self):
+        rows = [
+            {"operating_point": "clean", "accuracy": 0.0},
+            {"operating_point": "full_well_500", "accuracy": 0.0},
+        ]
+        retention = accuracy_retention(rows)
+        assert np.isnan(retention["full_well_500"])

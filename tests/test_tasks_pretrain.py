@@ -1,0 +1,225 @@
+"""Tests for metrics, AR/REC trainers, and the masked pre-training pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.ce import CEConfig, CodedExposureSensor, random_pattern
+from repro.data import build_dataset, build_pretrain_dataset
+from repro.models import SnapPixModel, ViTConfig, build_model, build_snappix_model
+from repro.pretrain import (
+    MaskedPretrainer,
+    random_tile_masking,
+    select_target_frames,
+)
+from repro.tasks import (
+    ActionRecognitionTrainer,
+    ReconstructionTrainer,
+    confusion_matrix,
+    measure_inference_throughput,
+    psnr,
+    top1_accuracy,
+)
+
+
+def tiny_dataset(num_frames=8, size=16):
+    return build_dataset("ssv2", train_clips_per_class=3, test_clips_per_class=2,
+                         num_frames=num_frames, frame_size=size)
+
+
+def tiny_sensor(num_frames=8, size=16, tile=8, seed=0):
+    config = CEConfig(num_slots=num_frames, tile_size=tile, frame_height=size,
+                      frame_width=size)
+    return CodedExposureSensor(config, random_pattern(num_frames, tile,
+                                                      rng=np.random.default_rng(seed)))
+
+
+class TestMetrics:
+    def test_top1_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert np.isclose(top1_accuracy(logits, np.array([0, 1, 1])), 2 / 3)
+
+    def test_top1_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros((3, 2)), np.zeros(2))
+
+    def test_psnr_identical_is_infinite(self, rng):
+        frames = rng.random((4, 8, 8))
+        assert psnr(frames, frames) == float("inf")
+
+    def test_psnr_known_value(self):
+        target = np.zeros((10, 10))
+        prediction = np.full((10, 10), 0.1)
+        assert np.isclose(psnr(prediction, target), 20.0)
+
+    def test_psnr_decreases_with_noise(self, rng):
+        target = rng.random((4, 16, 16))
+        small = psnr(target + 0.01, target)
+        large = psnr(target + 0.1, target)
+        assert small > large
+
+    def test_psnr_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            psnr(rng.random((2, 4)), rng.random((4, 2)))
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]), 3)
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_confusion_matrix_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0, 1]), 2)
+
+
+class TestActionRecognitionTrainer:
+    def test_snappix_training_improves_over_chance(self):
+        dataset = tiny_dataset()
+        sensor = tiny_sensor()
+        model = build_snappix_model("tiny", task="ar",
+                                    num_classes=dataset.num_classes, image_size=16)
+        trainer = ActionRecognitionTrainer(model, dataset, sensor=sensor,
+                                           epochs=6, batch_size=6, lr=2e-3)
+        history = trainer.fit(evaluate_every=0)
+        chance = 1.0 / dataset.num_classes
+        assert history.losses[-1] < history.losses[0]
+        assert trainer.evaluate("train") > chance
+
+    def test_video_model_path(self):
+        dataset = tiny_dataset()
+        model = build_model("c3d", num_classes=dataset.num_classes,
+                            image_size=16, num_frames=8)
+        trainer = ActionRecognitionTrainer(model, dataset, sensor=None,
+                                           epochs=1, batch_size=6)
+        loss = trainer.train_epoch()
+        assert np.isfinite(loss)
+        accuracy = trainer.evaluate("test")
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_history_records(self):
+        dataset = tiny_dataset()
+        sensor = tiny_sensor()
+        model = build_snappix_model("tiny", task="ar",
+                                    num_classes=dataset.num_classes, image_size=16)
+        trainer = ActionRecognitionTrainer(model, dataset, sensor=sensor,
+                                           epochs=2, batch_size=6)
+        history = trainer.fit(evaluate_every=1)
+        assert len(history.losses) == 2
+        assert len(history.test_accuracies) == 2
+        assert len(history.epoch_seconds) == 2
+        assert 0.0 <= history.final_test_accuracy <= 1.0
+        assert history.best_test_accuracy >= history.final_test_accuracy - 1e-9
+
+    def test_invalid_split(self):
+        dataset = tiny_dataset()
+        model = build_snappix_model("tiny", task="ar",
+                                    num_classes=dataset.num_classes, image_size=16)
+        trainer = ActionRecognitionTrainer(model, dataset, sensor=tiny_sensor(),
+                                           epochs=1)
+        with pytest.raises(ValueError):
+            trainer.evaluate("validation")
+
+    def test_throughput_measurement(self, rng):
+        model = build_snappix_model("tiny", task="ar", num_classes=3, image_size=16)
+        throughput = measure_inference_throughput(model, rng.random((1, 16, 16)),
+                                                  batch_size=4, repeats=1)
+        assert throughput > 0
+
+
+class TestReconstructionTrainer:
+    def test_training_improves_psnr(self):
+        dataset = tiny_dataset()
+        sensor = tiny_sensor()
+        model = build_snappix_model("tiny", task="rec", image_size=16,
+                                    num_output_frames=dataset.num_frames)
+        trainer = ReconstructionTrainer(model, dataset, sensor, epochs=5,
+                                        batch_size=6, lr=3e-3)
+        initial = trainer.evaluate("test")
+        history = trainer.fit(evaluate_every=0)
+        assert history.losses[-1] < history.losses[0]
+        assert history.final_psnr > initial
+
+    def test_reconstruct_output_shape_and_range(self):
+        dataset = tiny_dataset()
+        sensor = tiny_sensor()
+        model = build_snappix_model("tiny", task="rec", image_size=16,
+                                    num_output_frames=dataset.num_frames)
+        trainer = ReconstructionTrainer(model, dataset, sensor, epochs=1)
+        recon = trainer.reconstruct(dataset.test_videos[:2])
+        assert recon.shape == (2, dataset.num_frames, 16, 16)
+        assert recon.min() >= 0.0 and recon.max() <= 1.0
+
+    def test_requires_rec_model(self):
+        dataset = tiny_dataset()
+        model = build_snappix_model("tiny", task="ar",
+                                    num_classes=dataset.num_classes, image_size=16)
+        with pytest.raises(ValueError):
+            ReconstructionTrainer(model, dataset, tiny_sensor())
+
+    def test_frame_count_mismatch(self):
+        dataset = tiny_dataset(num_frames=8)
+        model = build_snappix_model("tiny", task="rec", image_size=16,
+                                    num_output_frames=4)
+        with pytest.raises(ValueError):
+            ReconstructionTrainer(model, dataset, tiny_sensor())
+
+
+class TestMasking:
+    def test_masking_partitions_indices(self):
+        keep, masked = random_tile_masking(16, 0.75, np.random.default_rng(0))
+        assert len(keep) + len(masked) == 16
+        assert len(np.intersect1d(keep, masked)) == 0
+        assert len(masked) == 12
+
+    def test_at_least_one_visible(self):
+        keep, masked = random_tile_masking(4, 0.99, np.random.default_rng(0))
+        assert len(keep) >= 1
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            random_tile_masking(8, 1.0)
+        with pytest.raises(ValueError):
+            random_tile_masking(0, 0.5)
+
+    def test_select_target_frames_fraction(self):
+        frames = select_target_frames(16, 0.5)
+        assert len(frames) == 8
+        assert frames.max() < 16
+
+    def test_select_target_frames_full(self):
+        assert np.array_equal(select_target_frames(8, 1.0), np.arange(8))
+
+    def test_select_target_frames_invalid(self):
+        with pytest.raises(ValueError):
+            select_target_frames(8, 0.0)
+
+
+class TestMaskedPretraining:
+    def test_pretraining_reduces_loss_and_transfers(self):
+        videos = build_pretrain_dataset(num_clips=18, num_frames=8, frame_size=16)
+        config = ViTConfig(image_size=16, patch_size=8, dim=32, depth=1, num_heads=4)
+        sensor = tiny_sensor()
+        pretrainer = MaskedPretrainer(config, sensor, num_frames=8, mask_ratio=0.5,
+                                      epochs=3, batch_size=6, decoder_dim=24)
+        history = pretrainer.fit(videos)
+        assert len(history.losses) == 3
+        assert history.losses[-1] < history.losses[0]
+        assert np.isfinite(history.final_loss)
+
+        # Encoder weights transfer into a fine-tuning model without error.
+        model = SnapPixModel(config, task="ar", num_classes=4)
+        before = model.encoder.state_dict()["patch_embed.proj.weight"].copy()
+        model.load_pretrained_encoder(pretrainer.encoder)
+        after = model.encoder.state_dict()["patch_embed.proj.weight"]
+        assert not np.allclose(before, after)
+
+    def test_pretrain_step_returns_finite_loss(self):
+        videos = build_pretrain_dataset(num_clips=6, num_frames=8, frame_size=16)
+        config = ViTConfig(image_size=16, patch_size=8, dim=24, depth=1, num_heads=4)
+        pretrainer = MaskedPretrainer(config, tiny_sensor(), num_frames=8,
+                                      mask_ratio=0.5, epochs=1, decoder_dim=16)
+        loss = pretrainer.pretrain_step(videos[:4])
+        assert np.isfinite(loss)
+        assert loss > 0
