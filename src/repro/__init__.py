@@ -12,6 +12,8 @@ Top-level package layout:
 - :mod:`repro.hardware` — CE pixel functional simulator, area and timing models (Sec. V).
 - :mod:`repro.compression` — digital-domain compression baselines (Sec. VII).
 - :mod:`repro.analysis` — design-space sweeps and result reporting.
+- :mod:`repro.runtime` — staged execution runtime: content-addressed
+  pipeline stages, artifact caching, and batch/stream CE encoding.
 - :mod:`repro.core` — end-to-end SnapPix system orchestration and CLI.
 """
 
@@ -28,5 +30,6 @@ __all__ = [
     "hardware",
     "compression",
     "analysis",
+    "runtime",
     "core",
 ]

@@ -33,8 +33,18 @@ from ..compression import (
 )
 from ..data import build_pretrain_dataset
 from ..energy import EdgeSensingScenario
-from ..hardware import FrameRateModel, PatternStreamTiming, ReadoutTiming, \
-    pixel_area_report
+from ..hardware import (
+    FrameRateModel,
+    PatternStreamTiming,
+    ReadoutTiming,
+    pixel_area_report,
+)
+from ..runtime import (
+    ArtifactStore,
+    PatternStage,
+    PipelineRunner,
+    PretrainPoolStage,
+)
 
 
 # ----------------------------------------------------------------------
@@ -45,13 +55,22 @@ def sweep_exposure_slots(num_slots_values: Sequence[int] = (4, 8, 16, 32),
                          tile_size: int = 8,
                          measure_correlation: bool = False,
                          num_clips: int = 32,
-                         seed: int = 0) -> List[Dict[str, float]]:
+                         seed: int = 0,
+                         store: Optional[ArtifactStore] = None
+                         ) -> List[Dict[str, float]]:
     """Energy and compression consequences of the exposure-slot count ``T``.
 
     The paper fixes T = 16; this sweep shows how the read-out reduction,
     short/long-range energy savings, and (optionally) the achievable
     decorrelation move as T changes.
+
+    When ``store`` is given, the pool synthesis and pattern learning go
+    through the staged runtime keyed on that store, so repeated sweeps
+    (or other entry points with matching configs) reuse the cached
+    artifacts instead of re-learning the pattern per grid point.  The
+    rows are bit-identical to the legacy (storeless) path.
     """
+    runner = PipelineRunner(store) if store is not None else None
     rows: List[Dict[str, float]] = []
     for num_slots in num_slots_values:
         if num_slots < 1:
@@ -65,16 +84,28 @@ def sweep_exposure_slots(num_slots_values: Sequence[int] = (4, 8, 16, 32),
             "long_range_saving": scenario.edge_server("lora_backscatter").saving_factor,
         }
         if measure_correlation:
-            videos = build_pretrain_dataset(num_clips=num_clips,
-                                            num_frames=num_slots,
-                                            frame_size=min(frame_size, 32),
-                                            seed=seed)
-            config = CEConfig(num_slots=num_slots, tile_size=tile_size,
-                              frame_height=min(frame_size, 32),
-                              frame_width=min(frame_size, 32))
-            result = learn_decorrelated_pattern(videos, config, epochs=3, seed=seed)
-            _, correlation, _ = coded_pixel_correlation(videos, result.tile_pattern,
-                                                        tile_size)
+            corr_frame_size = min(frame_size, 32)
+            if runner is not None:
+                result = runner.run([
+                    PretrainPoolStage(num_clips=num_clips, num_frames=num_slots,
+                                      frame_size=corr_frame_size, seed=seed),
+                    PatternStage("decorrelated", num_slots=num_slots,
+                                 tile_size=tile_size, frame_size=corr_frame_size,
+                                 epochs=3, seed=seed),
+                ])
+                correlation = result.artifacts["pattern"]["correlation"]
+            else:
+                videos = build_pretrain_dataset(num_clips=num_clips,
+                                                num_frames=num_slots,
+                                                frame_size=corr_frame_size,
+                                                seed=seed)
+                config = CEConfig(num_slots=num_slots, tile_size=tile_size,
+                                  frame_height=corr_frame_size,
+                                  frame_width=corr_frame_size)
+                result = learn_decorrelated_pattern(videos, config, epochs=3,
+                                                    seed=seed)
+                _, correlation, _ = coded_pixel_correlation(
+                    videos, result.tile_pattern, tile_size)
             row["decorrelated_pattern_correlation"] = correlation
         rows.append(row)
     return rows
@@ -122,15 +153,23 @@ def sweep_tile_size(tile_sizes: Sequence[int] = (4, 8, 14, 16),
 def sweep_exposure_density(densities: Sequence[float] = (0.125, 0.25, 0.5, 0.75, 1.0),
                            num_slots: int = 16, tile_size: int = 8,
                            frame_size: int = 32, num_clips: int = 32,
-                           seed: int = 0) -> List[Dict[str, float]]:
+                           seed: int = 0,
+                           store: Optional[ArtifactStore] = None
+                           ) -> List[Dict[str, float]]:
     """Coded-pixel correlation as a function of random-pattern exposure density.
 
     Interpolates between the paper's SPARSE RANDOM (density 1/T), RANDOM
     (density 0.5), and LONG EXPOSURE (density 1.0) baselines, showing how
-    light throughput trades against decorrelation.
+    light throughput trades against decorrelation.  With a ``store`` the
+    shared clip pool is fetched through the staged runtime cache.
     """
-    videos = build_pretrain_dataset(num_clips=num_clips, num_frames=num_slots,
-                                    frame_size=frame_size, seed=seed)
+    pool_stage = PretrainPoolStage(num_clips=num_clips, num_frames=num_slots,
+                                   frame_size=frame_size, seed=seed)
+    if store is not None:
+        videos = PipelineRunner(store).run([pool_stage]).artifacts["pretrain_pool"]
+    else:
+        videos = build_pretrain_dataset(num_clips=num_clips, num_frames=num_slots,
+                                        frame_size=frame_size, seed=seed)
     rng = np.random.default_rng(seed)
     rows: List[Dict[str, float]] = []
     for density in densities:

@@ -4,6 +4,7 @@ Exposes the main entry points of the library without writing Python::
 
     python -m repro pattern   --num-slots 16 --tile-size 8 --save pattern.json
     python -m repro pipeline  --task ar --dataset ssv2 --pattern decorrelated
+    python -m repro runtime   --task ar --cache-dir .snappix-cache --repeat 2
     python -m repro energy    --frame-size 112 --num-slots 16
     python -m repro hardware  --tile-size 8 --node-nm 22
     python -m repro sweep     slots --csv slots.csv
@@ -40,8 +41,13 @@ from ..ce import (
 )
 from ..data import build_pretrain_dataset
 from ..energy import EdgeSensingScenario
-from ..hardware import FrameRateModel, PatternStreamTiming, ReadoutTiming, \
-    pixel_area_report
+from ..hardware import (
+    FrameRateModel,
+    PatternStreamTiming,
+    ReadoutTiming,
+    pixel_area_report,
+)
+from ..runtime import ArtifactStore
 from .config import PipelineConfig
 from .experiments import run_correlation_comparison
 from .system import SnapPixSystem
@@ -52,6 +58,9 @@ SWEEPS = {
     "density": sweep_exposure_density,
     "codec": sweep_digital_codec_quality,
 }
+
+#: Sweeps that accept a ``store`` for staged-runtime artifact caching.
+SWEEPS_WITH_STORE = frozenset({"slots", "density"})
 
 
 def _print_mapping(title: str, mapping: Dict[str, float]) -> None:
@@ -88,16 +97,44 @@ def _cmd_pattern(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
+    return PipelineConfig(dataset=args.dataset, frame_size=args.frame_size,
+                          num_slots=args.num_slots, tile_size=args.tile_size,
+                          pattern=args.pattern, model_variant=args.variant,
+                          use_pretraining=not args.no_pretrain,
+                          pretrain_epochs=args.pretrain_epochs,
+                          finetune_epochs=args.epochs, seed=args.seed)
+
+
 def _cmd_pipeline(args: argparse.Namespace) -> int:
-    config = PipelineConfig(dataset=args.dataset, frame_size=args.frame_size,
-                            num_slots=args.num_slots, tile_size=args.tile_size,
-                            pattern=args.pattern, model_variant=args.variant,
-                            use_pretraining=not args.no_pretrain,
-                            pretrain_epochs=args.pretrain_epochs,
-                            finetune_epochs=args.epochs, seed=args.seed)
-    system = SnapPixSystem(config)
+    system = SnapPixSystem(_pipeline_config(args),
+                           cache_dir=args.cache_dir or None)
     result = system.run(task=args.task)
     _print_mapping(f"SnapPix pipeline ({args.task})", result.as_dict())
+    return 0
+
+
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    """Run the staged pipeline, printing the per-stage execution log.
+
+    With ``--repeat N`` (or a persistent ``--cache-dir`` reused across
+    invocations) the later runs show the pattern / pre-training stages
+    resolving as cache hits instead of recomputing.
+    """
+    config = _pipeline_config(args)
+    store = ArtifactStore(args.cache_dir or None)
+    result = None
+    for iteration in range(args.repeat):
+        system = SnapPixSystem(config, store=store)
+        result = system.run(task=args.task)
+        rows = [{"stage": ex.stage,
+                 "cache_hit": "yes" if ex.cache_hit else "no",
+                 "seconds": ex.seconds}
+                for ex in system.last_run.executions]
+        print(f"--- run {iteration + 1}/{args.repeat} ---")
+        print(format_text_table(rows))
+    _print_mapping(f"SnapPix staged pipeline ({args.task})", result.as_dict())
+    _print_mapping("artifact store", store.stats.as_dict())
     return 0
 
 
@@ -137,7 +174,10 @@ def _cmd_hardware(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    rows = SWEEPS[args.name]()
+    kwargs = {}
+    if args.cache_dir and args.name in SWEEPS_WITH_STORE:
+        kwargs["store"] = ArtifactStore(args.cache_dir)
+    rows = SWEEPS[args.name](**kwargs)
     print(format_text_table(rows))
     if args.csv:
         path = write_csv(rows, args.csv)
@@ -184,18 +224,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the pattern as text")
     pattern.set_defaults(func=_cmd_pattern)
 
+    def add_pipeline_options(sub):
+        add_geometry(sub, num_slots=8)
+        sub.add_argument("--task", choices=("ar", "rec"), default="ar")
+        sub.add_argument("--dataset", choices=("ssv2", "k400", "ucf101"),
+                         default="ssv2")
+        sub.add_argument("--pattern", default="decorrelated",
+                         choices=("decorrelated", "long_exposure",
+                                  "short_exposure", "random", "sparse_random",
+                                  "global"))
+        sub.add_argument("--variant", choices=("tiny", "s", "b"), default="tiny")
+        sub.add_argument("--no-pretrain", action="store_true")
+        sub.add_argument("--epochs", type=int, default=6)
+        sub.add_argument("--pretrain-epochs", type=int, default=2)
+        sub.add_argument("--cache-dir", type=str, default="",
+                         help="persist stage artifacts to this directory "
+                              "(repeat runs become cache hits)")
+
     pipeline = subparsers.add_parser("pipeline",
                                      help="run the end-to-end SnapPix pipeline")
-    add_geometry(pipeline, num_slots=8)
-    pipeline.add_argument("--task", choices=("ar", "rec"), default="ar")
-    pipeline.add_argument("--dataset", choices=("ssv2", "k400", "ucf101"),
-                          default="ssv2")
-    pipeline.add_argument("--pattern", default="decorrelated")
-    pipeline.add_argument("--variant", choices=("tiny", "s", "b"), default="tiny")
-    pipeline.add_argument("--no-pretrain", action="store_true")
-    pipeline.add_argument("--epochs", type=int, default=6)
-    pipeline.add_argument("--pretrain-epochs", type=int, default=2)
+    add_pipeline_options(pipeline)
     pipeline.set_defaults(func=_cmd_pipeline)
+
+    runtime = subparsers.add_parser(
+        "runtime",
+        help="run the staged pipeline and print the per-stage cache report")
+    add_pipeline_options(runtime)
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return value
+
+    runtime.add_argument("--repeat", type=positive_int, default=1,
+                         help="run the pipeline this many times against the "
+                              "same artifact store")
+    runtime.set_defaults(func=_cmd_runtime)
 
     energy = subparsers.add_parser("energy", help="print the Sec. VI-D energy report")
     energy.add_argument("--frame-size", type=int, default=112)
@@ -215,6 +279,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("name", choices=sorted(SWEEPS))
     sweep.add_argument("--csv", type=str, default="",
                        help="also write the rows to this CSV path")
+    sweep.add_argument("--cache-dir", type=str, default="",
+                       help="reuse staged-runtime artifacts from this directory "
+                            "(slots/density sweeps)")
     sweep.set_defaults(func=_cmd_sweep)
 
     correlation = subparsers.add_parser(

@@ -23,6 +23,7 @@ from ..ce import (
 )
 from ..data import build_dataset, build_pretrain_dataset
 from ..models import build_model, model_input_kind, spatial_downsample
+from ..runtime import ArtifactStore
 from ..tasks import ActionRecognitionTrainer, measure_inference_throughput
 from .config import PipelineConfig
 from .system import SnapPixSystem
@@ -50,19 +51,22 @@ def _fast_config(**overrides) -> PipelineConfig:
 # ----------------------------------------------------------------------
 def run_pattern_comparison(patterns=FIG6_PATTERNS, use_pretraining: bool = False,
                            config: Optional[PipelineConfig] = None,
-                           seed: int = 0) -> List[Dict]:
+                           seed: int = 0,
+                           store: Optional[ArtifactStore] = None) -> List[Dict]:
     """Reproduce Fig. 6: for each pattern, train AR and REC from scratch.
 
     Returns one row per pattern with its coded-pixel Pearson correlation,
     AR test accuracy, and REC test PSNR — the three quantities Fig. 6
-    plots / annotates.
+    plots / annotates.  All variants share one artifact store, so the
+    pre-training pool (identical across patterns) is synthesised once.
     """
+    store = store if store is not None else ArtifactStore()
     rows = []
     for pattern in patterns:
         pattern_config = config or _fast_config()
         pattern_config = replace(pattern_config, pattern=pattern,
                                  use_pretraining=use_pretraining, seed=seed)
-        system = SnapPixSystem(pattern_config)
+        system = SnapPixSystem(pattern_config, store=store)
         correlation = system.prepare_pattern()
         if use_pretraining:
             system.pretrain()
@@ -244,7 +248,8 @@ def run_downsample_comparison(frame_size: int = 16, num_slots: int = 8,
 # ----------------------------------------------------------------------
 # Sec. VI-E: ablation study
 # ----------------------------------------------------------------------
-def run_ablation(config: Optional[PipelineConfig] = None, seed: int = 0) -> List[Dict]:
+def run_ablation(config: Optional[PipelineConfig] = None, seed: int = 0,
+                 store: Optional[ArtifactStore] = None) -> List[Dict]:
     """Reproduce the Sec. VI-E ablation on the SSV2 analog.
 
     Four configurations are trained:
@@ -256,7 +261,13 @@ def run_ablation(config: Optional[PipelineConfig] = None, seed: int = 0) -> List
 
     The paper reports each removal degrading accuracy (by 11.39, a further
     3.43, and 23.74 percentage points respectively).
+
+    The variants share one artifact store: the pre-training pool is
+    synthesised once, and the decorrelated pattern learned for the full
+    system is reused verbatim by the ``no_pretraining`` variant instead
+    of being re-learned.
     """
+    store = store if store is not None else ArtifactStore()
     base = config or _fast_config()
     variants = [
         ("full", replace(base, pattern="decorrelated", use_pretraining=True, seed=seed)),
@@ -269,7 +280,7 @@ def run_ablation(config: Optional[PipelineConfig] = None, seed: int = 0) -> List
     ]
     rows = []
     for name, variant_config in variants:
-        system = SnapPixSystem(variant_config)
+        system = SnapPixSystem(variant_config, store=store)
         system.prepare_pattern()
         if variant_config.use_pretraining:
             system.pretrain()

@@ -10,6 +10,16 @@
    reconstruction) on a downstream dataset analog.
 4. **Deployment report**: edge energy analysis (Sec. VI-D) and hardware
    area / protocol report (Sec. V) for the configured sensor geometry.
+
+Since the staged-runtime refactor the class is a thin facade over
+:mod:`repro.runtime`: every phase is a content-addressed
+:class:`~repro.runtime.stage.Stage` executed by a
+:class:`~repro.runtime.runner.PipelineRunner`, so repeated runs with an
+unchanged configuration (and sweeps sharing an
+:class:`~repro.runtime.artifacts.ArtifactStore`) skip the already-computed
+phases via cache hits.  The step-by-step public API
+(:meth:`prepare_pattern`, :meth:`pretrain`, :meth:`train_action_recognition`,
+...) is unchanged.
 """
 
 from __future__ import annotations
@@ -19,23 +29,20 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..ce import (
-    CodedExposureSensor,
-    FrameMaskSensor,
-    coded_pixel_correlation,
-    global_random_pattern,
-    learn_decorrelated_pattern,
-    make_pattern,
+from ..runtime import (
+    ArtifactStore,
+    PipelineRunner,
+    PipelineRunResult,
+    build_pipeline_stages,
+    build_sensor,
+    encoder_from_artifact,
 )
-from ..data import build_dataset, build_pretrain_dataset
-from ..energy import EdgeSensingScenario
-from ..hardware import pixel_area_report
-from ..models import SnapPixModel, ViTConfig, build_snappix_model
-from ..pretrain import MaskedPretrainer
-from ..tasks import (
-    ActionRecognitionTrainer,
-    ReconstructionTrainer,
-    measure_inference_throughput,
+from ..runtime.stages import (
+    finetune_stage_from_config,
+    pattern_stage_from_config,
+    pool_stage_from_config,
+    pretrain_stage_from_config,
+    report_stage_from_config,
 )
 from .config import PipelineConfig
 
@@ -68,28 +75,52 @@ class SnapPixResult:
 
 
 class SnapPixSystem:
-    """Orchestrates pattern learning, pre-training, fine-tuning, and reporting."""
+    """Orchestrates pattern learning, pre-training, fine-tuning, and reporting.
 
-    def __init__(self, config: Optional[PipelineConfig] = None):
+    Parameters
+    ----------
+    config:
+        The pipeline configuration; defaults to :class:`PipelineConfig`.
+    store:
+        Artifact store shared with other systems/sweeps.  Passing the
+        same store to several systems lets them reuse each other's
+        pattern / pre-training artifacts when configs agree.
+    cache_dir:
+        Convenience: when ``store`` is not given, build a store
+        persisting to this directory (``None`` keeps it in-memory).
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None,
+                 store: Optional[ArtifactStore] = None,
+                 cache_dir=None):
         self.config = config or PipelineConfig()
         self.ce_config = self.config.ce_config()
+        if store is None:
+            store = ArtifactStore(cache_dir)
+        self.runner = PipelineRunner(store)
         self.sensor = None
         self.pattern = None
         self.pretrained_encoder = None
-        self._pretrain_videos = None
+        self._pretrain_artifact = None
+        #: Execution log of the most recent runner invocation.
+        self.last_run: Optional[PipelineRunResult] = None
+
+    @property
+    def store(self) -> ArtifactStore:
+        return self.runner.store
+
+    # ------------------------------------------------------------------
+    def _run(self, stages) -> PipelineRunResult:
+        self.last_run = self.runner.run(stages)
+        return self.last_run
+
+    def _pretrain_pool(self) -> np.ndarray:
+        result = self._run([pool_stage_from_config(self.config)])
+        return result.artifacts["pretrain_pool"]
 
     # ------------------------------------------------------------------
     # Stage 1: exposure pattern
     # ------------------------------------------------------------------
-    def _pretrain_pool(self) -> np.ndarray:
-        if self._pretrain_videos is None:
-            self._pretrain_videos = build_pretrain_dataset(
-                num_clips=self.config.pretrain_clips,
-                num_frames=self.config.num_slots,
-                frame_size=self.config.frame_size,
-                seed=self.config.seed + 100)
-        return self._pretrain_videos
-
     def prepare_pattern(self) -> float:
         """Build the exposure pattern and sensor; returns the mean |correlation|.
 
@@ -97,146 +128,67 @@ class SnapPixSystem:
         pre-training pool (the paper trains it for 5 epochs on the large
         pre-training dataset and then freezes it).
         """
-        name = self.config.pattern
-        rng = np.random.default_rng(self.config.seed)
-        if name == "decorrelated":
-            result = learn_decorrelated_pattern(
-                self._pretrain_pool(), self.ce_config,
-                epochs=self.config.pattern_epochs, batch_size=self.config.batch_size,
-                lr=self.config.pattern_lr, seed=self.config.seed)
-            self.pattern = result.tile_pattern
-            self.sensor = CodedExposureSensor(self.ce_config, self.pattern)
-        elif name == "global":
-            mask = global_random_pattern(self.config.num_slots,
-                                         self.config.frame_size,
-                                         self.config.frame_size, rng=rng)
-            self.pattern = mask
-            self.sensor = FrameMaskSensor(self.ce_config, mask)
-        else:
-            self.pattern = make_pattern(name, self.config.num_slots,
-                                        self.config.tile_size, rng=rng)
-            self.sensor = CodedExposureSensor(self.ce_config, self.pattern)
-
-        if name == "global":
-            # Correlation is still measured per tile so the number is
-            # comparable with the tile-repetitive patterns.
-            from ..ce import extract_tiles, pearson_correlation_matrix, \
-                mean_absolute_offdiagonal, zero_mean_contrast_encode
-            coded = self.sensor.capture_raw(self._pretrain_pool())
-            tiles = zero_mean_contrast_encode(
-                extract_tiles(coded, self.config.tile_size))
-            correlation = mean_absolute_offdiagonal(
-                pearson_correlation_matrix(tiles))
-        else:
-            _, correlation, _ = coded_pixel_correlation(
-                self._pretrain_pool(), self.pattern, self.config.tile_size)
-        return correlation
+        result = self._run([pool_stage_from_config(self.config),
+                            pattern_stage_from_config(self.config)])
+        artifact = result.artifacts["pattern"]
+        self.pattern = artifact["pattern"]
+        self.sensor = build_sensor(self.ce_config, artifact)
+        return artifact["correlation"]
 
     # ------------------------------------------------------------------
     # Stage 2: pre-training
     # ------------------------------------------------------------------
-    def _vit_config(self) -> ViTConfig:
-        model = build_snappix_model(self.config.model_variant, task="ar",
-                                    image_size=self.config.frame_size,
-                                    seed=self.config.seed)
-        return model.config
-
     def pretrain(self) -> float:
         """Run the masked coded-image-to-video pre-training; returns the final loss."""
         if self.sensor is None:
             raise RuntimeError("call prepare_pattern() before pretrain()")
-        pretrainer = MaskedPretrainer(
-            self._vit_config(), self.sensor, num_frames=self.config.num_slots,
-            mask_ratio=self.config.mask_ratio, epochs=self.config.pretrain_epochs,
-            batch_size=self.config.batch_size, lr=self.config.lr,
-            seed=self.config.seed)
-        history = pretrainer.fit(self._pretrain_pool())
-        self.pretrained_encoder = pretrainer.encoder
-        return history.final_loss
+        result = self._run([pool_stage_from_config(self.config),
+                            pattern_stage_from_config(self.config),
+                            pretrain_stage_from_config(self.config)])
+        artifact = result.artifacts["pretrain"]
+        self._pretrain_artifact = artifact
+        self.pretrained_encoder = encoder_from_artifact(artifact)
+        return artifact["final_loss"]
 
     # ------------------------------------------------------------------
     # Stage 3: fine-tuning
     # ------------------------------------------------------------------
-    def _downstream_dataset(self):
-        return build_dataset(self.config.dataset,
-                             num_frames=self.config.num_slots,
-                             frame_size=self.config.frame_size,
-                             train_clips_per_class=self.config.train_clips_per_class,
-                             test_clips_per_class=self.config.test_clips_per_class,
-                             seed=self.config.seed)
+    def _finetune(self, task: str) -> Dict[str, float]:
+        if self.sensor is None:
+            raise RuntimeError("call prepare_pattern() before training")
+        use_encoder = (self.config.use_pretraining
+                       and self.pretrained_encoder is not None)
+        stages = [pool_stage_from_config(self.config),
+                  pattern_stage_from_config(self.config)]
+        if use_encoder:
+            stages.append(pretrain_stage_from_config(self.config))
+        stages.append(finetune_stage_from_config(
+            self.config, task, use_pretrained_encoder=use_encoder))
+        result = self._run(stages)
+        return dict(result.artifacts["finetune"])
 
     def train_action_recognition(self) -> Dict[str, float]:
         """Fine-tune (or train from scratch) the AR model; returns metrics."""
-        if self.sensor is None:
-            raise RuntimeError("call prepare_pattern() before training")
-        dataset = self._downstream_dataset()
-        epochs = self.config.finetune_epochs
-        if self.config.use_pretraining and self.pretrained_encoder is not None:
-            # The paper halves the fine-tuning epochs after pre-training;
-            # the factor is configurable because the head start is smaller
-            # at reproduction scale.
-            epochs = max(1, int(round(epochs * self.config.pretrained_epoch_scale)))
-        model = build_snappix_model(self.config.model_variant, task="ar",
-                                    num_classes=dataset.num_classes,
-                                    image_size=self.config.frame_size,
-                                    seed=self.config.seed)
-        if self.config.use_pretraining and self.pretrained_encoder is not None:
-            model.load_pretrained_encoder(self.pretrained_encoder)
-        trainer = ActionRecognitionTrainer(
-            model, dataset, sensor=self.sensor, lr=self.config.lr,
-            batch_size=self.config.batch_size, epochs=epochs,
-            seed=self.config.seed)
-        history = trainer.fit(evaluate_every=0)
-        accuracy = trainer.evaluate("test")
-        throughput = measure_inference_throughput(
-            model, self.sensor.capture(dataset.test_videos[:1]),
-            batch_size=min(8, len(dataset.test_videos)), repeats=2)
-        return {"test_accuracy": accuracy,
-                "final_loss": history.losses[-1],
-                "inference_per_second": throughput}
+        return self._finetune("ar")
 
     def train_reconstruction(self) -> Dict[str, float]:
         """Train the REC model; returns PSNR metrics."""
-        if self.sensor is None:
-            raise RuntimeError("call prepare_pattern() before training")
-        dataset = self._downstream_dataset()
-        model = build_snappix_model(self.config.model_variant, task="rec",
-                                    image_size=self.config.frame_size,
-                                    num_output_frames=self.config.num_slots,
-                                    seed=self.config.seed)
-        if self.config.use_pretraining and self.pretrained_encoder is not None:
-            model.load_pretrained_encoder(self.pretrained_encoder)
-        trainer = ReconstructionTrainer(
-            model, dataset, self.sensor, lr=self.config.lr,
-            batch_size=self.config.batch_size, epochs=self.config.finetune_epochs,
-            seed=self.config.seed)
-        history = trainer.fit(evaluate_every=0)
-        return {"test_psnr": trainer.evaluate("test"),
-                "final_loss": history.losses[-1]}
+        return self._finetune("rec")
 
     # ------------------------------------------------------------------
     # Stage 4: deployment reports
     # ------------------------------------------------------------------
+    def _report(self) -> Dict[str, Dict[str, float]]:
+        result = self._run([report_stage_from_config(self.config)])
+        return result.artifacts["report"]
+
     def energy_report(self) -> Dict[str, float]:
         """Edge energy factors for the configured sensor geometry (Sec. VI-D)."""
-        scenario = EdgeSensingScenario(self.config.frame_size,
-                                       self.config.frame_size,
-                                       self.config.num_slots)
-        return {
-            "readout_reduction": scenario.readout_reduction(),
-            "short_range_saving": scenario.edge_server("passive_wifi").saving_factor,
-            "long_range_saving": scenario.edge_server("lora_backscatter").saving_factor,
-        }
+        return dict(self._report()["energy"])
 
     def hardware_report(self) -> Dict[str, float]:
         """Area comparison of the CE augmentations (Sec. V)."""
-        report = pixel_area_report(node_nm=22.0, tile_size=self.config.tile_size)
-        return {
-            "ce_logic_area_um2": report.ce_logic_area_um2,
-            "broadcast_wire_area_um2": report.broadcast_wire_area_um2,
-            "aps_pixel_area_um2": report.aps_pixel_area_um2,
-            "logic_fits_under_pixel": float(report.logic_fits_under_pixel),
-        }
+        return dict(self._report()["hardware"])
 
     # ------------------------------------------------------------------
     def run(self, task: str = "ar") -> SnapPixResult:
@@ -244,15 +196,24 @@ class SnapPixSystem:
         if task not in ("ar", "rec"):
             raise ValueError("task must be 'ar' or 'rec'")
         result = SnapPixResult(config=self.config)
-        result.pattern_correlation = self.prepare_pattern()
+        run = self._run(build_pipeline_stages(self.config, task))
+
+        pattern_artifact = run.artifacts["pattern"]
+        self.pattern = pattern_artifact["pattern"]
+        self.sensor = build_sensor(self.ce_config, pattern_artifact)
+        result.pattern_correlation = pattern_artifact["correlation"]
+
         if self.config.use_pretraining:
-            result.pretrain_final_loss = self.pretrain()
+            self._pretrain_artifact = run.artifacts["pretrain"]
+            self.pretrained_encoder = encoder_from_artifact(
+                self._pretrain_artifact)
+            result.pretrain_final_loss = self._pretrain_artifact["final_loss"]
+
+        metrics = run.artifacts["finetune"]
         if task == "ar":
-            metrics = self.train_action_recognition()
             result.test_accuracy = metrics["test_accuracy"]
             result.inference_per_second = metrics["inference_per_second"]
         else:
-            metrics = self.train_reconstruction()
             result.test_psnr = metrics["test_psnr"]
-        result.energy_summary = self.energy_report()
+        result.energy_summary = dict(run.artifacts["report"]["energy"])
         return result

@@ -1,0 +1,57 @@
+"""``repro.runtime`` — staged execution runtime for the SnapPix pipeline.
+
+Following the separate-compilation philosophy of LinBox-style middleware
+and the functional pipeline decomposition of DAC-JAX, the monolithic
+pattern-learning -> pre-training -> fine-tuning -> reporting sequence is
+decomposed into independently runnable, content-addressed stages:
+
+- :class:`Stage` — a named unit of work with declared inputs and a
+  content hash over its configuration (:mod:`repro.runtime.stage`).
+- :class:`ArtifactStore` — in-memory + on-disk cache of stage outputs,
+  keyed by the stage's content hash (:mod:`repro.runtime.artifacts`).
+- :class:`PipelineRunner` — executes a DAG of stages, skipping any stage
+  whose keyed artifact is already stored (:mod:`repro.runtime.runner`).
+- The concrete SnapPix stages — pre-train pool, exposure pattern,
+  masked pre-training, fine-tuning, deployment report — and
+  :func:`build_pipeline_stages` which assembles the paper's pipeline
+  from a :class:`~repro.core.config.PipelineConfig`
+  (:mod:`repro.runtime.stages`).
+- :class:`BatchEncoder` — vectorised coded-exposure encoding over
+  batches and streams of clips for serving-style workloads
+  (:mod:`repro.runtime.batch`).
+"""
+
+from .artifacts import ArtifactStore
+from .batch import BatchEncoder
+from .hashing import fingerprint
+from .runner import PipelineRunner, PipelineRunResult, StageExecution
+from .stage import FunctionStage, Stage
+from .stages import (
+    DeployReportStage,
+    FinetuneStage,
+    PatternStage,
+    PretrainPoolStage,
+    PretrainStage,
+    build_pipeline_stages,
+    build_sensor,
+    encoder_from_artifact,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "BatchEncoder",
+    "fingerprint",
+    "PipelineRunner",
+    "PipelineRunResult",
+    "StageExecution",
+    "Stage",
+    "FunctionStage",
+    "PretrainPoolStage",
+    "PatternStage",
+    "PretrainStage",
+    "FinetuneStage",
+    "DeployReportStage",
+    "build_pipeline_stages",
+    "build_sensor",
+    "encoder_from_artifact",
+]

@@ -1,0 +1,121 @@
+"""Keyed artifact storage backing the staged pipeline runtime.
+
+The :class:`ArtifactStore` maps content-hash keys (produced by
+:meth:`repro.runtime.stage.Stage.cache_key`) to stage outputs.  Lookups
+go through an in-memory dictionary first; when a ``cache_dir`` is
+configured, artifacts are also pickled to disk so a *second process*
+running the same configuration gets cache hits too.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+_MISSING = object()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss counters of an :class:`ArtifactStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    disk_loads: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "disk_loads": self.disk_loads}
+
+
+@dataclass
+class ArtifactStore:
+    """Two-level (memory + optional disk) cache of stage artifacts.
+
+    Parameters
+    ----------
+    cache_dir:
+        Optional directory for the persistent level.  Created on first
+        write.  ``None`` keeps the store purely in-memory.
+    """
+
+    cache_dir: Optional[Path] = None
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self):
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+        self._memory: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is resolvable (memory or disk) without counting stats."""
+        if key in self._memory:
+            return True
+        path = self._path(key)
+        return path is not None and path.exists()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Fetch an artifact; disk hits are promoted into memory."""
+        if key in self._memory:
+            self.stats.hits += 1
+            return self._memory[key]
+        path = self._path(key)
+        if path is not None and path.exists():
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+            self._memory[key] = value
+            self.stats.hits += 1
+            self.stats.disk_loads += 1
+            return value
+        self.stats.misses += 1
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        """Store an artifact under ``key`` in memory (and on disk if configured)."""
+        self._memory[key] = value
+        path = self._path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+        self.stats.puts += 1
+
+    def evict(self, key: str) -> bool:
+        """Drop ``key`` from both levels; returns whether anything was removed."""
+        removed = self._memory.pop(key, _MISSING) is not _MISSING
+        path = self._path(key)
+        if path is not None and path.exists():
+            path.unlink()
+            removed = True
+        return removed
+
+    def clear(self) -> None:
+        """Empty both cache levels (persistent files included)."""
+        self._memory.clear()
+        if self.cache_dir is not None and self.cache_dir.exists():
+            for path in self.cache_dir.glob("*.pkl"):
+                path.unlink()
+
+    def keys(self) -> List[str]:
+        """All resolvable keys, memory and disk combined."""
+        keys = set(self._memory)
+        if self.cache_dir is not None and self.cache_dir.exists():
+            keys.update(path.stem for path in self.cache_dir.glob("*.pkl"))
+        return sorted(keys)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)

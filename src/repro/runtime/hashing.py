@@ -1,0 +1,86 @@
+"""Stable content fingerprints for stage configurations and artifacts.
+
+A stage's cache key must be a deterministic function of its
+configuration (and of its upstream stages' keys), stable across
+processes, so that an on-disk :class:`~repro.runtime.artifacts.ArtifactStore`
+produces cache hits between runs.  Python's builtin ``hash`` is salted
+per process, so the fingerprint is built from a canonical byte encoding
+fed through SHA-256 instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+import numpy as np
+
+
+def _update(digest: "hashlib._Hash", obj: Any) -> None:
+    """Feed a canonical encoding of ``obj`` into ``digest``.
+
+    Every value is prefixed with a type tag so that e.g. the string
+    ``"1"`` and the integer ``1`` cannot collide.
+    """
+    if obj is None:
+        digest.update(b"none:")
+    elif isinstance(obj, bool):
+        digest.update(b"bool:" + (b"1" if obj else b"0"))
+    elif isinstance(obj, (int, np.integer)):
+        digest.update(b"int:" + str(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        digest.update(b"float:" + repr(float(obj)).encode())
+    elif isinstance(obj, str):
+        # Length-framed so a string containing a separator or type tag
+        # cannot reproduce another structure's byte stream.
+        data = obj.encode("utf-8")
+        digest.update(b"str:" + str(len(data)).encode() + b":" + data)
+    elif isinstance(obj, bytes):
+        digest.update(b"bytes:" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, np.ndarray):
+        array = np.ascontiguousarray(obj)
+        digest.update(b"ndarray:" + str(array.dtype).encode()
+                      + str(array.shape).encode())
+        digest.update(array.tobytes())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        digest.update(b"dataclass:" + type(obj).__name__.encode())
+        for field in dataclasses.fields(obj):
+            digest.update(field.name.encode() + b"=")
+            _update(digest, getattr(obj, field.name))
+    elif isinstance(obj, dict):
+        digest.update(b"dict:")
+        try:
+            items = sorted(obj.items())
+        except TypeError:
+            items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        for key, value in items:
+            _update(digest, key)
+            digest.update(b"->")
+            _update(digest, value)
+    elif isinstance(obj, (list, tuple)):
+        digest.update(b"seq:")
+        for item in obj:
+            _update(digest, item)
+            digest.update(b",")
+    elif isinstance(obj, (set, frozenset)):
+        digest.update(b"set:")
+        for item in sorted(obj, key=repr):
+            _update(digest, item)
+            digest.update(b",")
+    else:
+        raise TypeError(
+            f"cannot fingerprint object of type {type(obj).__name__}; "
+            "use plain Python scalars, containers, dataclasses, or numpy arrays")
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of a canonical encoding of ``obj``.
+
+    Deterministic across processes and platforms for the supported types
+    (scalars, strings, bytes, numpy arrays, dataclasses, and containers
+    thereof).
+    """
+    digest = hashlib.sha256()
+    _update(digest, obj)
+    return digest.hexdigest()

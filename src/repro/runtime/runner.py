@@ -1,0 +1,136 @@
+"""DAG execution over :class:`~repro.runtime.stage.Stage` objects.
+
+The :class:`PipelineRunner` topologically orders a list of stages,
+derives each stage's content-hash key (chained through its upstream
+keys), and executes only the stages whose keyed artifact is missing from
+the :class:`~repro.runtime.artifacts.ArtifactStore`.  A second run with
+an unchanged configuration is therefore pure cache hits — the
+separate-compilation property the runtime exists to provide.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .artifacts import ArtifactStore
+from .hashing import fingerprint
+from .stage import Stage
+
+
+@dataclass
+class StageExecution:
+    """Record of one stage's execution (or cache hit) in a run."""
+
+    stage: str
+    key: str
+    cache_hit: bool
+    seconds: float
+
+
+@dataclass
+class PipelineRunResult:
+    """Artifacts and execution log of one :meth:`PipelineRunner.run` call."""
+
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+    keys: Dict[str, str] = field(default_factory=dict)
+    executions: List[StageExecution] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> List[str]:
+        return [ex.stage for ex in self.executions if ex.cache_hit]
+
+    @property
+    def cache_misses(self) -> List[str]:
+        return [ex.stage for ex in self.executions if not ex.cache_hit]
+
+    def execution(self, stage: str) -> StageExecution:
+        for ex in self.executions:
+            if ex.stage == stage:
+                return ex
+        raise KeyError(f"no execution recorded for stage {stage!r}")
+
+
+def topological_order(stages: Sequence[Stage],
+                      external: Sequence[str] = ()) -> List[Stage]:
+    """Order ``stages`` so every stage follows its inputs (Kahn's algorithm).
+
+    ``external`` names artifacts supplied from outside the DAG (runner
+    overrides); stages may depend on them without a producing stage.
+    """
+    by_name: Dict[str, Stage] = {}
+    for stage in stages:
+        if not stage.name:
+            raise ValueError(f"stage {stage!r} has no name")
+        if stage.name in by_name:
+            raise ValueError(f"duplicate stage name {stage.name!r}")
+        by_name[stage.name] = stage
+    known = set(by_name) | set(external)
+    for stage in stages:
+        for dep in stage.inputs:
+            if dep not in known:
+                raise ValueError(
+                    f"stage {stage.name!r} depends on unknown artifact {dep!r}; "
+                    f"available: {sorted(known)}")
+
+    remaining = dict(by_name)
+    resolved = set(external)
+    ordered: List[Stage] = []
+    while remaining:
+        ready = [name for name, stage in remaining.items()
+                 if all(dep in resolved for dep in stage.inputs)]
+        if not ready:
+            raise ValueError(
+                f"dependency cycle among stages {sorted(remaining)}")
+        for name in sorted(ready):
+            ordered.append(remaining.pop(name))
+            resolved.add(name)
+    return ordered
+
+
+class PipelineRunner:
+    """Executes stage DAGs against a shared artifact store."""
+
+    def __init__(self, store: Optional[ArtifactStore] = None):
+        self.store = store if store is not None else ArtifactStore()
+
+    def run(self, stages: Sequence[Stage],
+            overrides: Optional[Dict[str, Any]] = None) -> PipelineRunResult:
+        """Execute ``stages`` in dependency order, reusing stored artifacts.
+
+        Parameters
+        ----------
+        stages:
+            The DAG; each stage's ``inputs`` must name other stages in
+            the list or keys of ``overrides``.
+        overrides:
+            Pre-computed artifacts injected by name.  Their cache keys
+            are content hashes of the values themselves, so overriding
+            an input with different data invalidates downstream stages.
+        """
+        overrides = dict(overrides or {})
+        result = PipelineRunResult()
+        for name, value in overrides.items():
+            result.artifacts[name] = value
+            result.keys[name] = f"{name}-override-{fingerprint(value)[:20]}"
+
+        sentinel = object()
+        for stage in topological_order(stages, external=tuple(overrides)):
+            upstream = {dep: result.keys[dep] for dep in stage.inputs}
+            key = stage.cache_key(upstream)
+            start = time.perf_counter()
+            artifact = (self.store.get(key, sentinel) if stage.cacheable
+                        else sentinel)
+            hit = artifact is not sentinel
+            if not hit:
+                artifact = stage.run(
+                    **{dep: result.artifacts[dep] for dep in stage.inputs})
+                if stage.cacheable:
+                    self.store.put(key, artifact)
+            result.artifacts[stage.name] = artifact
+            result.keys[stage.name] = key
+            result.executions.append(StageExecution(
+                stage=stage.name, key=key, cache_hit=hit,
+                seconds=time.perf_counter() - start))
+        return result

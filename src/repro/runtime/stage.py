@@ -1,0 +1,84 @@
+"""The :class:`Stage` protocol of the staged execution runtime.
+
+A stage is a named unit of pipeline work: it declares the artifacts it
+consumes (``inputs``, the names of upstream stages), produces one
+artifact under its own ``name``, and exposes a :meth:`signature` — the
+configuration values that determine its output.  The cache key is a
+content hash over the signature chained with the upstream stages' keys,
+so changing any configuration anywhere upstream invalidates exactly the
+affected suffix of the pipeline.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from .hashing import fingerprint
+
+
+class Stage(abc.ABC):
+    """A named, content-addressed unit of pipeline work."""
+
+    #: Artifact name this stage produces (also its identity in the DAG).
+    name: str = ""
+    #: Names of upstream artifacts this stage consumes.
+    inputs: Tuple[str, ...] = ()
+    #: Whether the runner may satisfy this stage from the artifact store.
+    cacheable: bool = True
+    #: Bump when the stage's implementation changes in an output-visible
+    #: way, to invalidate artifacts cached by older code.
+    version: int = 1
+
+    @abc.abstractmethod
+    def signature(self) -> Dict[str, Any]:
+        """The configuration values that determine this stage's output."""
+
+    @abc.abstractmethod
+    def run(self, **inputs: Any) -> Any:
+        """Produce the stage's artifact from its named inputs."""
+
+    def cache_key(self, upstream_keys: Optional[Mapping[str, str]] = None) -> str:
+        """Content-hash key for this stage's artifact.
+
+        ``upstream_keys`` maps each input name to the cache key of the
+        stage that produced it, chaining the hashes so that upstream
+        config changes propagate downstream.
+        """
+        payload = {
+            "stage": self.name,
+            "version": self.version,
+            "signature": self.signature(),
+            "upstream": dict(upstream_keys or {}),
+        }
+        return f"{self.name}-{fingerprint(payload)[:20]}"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, inputs={self.inputs!r})"
+
+
+class FunctionStage(Stage):
+    """Adapter turning a plain callable into a :class:`Stage`.
+
+    Useful for tests and ad-hoc pipelines::
+
+        double = FunctionStage("double", lambda base: 2 * base,
+                               inputs=("base",), config={"factor": 2})
+    """
+
+    def __init__(self, name: str, fn: Callable[..., Any],
+                 inputs: Tuple[str, ...] = (),
+                 config: Optional[Dict[str, Any]] = None,
+                 cacheable: bool = True, version: int = 1):
+        self.name = name
+        self.fn = fn
+        self.inputs = tuple(inputs)
+        self.config = dict(config or {})
+        self.cacheable = cacheable
+        self.version = version
+
+    def signature(self) -> Dict[str, Any]:
+        return dict(self.config)
+
+    def run(self, **inputs: Any) -> Any:
+        return self.fn(**inputs)

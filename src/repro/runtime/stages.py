@@ -1,0 +1,427 @@
+"""The SnapPix pipeline phases expressed as runtime stages.
+
+Each phase of the paper's flow — pre-training pool synthesis, exposure
+pattern learning (Sec. III), masked pre-training (Sec. IV), task
+fine-tuning, and the deployment report (Secs. V, VI-D) — becomes a
+:class:`~repro.runtime.stage.Stage` whose artifact is plain data
+(arrays, floats, state dicts), so it pickles cleanly into the
+:class:`~repro.runtime.artifacts.ArtifactStore` and can be recombined by
+sweeps and serving entry points without re-running upstream phases.
+
+:func:`build_pipeline_stages` assembles the full DAG from a
+:class:`~repro.core.config.PipelineConfig`, reproducing exactly what the
+monolithic ``SnapPixSystem`` used to compute.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from ..ce import (
+    CEConfig,
+    CodedExposureSensor,
+    FrameMaskSensor,
+    coded_pixel_correlation,
+    extract_tiles,
+    global_random_pattern,
+    learn_decorrelated_pattern,
+    make_pattern,
+    mean_absolute_offdiagonal,
+    pearson_correlation_matrix,
+    zero_mean_contrast_encode,
+)
+from ..data import build_dataset, build_pretrain_dataset
+from ..energy import EdgeSensingScenario
+from ..hardware import pixel_area_report
+from ..models import ViTEncoder, build_snappix_model
+from ..pretrain import MaskedPretrainer
+from ..tasks import (
+    ActionRecognitionTrainer,
+    ReconstructionTrainer,
+    measure_inference_throughput,
+)
+from .stage import Stage
+
+Sensor = Union[CodedExposureSensor, FrameMaskSensor]
+
+
+def build_sensor(ce_config: CEConfig, pattern_artifact: Dict[str, Any]) -> Sensor:
+    """Reconstruct the CE sensor from a ``pattern`` stage artifact."""
+    pattern = pattern_artifact["pattern"]
+    if pattern_artifact["kind"] == "global":
+        return FrameMaskSensor(ce_config, pattern)
+    return CodedExposureSensor(ce_config, pattern)
+
+
+def encoder_from_artifact(artifact: Dict[str, Any]) -> ViTEncoder:
+    """Rebuild the pre-trained ViT encoder from a ``pretrain`` stage artifact."""
+    encoder = ViTEncoder(artifact["vit_config"])
+    encoder.load_state_dict(artifact["encoder_state"])
+    return encoder
+
+
+# ----------------------------------------------------------------------
+# Phase 0: unlabelled pre-training pool
+# ----------------------------------------------------------------------
+class PretrainPoolStage(Stage):
+    """Synthesise the unlabelled K710-analog clip pool."""
+
+    name = "pretrain_pool"
+
+    def __init__(self, num_clips: int, num_frames: int, frame_size: int,
+                 seed: int):
+        self.num_clips = num_clips
+        self.num_frames = num_frames
+        self.frame_size = frame_size
+        self.seed = seed
+
+    def signature(self) -> Dict[str, Any]:
+        return {"num_clips": self.num_clips, "num_frames": self.num_frames,
+                "frame_size": self.frame_size, "seed": self.seed}
+
+    def run(self) -> np.ndarray:
+        return build_pretrain_dataset(num_clips=self.num_clips,
+                                      num_frames=self.num_frames,
+                                      frame_size=self.frame_size,
+                                      seed=self.seed)
+
+
+# ----------------------------------------------------------------------
+# Phase 1: exposure pattern (paper Sec. III)
+# ----------------------------------------------------------------------
+class PatternStage(Stage):
+    """Learn (or draw) the exposure pattern and measure its decorrelation.
+
+    The artifact is ``{"pattern", "kind", "correlation"}`` where ``kind``
+    is ``"tile"`` for tile-repetitive patterns and ``"global"`` for the
+    full-frame ablation pattern; :func:`build_sensor` turns it back into
+    a sensor.
+    """
+
+    name = "pattern"
+    inputs = ("pretrain_pool",)
+
+    def __init__(self, pattern: str, num_slots: int, tile_size: int,
+                 frame_size: int, epochs: int = 5, batch_size: int = 16,
+                 lr: float = 0.05, seed: int = 0,
+                 normalize_by_exposures: bool = True):
+        self.pattern = pattern
+        self.num_slots = num_slots
+        self.tile_size = tile_size
+        self.frame_size = frame_size
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.normalize_by_exposures = normalize_by_exposures
+
+    def signature(self) -> Dict[str, Any]:
+        return {"pattern": self.pattern, "num_slots": self.num_slots,
+                "tile_size": self.tile_size, "frame_size": self.frame_size,
+                "epochs": self.epochs, "batch_size": self.batch_size,
+                "lr": self.lr, "seed": self.seed,
+                "normalize_by_exposures": self.normalize_by_exposures}
+
+    def ce_config(self) -> CEConfig:
+        return CEConfig(num_slots=self.num_slots, tile_size=self.tile_size,
+                        frame_height=self.frame_size, frame_width=self.frame_size,
+                        normalize_by_exposures=self.normalize_by_exposures)
+
+    def run(self, pretrain_pool: np.ndarray) -> Dict[str, Any]:
+        rng = np.random.default_rng(self.seed)
+        ce_config = self.ce_config()
+        if self.pattern == "decorrelated":
+            result = learn_decorrelated_pattern(
+                pretrain_pool, ce_config, epochs=self.epochs,
+                batch_size=self.batch_size, lr=self.lr, seed=self.seed)
+            pattern, kind = result.tile_pattern, "tile"
+        elif self.pattern == "global":
+            pattern = global_random_pattern(self.num_slots, self.frame_size,
+                                            self.frame_size, rng=rng)
+            kind = "global"
+        else:
+            pattern = make_pattern(self.pattern, self.num_slots,
+                                   self.tile_size, rng=rng)
+            kind = "tile"
+
+        if kind == "global":
+            # Correlation is still measured per tile so the number is
+            # comparable with the tile-repetitive patterns.
+            sensor = FrameMaskSensor(ce_config, pattern)
+            coded = sensor.capture_raw(pretrain_pool)
+            tiles = zero_mean_contrast_encode(
+                extract_tiles(coded, self.tile_size))
+            correlation = mean_absolute_offdiagonal(
+                pearson_correlation_matrix(tiles))
+        else:
+            _, correlation, _ = coded_pixel_correlation(
+                pretrain_pool, pattern, self.tile_size)
+        return {"pattern": np.asarray(pattern), "kind": kind,
+                "correlation": float(correlation)}
+
+
+# ----------------------------------------------------------------------
+# Phase 2: masked coded-image-to-video pre-training (paper Sec. IV)
+# ----------------------------------------------------------------------
+class PretrainStage(Stage):
+    """Masked pre-training of the ViT encoder on the coded pool.
+
+    The artifact carries the encoder *state dict* (plain arrays) plus
+    the ViT config, so it is process-portable;
+    :func:`encoder_from_artifact` rebuilds the live encoder.
+    """
+
+    name = "pretrain"
+    inputs = ("pretrain_pool", "pattern")
+
+    def __init__(self, model_variant: str, num_slots: int, tile_size: int,
+                 frame_size: int, mask_ratio: float = 0.85, epochs: int = 3,
+                 batch_size: int = 8, lr: float = 3e-3, seed: int = 0,
+                 normalize_by_exposures: bool = True):
+        self.model_variant = model_variant
+        self.num_slots = num_slots
+        self.tile_size = tile_size
+        self.frame_size = frame_size
+        self.mask_ratio = mask_ratio
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.normalize_by_exposures = normalize_by_exposures
+
+    def signature(self) -> Dict[str, Any]:
+        return {"model_variant": self.model_variant, "num_slots": self.num_slots,
+                "tile_size": self.tile_size, "frame_size": self.frame_size,
+                "mask_ratio": self.mask_ratio, "epochs": self.epochs,
+                "batch_size": self.batch_size, "lr": self.lr, "seed": self.seed,
+                "normalize_by_exposures": self.normalize_by_exposures}
+
+    def _ce_config(self) -> CEConfig:
+        return CEConfig(num_slots=self.num_slots, tile_size=self.tile_size,
+                        frame_height=self.frame_size, frame_width=self.frame_size,
+                        normalize_by_exposures=self.normalize_by_exposures)
+
+    def run(self, pretrain_pool: np.ndarray,
+            pattern: Dict[str, Any]) -> Dict[str, Any]:
+        sensor = build_sensor(self._ce_config(), pattern)
+        vit_config = build_snappix_model(self.model_variant, task="ar",
+                                         image_size=self.frame_size,
+                                         seed=self.seed).config
+        pretrainer = MaskedPretrainer(
+            vit_config, sensor, num_frames=self.num_slots,
+            mask_ratio=self.mask_ratio, epochs=self.epochs,
+            batch_size=self.batch_size, lr=self.lr, seed=self.seed)
+        history = pretrainer.fit(pretrain_pool)
+        return {"encoder_state": pretrainer.encoder.state_dict(),
+                "vit_config": vit_config,
+                "final_loss": float(history.final_loss),
+                "losses": list(history.losses)}
+
+
+# ----------------------------------------------------------------------
+# Phase 3: task fine-tuning
+# ----------------------------------------------------------------------
+class FinetuneStage(Stage):
+    """Fine-tune (or train from scratch) the task model on the downstream analog.
+
+    ``inputs`` include ``pretrain`` only when a pre-trained encoder is to
+    be loaded, so the from-scratch variants hash independently of the
+    pre-training configuration.
+    """
+
+    name = "finetune"
+
+    def __init__(self, task: str, dataset: str, model_variant: str,
+                 num_slots: int, tile_size: int, frame_size: int,
+                 train_clips_per_class: int, test_clips_per_class: int,
+                 epochs: int, batch_size: int = 8, lr: float = 3e-3,
+                 seed: int = 0, use_pretrained_encoder: bool = False,
+                 pretrained_epoch_scale: float = 1.0,
+                 normalize_by_exposures: bool = True):
+        if task not in ("ar", "rec"):
+            raise ValueError("task must be 'ar' or 'rec'")
+        self.task = task
+        self.dataset = dataset
+        self.model_variant = model_variant
+        self.num_slots = num_slots
+        self.tile_size = tile_size
+        self.frame_size = frame_size
+        self.train_clips_per_class = train_clips_per_class
+        self.test_clips_per_class = test_clips_per_class
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.use_pretrained_encoder = use_pretrained_encoder
+        self.pretrained_epoch_scale = pretrained_epoch_scale
+        self.normalize_by_exposures = normalize_by_exposures
+        self.inputs = (("pattern", "pretrain") if use_pretrained_encoder
+                       else ("pattern",))
+
+    def signature(self) -> Dict[str, Any]:
+        return {"task": self.task, "dataset": self.dataset,
+                "model_variant": self.model_variant,
+                "num_slots": self.num_slots, "tile_size": self.tile_size,
+                "frame_size": self.frame_size,
+                "train_clips_per_class": self.train_clips_per_class,
+                "test_clips_per_class": self.test_clips_per_class,
+                "epochs": self.epochs, "batch_size": self.batch_size,
+                "lr": self.lr, "seed": self.seed,
+                "use_pretrained_encoder": self.use_pretrained_encoder,
+                "pretrained_epoch_scale": self.pretrained_epoch_scale,
+                "normalize_by_exposures": self.normalize_by_exposures}
+
+    def _ce_config(self) -> CEConfig:
+        return CEConfig(num_slots=self.num_slots, tile_size=self.tile_size,
+                        frame_height=self.frame_size, frame_width=self.frame_size,
+                        normalize_by_exposures=self.normalize_by_exposures)
+
+    def run(self, pattern: Dict[str, Any],
+            pretrain: Optional[Dict[str, Any]] = None) -> Dict[str, float]:
+        sensor = build_sensor(self._ce_config(), pattern)
+        dataset = build_dataset(self.dataset, num_frames=self.num_slots,
+                                frame_size=self.frame_size,
+                                train_clips_per_class=self.train_clips_per_class,
+                                test_clips_per_class=self.test_clips_per_class,
+                                seed=self.seed)
+        epochs = self.epochs
+        if self.task == "ar" and self.use_pretrained_encoder and pretrain is not None:
+            # The paper halves the fine-tuning epochs after pre-training;
+            # the factor is configurable because the head start is smaller
+            # at reproduction scale.
+            epochs = max(1, int(round(epochs * self.pretrained_epoch_scale)))
+
+        if self.task == "ar":
+            model = build_snappix_model(self.model_variant, task="ar",
+                                        num_classes=dataset.num_classes,
+                                        image_size=self.frame_size,
+                                        seed=self.seed)
+        else:
+            model = build_snappix_model(self.model_variant, task="rec",
+                                        image_size=self.frame_size,
+                                        num_output_frames=self.num_slots,
+                                        seed=self.seed)
+        if self.use_pretrained_encoder and pretrain is not None:
+            model.load_pretrained_encoder(encoder_from_artifact(pretrain))
+
+        if self.task == "ar":
+            trainer = ActionRecognitionTrainer(
+                model, dataset, sensor=sensor, lr=self.lr,
+                batch_size=self.batch_size, epochs=epochs, seed=self.seed)
+            history = trainer.fit(evaluate_every=0)
+            accuracy = trainer.evaluate("test")
+            throughput = measure_inference_throughput(
+                model, sensor.capture(dataset.test_videos[:1]),
+                batch_size=min(8, len(dataset.test_videos)), repeats=2)
+            return {"test_accuracy": accuracy,
+                    "final_loss": history.losses[-1],
+                    "inference_per_second": throughput}
+        trainer = ReconstructionTrainer(
+            model, dataset, sensor, lr=self.lr,
+            batch_size=self.batch_size, epochs=epochs, seed=self.seed)
+        history = trainer.fit(evaluate_every=0)
+        return {"test_psnr": trainer.evaluate("test"),
+                "final_loss": history.losses[-1]}
+
+
+# ----------------------------------------------------------------------
+# Phase 4: deployment report (paper Secs. V, VI-D)
+# ----------------------------------------------------------------------
+class DeployReportStage(Stage):
+    """Edge energy factors and CE pixel area for the sensor geometry."""
+
+    name = "report"
+
+    def __init__(self, frame_size: int, num_slots: int, tile_size: int,
+                 node_nm: float = 22.0):
+        self.frame_size = frame_size
+        self.num_slots = num_slots
+        self.tile_size = tile_size
+        self.node_nm = node_nm
+
+    def signature(self) -> Dict[str, Any]:
+        return {"frame_size": self.frame_size, "num_slots": self.num_slots,
+                "tile_size": self.tile_size, "node_nm": self.node_nm}
+
+    def run(self) -> Dict[str, Dict[str, float]]:
+        scenario = EdgeSensingScenario(self.frame_size, self.frame_size,
+                                       self.num_slots)
+        energy = {
+            "readout_reduction": scenario.readout_reduction(),
+            "short_range_saving": scenario.edge_server("passive_wifi").saving_factor,
+            "long_range_saving": scenario.edge_server("lora_backscatter").saving_factor,
+        }
+        area = pixel_area_report(node_nm=self.node_nm, tile_size=self.tile_size)
+        hardware = {
+            "ce_logic_area_um2": area.ce_logic_area_um2,
+            "broadcast_wire_area_um2": area.broadcast_wire_area_um2,
+            "aps_pixel_area_um2": area.aps_pixel_area_um2,
+            "logic_fits_under_pixel": float(area.logic_fits_under_pixel),
+        }
+        return {"energy": energy, "hardware": hardware}
+
+
+# ----------------------------------------------------------------------
+# DAG assembly from a PipelineConfig
+# ----------------------------------------------------------------------
+def pool_stage_from_config(config) -> PretrainPoolStage:
+    return PretrainPoolStage(num_clips=config.pretrain_clips,
+                             num_frames=config.num_slots,
+                             frame_size=config.frame_size,
+                             seed=config.seed + 100)
+
+
+def pattern_stage_from_config(config) -> PatternStage:
+    return PatternStage(pattern=config.pattern, num_slots=config.num_slots,
+                        tile_size=config.tile_size, frame_size=config.frame_size,
+                        epochs=config.pattern_epochs, batch_size=config.batch_size,
+                        lr=config.pattern_lr, seed=config.seed)
+
+
+def pretrain_stage_from_config(config) -> PretrainStage:
+    return PretrainStage(model_variant=config.model_variant,
+                         num_slots=config.num_slots, tile_size=config.tile_size,
+                         frame_size=config.frame_size,
+                         mask_ratio=config.mask_ratio,
+                         epochs=config.pretrain_epochs,
+                         batch_size=config.batch_size, lr=config.lr,
+                         seed=config.seed)
+
+
+def finetune_stage_from_config(config, task: str,
+                               use_pretrained_encoder: Optional[bool] = None
+                               ) -> FinetuneStage:
+    if use_pretrained_encoder is None:
+        use_pretrained_encoder = config.use_pretraining
+    return FinetuneStage(task=task, dataset=config.dataset,
+                         model_variant=config.model_variant,
+                         num_slots=config.num_slots, tile_size=config.tile_size,
+                         frame_size=config.frame_size,
+                         train_clips_per_class=config.train_clips_per_class,
+                         test_clips_per_class=config.test_clips_per_class,
+                         epochs=config.finetune_epochs,
+                         batch_size=config.batch_size, lr=config.lr,
+                         seed=config.seed,
+                         use_pretrained_encoder=use_pretrained_encoder,
+                         pretrained_epoch_scale=config.pretrained_epoch_scale)
+
+
+def report_stage_from_config(config) -> DeployReportStage:
+    return DeployReportStage(frame_size=config.frame_size,
+                             num_slots=config.num_slots,
+                             tile_size=config.tile_size)
+
+
+def build_pipeline_stages(config, task: str = "ar") -> List[Stage]:
+    """The full SnapPix pipeline DAG for one :class:`PipelineConfig`."""
+    if task not in ("ar", "rec"):
+        raise ValueError("task must be 'ar' or 'rec'")
+    stages: List[Stage] = [pool_stage_from_config(config),
+                           pattern_stage_from_config(config)]
+    if config.use_pretraining:
+        stages.append(pretrain_stage_from_config(config))
+    stages.append(finetune_stage_from_config(config, task))
+    stages.append(report_stage_from_config(config))
+    return stages

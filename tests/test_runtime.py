@@ -1,0 +1,346 @@
+"""Tests for the staged execution runtime (``repro.runtime``)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sweep_exposure_density, sweep_exposure_slots
+from repro.ce import CEConfig, CodedExposureSensor, coded_exposure, make_pattern
+from repro.core import PipelineConfig, SnapPixSystem
+from repro.runtime import (
+    ArtifactStore,
+    BatchEncoder,
+    FunctionStage,
+    PatternStage,
+    PipelineRunner,
+    PretrainPoolStage,
+    build_pipeline_stages,
+    fingerprint,
+)
+
+
+def tiny_config(**overrides):
+    defaults = dict(frame_size=16, num_slots=8, tile_size=8, model_variant="tiny",
+                    pattern_epochs=1, pretrain_epochs=1, finetune_epochs=2,
+                    pretrain_clips=12, train_clips_per_class=3,
+                    test_clips_per_class=2, batch_size=6)
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Content fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_deterministic(self):
+        payload = {"a": 1, "b": [1.5, "x"], "c": np.arange(6).reshape(2, 3)}
+        assert fingerprint(payload) == fingerprint(payload)
+
+    def test_type_tagged(self):
+        assert fingerprint(1) != fingerprint("1")
+        assert fingerprint(1) != fingerprint(1.0)
+        assert fingerprint(True) != fingerprint(1)
+
+    def test_array_content_sensitive(self):
+        a = np.zeros((2, 3))
+        b = np.zeros((3, 2))
+        assert fingerprint(a) != fingerprint(b)
+        c = a.copy()
+        c[0, 0] = 1.0
+        assert fingerprint(a) != fingerprint(c)
+
+    def test_dict_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_separator_bytes_cannot_collide(self):
+        # Strings are length-framed: an embedded separator + type tag must
+        # not reproduce another structure's encoding.
+        assert fingerprint(["a,str:b"]) != fingerprint(["a", "b"])
+        assert fingerprint({"k": "v,->w"}) != fingerprint({"k": "v", "x": "w"})
+
+    def test_rejects_unhashable_types(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+
+# ----------------------------------------------------------------------
+# ArtifactStore
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def test_memory_hit_and_miss(self):
+        store = ArtifactStore()
+        assert store.get("missing") is None
+        assert store.stats.misses == 1
+        store.put("k", {"x": 1})
+        assert store.get("k") == {"x": 1}
+        assert store.stats.hits == 1
+        assert "k" in store
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        first = ArtifactStore(tmp_path / "cache")
+        first.put("stage-abc", np.arange(4))
+        second = ArtifactStore(tmp_path / "cache")
+        assert second.contains("stage-abc")
+        np.testing.assert_array_equal(second.get("stage-abc"), np.arange(4))
+        assert second.stats.disk_loads == 1
+
+    def test_evict_and_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.evict("a")
+        assert not store.evict("a")
+        assert store.keys() == ["b"]
+        store.clear()
+        assert len(store) == 0
+        assert not ArtifactStore(tmp_path / "cache").contains("b")
+
+
+# ----------------------------------------------------------------------
+# Stage hashing
+# ----------------------------------------------------------------------
+class TestStageHash:
+    def test_same_config_same_key(self):
+        a = PretrainPoolStage(num_clips=8, num_frames=8, frame_size=16, seed=0)
+        b = PretrainPoolStage(num_clips=8, num_frames=8, frame_size=16, seed=0)
+        assert a.cache_key() == b.cache_key()
+
+    def test_config_change_invalidates_key(self):
+        base = PatternStage("decorrelated", num_slots=8, tile_size=8,
+                            frame_size=16, epochs=2, seed=0)
+        for change in (dict(epochs=3), dict(seed=1), dict(lr=0.2),
+                       dict(pattern="random")):
+            kwargs = dict(pattern="decorrelated", num_slots=8, tile_size=8,
+                          frame_size=16, epochs=2, seed=0)
+            kwargs.update(change)
+            changed = PatternStage(**kwargs)
+            assert changed.cache_key() != base.cache_key(), change
+
+    def test_upstream_key_chains_into_hash(self):
+        stage = PatternStage("random", num_slots=8, tile_size=8, frame_size=16)
+        assert (stage.cache_key({"pretrain_pool": "pool-1"})
+                != stage.cache_key({"pretrain_pool": "pool-2"}))
+
+    def test_version_bump_invalidates_key(self):
+        a = FunctionStage("s", lambda: 1, version=1)
+        b = FunctionStage("s", lambda: 1, version=2)
+        assert a.cache_key() != b.cache_key()
+
+
+# ----------------------------------------------------------------------
+# PipelineRunner
+# ----------------------------------------------------------------------
+class TestPipelineRunner:
+    def make_counting_stage(self, name, fn, inputs=(), config=None, **kwargs):
+        calls = []
+
+        def counted(**inp):
+            calls.append(1)
+            return fn(**inp)
+
+        return FunctionStage(name, counted, inputs=inputs, config=config,
+                             **kwargs), calls
+
+    def test_executes_in_dependency_order(self):
+        base, _ = self.make_counting_stage("base", lambda: 2)
+        double, _ = self.make_counting_stage("double", lambda base: base * 2,
+                                             inputs=("base",))
+        result = PipelineRunner().run([double, base])
+        assert result.artifacts == {"base": 2, "double": 4}
+        assert [ex.stage for ex in result.executions] == ["base", "double"]
+
+    def test_unknown_dependency_raises(self):
+        stage = FunctionStage("s", lambda ghost: ghost, inputs=("ghost",))
+        with pytest.raises(ValueError, match="unknown artifact"):
+            PipelineRunner().run([stage])
+
+    def test_cycle_raises(self):
+        a = FunctionStage("a", lambda b: b, inputs=("b",))
+        b = FunctionStage("b", lambda a: a, inputs=("a",))
+        with pytest.raises(ValueError, match="cycle"):
+            PipelineRunner().run([a, b])
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PipelineRunner().run([FunctionStage("s", lambda: 1),
+                                  FunctionStage("s", lambda: 2)])
+
+    def test_second_run_is_pure_cache_hits(self):
+        stage, calls = self.make_counting_stage("s", lambda: 42)
+        runner = PipelineRunner()
+        first = runner.run([stage])
+        second = runner.run([stage])
+        assert len(calls) == 1
+        assert first.cache_misses == ["s"]
+        assert second.cache_hits == ["s"]
+        assert second.artifacts["s"] == 42
+
+    def test_non_cacheable_stage_always_runs(self):
+        stage, calls = self.make_counting_stage("s", lambda: 7, cacheable=False)
+        runner = PipelineRunner()
+        runner.run([stage])
+        runner.run([stage])
+        assert len(calls) == 2
+
+    def test_override_value_feeds_downstream_hash(self):
+        double = FunctionStage("double", lambda base: base * 2,
+                               inputs=("base",))
+        runner = PipelineRunner()
+        first = runner.run([double], overrides={"base": 3})
+        second = runner.run([double], overrides={"base": 5})
+        assert first.artifacts["double"] == 6
+        assert second.artifacts["double"] == 10
+        assert second.cache_misses == ["double"]
+
+
+# ----------------------------------------------------------------------
+# Full-pipeline caching (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestPipelineCaching:
+    def test_repeat_run_skips_pattern_and_pretrain(self):
+        config = tiny_config(use_pretraining=True)
+        runner = PipelineRunner(ArtifactStore())
+        cold = runner.run(build_pipeline_stages(config, task="ar"))
+        warm = runner.run(build_pipeline_stages(config, task="ar"))
+        assert set(cold.cache_misses) == {"pretrain_pool", "pattern",
+                                          "pretrain", "finetune", "report"}
+        # Unchanged config: pattern learning and pre-training resolve from
+        # the cache instead of recomputing.
+        assert "pattern" in warm.cache_hits
+        assert "pretrain" in warm.cache_hits
+        assert warm.cache_misses == []
+        assert warm.artifacts["finetune"] == cold.artifacts["finetune"]
+
+    def test_config_change_invalidates_only_downstream(self):
+        runner = PipelineRunner(ArtifactStore())
+        runner.run(build_pipeline_stages(tiny_config(), task="ar"))
+        changed = runner.run(build_pipeline_stages(
+            tiny_config(pattern_epochs=2), task="ar"))
+        # The pool does not depend on pattern epochs: still a hit.  The
+        # pattern and everything downstream of it must recompute.
+        assert "pretrain_pool" in changed.cache_hits
+        assert "report" in changed.cache_hits
+        assert "pattern" in changed.cache_misses
+        assert "pretrain" in changed.cache_misses
+        assert "finetune" in changed.cache_misses
+
+    def test_disk_store_shared_across_runners(self, tmp_path):
+        config = tiny_config(use_pretraining=False)
+        stages = lambda: build_pipeline_stages(config, task="ar")
+        cold = PipelineRunner(ArtifactStore(tmp_path / "c")).run(stages())
+        warm = PipelineRunner(ArtifactStore(tmp_path / "c")).run(stages())
+        assert warm.cache_misses == []
+        assert warm.artifacts["finetune"] == cold.artifacts["finetune"]
+
+
+# ----------------------------------------------------------------------
+# SnapPixSystem facade over the runtime
+# ----------------------------------------------------------------------
+class TestSystemFacade:
+    def test_shared_store_reuses_stages_across_systems(self):
+        store = ArtifactStore()
+        config = tiny_config(use_pretraining=True)
+        first = SnapPixSystem(config, store=store)
+        first.prepare_pattern()
+        first.pretrain()
+        second = SnapPixSystem(config, store=store)
+        correlation = second.prepare_pattern()
+        assert "pattern" in second.last_run.cache_hits
+        loss = second.pretrain()
+        assert "pretrain" in second.last_run.cache_hits
+        assert np.isfinite(correlation) and np.isfinite(loss)
+        np.testing.assert_array_equal(first.pattern, second.pattern)
+
+    def test_stepwise_calls_reuse_runner_cache(self):
+        system = SnapPixSystem(tiny_config(use_pretraining=True))
+        system.prepare_pattern()
+        system.pretrain()
+        # pretrain() re-declares the pattern stage; it must hit the cache.
+        assert "pattern" in system.last_run.cache_hits
+        assert "pretrain" in system.last_run.cache_misses
+
+
+# ----------------------------------------------------------------------
+# Sweep equivalence: runtime path vs legacy path (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestSweepRuntimePath:
+    def test_slots_sweep_rows_identical(self):
+        kwargs = dict(num_slots_values=(4, 8), frame_size=16, tile_size=8,
+                      measure_correlation=True, num_clips=8, seed=0)
+        legacy = sweep_exposure_slots(**kwargs)
+        store = ArtifactStore()
+        runtime = sweep_exposure_slots(store=store, **kwargs)
+        assert runtime == legacy
+        # Repeating the sweep against the same store recomputes nothing.
+        misses_before = store.stats.misses
+        puts_before = store.stats.puts
+        again = sweep_exposure_slots(store=store, **kwargs)
+        assert again == legacy
+        assert store.stats.puts == puts_before
+        assert store.stats.misses == misses_before
+
+    def test_density_sweep_rows_identical(self):
+        kwargs = dict(densities=(0.25, 0.75), num_slots=8, tile_size=4,
+                      frame_size=16, num_clips=8, seed=0)
+        legacy = sweep_exposure_density(**kwargs)
+        runtime = sweep_exposure_density(store=ArtifactStore(), **kwargs)
+        assert runtime == legacy
+
+
+# ----------------------------------------------------------------------
+# BatchEncoder
+# ----------------------------------------------------------------------
+class TestBatchEncoder:
+    def make_sensor(self, num_slots=8, tile_size=4, frame_size=16, seed=0):
+        config = CEConfig(num_slots=num_slots, tile_size=tile_size,
+                          frame_height=frame_size, frame_width=frame_size)
+        pattern = make_pattern("random", num_slots, tile_size,
+                               rng=np.random.default_rng(seed))
+        return CodedExposureSensor(config, pattern)
+
+    def test_batch_matches_single_clip_coded_exposure(self, rng):
+        sensor = self.make_sensor()
+        clips = rng.random((5, 8, 16, 16))
+        encoder = BatchEncoder(sensor, batch_size=2)
+        batched = encoder.encode(clips)
+        singles = np.stack([
+            coded_exposure(clip, sensor.full_mask,
+                           normalize=sensor.config.normalize_by_exposures)
+            for clip in clips])
+        np.testing.assert_allclose(batched, singles)
+
+    def test_single_clip_shape(self, rng):
+        sensor = self.make_sensor()
+        clip = rng.random((8, 16, 16))
+        coded = BatchEncoder(sensor).encode(clip)
+        assert coded.shape == (16, 16)
+        np.testing.assert_allclose(coded, sensor.capture(clip))
+
+    def test_chunking_invariance(self, rng):
+        sensor = self.make_sensor()
+        clips = rng.random((7, 8, 16, 16))
+        small = BatchEncoder(sensor, batch_size=2).encode(clips)
+        large = BatchEncoder(sensor, batch_size=64).encode(clips)
+        np.testing.assert_allclose(small, large)
+
+    def test_stream_matches_batch_and_counts(self, rng):
+        sensor = self.make_sensor()
+        clips = rng.random((5, 8, 16, 16))
+        encoder = BatchEncoder(sensor, batch_size=2)
+        streamed = np.stack(list(encoder.encode_stream(iter(clips))))
+        np.testing.assert_allclose(streamed, sensor.capture(clips))
+        assert encoder.stats == {"clips_encoded": 5, "batches_encoded": 3}
+
+    def test_unnormalized_mode(self, rng):
+        sensor = self.make_sensor()
+        clips = rng.random((3, 8, 16, 16))
+        raw = BatchEncoder(sensor, normalize=False).encode(clips)
+        np.testing.assert_allclose(raw, sensor.capture_raw(clips))
+
+    def test_invalid_inputs(self, rng):
+        sensor = self.make_sensor()
+        with pytest.raises(ValueError):
+            BatchEncoder(sensor, batch_size=0)
+        with pytest.raises(ValueError):
+            BatchEncoder(sensor).encode(rng.random((16, 16)))
+        with pytest.raises(ValueError):
+            list(BatchEncoder(sensor).encode_stream([rng.random((16, 16))]))
