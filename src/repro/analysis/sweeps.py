@@ -12,6 +12,13 @@ quantifying beyond the paper's single operating point:
 
 Each sweep returns a list of row dictionaries suitable for the benchmark
 harness's table printer and for CSV export via :mod:`repro.analysis.report`.
+
+Every sweep accepts ``workers``: with ``workers > 1`` the independent
+grid points run concurrently on a
+:class:`~repro.runtime.parallel.ParallelSweepExecutor` (sharing the
+thread-safe ``store`` when one is given).  Rows come back in grid order
+and are bit-identical to a serial sweep — any order-sensitive random
+draws are performed up front, before the fan-out.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from ..hardware import (
 )
 from ..runtime import (
     ArtifactStore,
+    ParallelSweepExecutor,
     PatternStage,
     PipelineRunner,
     PretrainPoolStage,
@@ -56,7 +64,8 @@ def sweep_exposure_slots(num_slots_values: Sequence[int] = (4, 8, 16, 32),
                          measure_correlation: bool = False,
                          num_clips: int = 32,
                          seed: int = 0,
-                         store: Optional[ArtifactStore] = None
+                         store: Optional[ArtifactStore] = None,
+                         workers: int = 1
                          ) -> List[Dict[str, float]]:
     """Energy and compression consequences of the exposure-slot count ``T``.
 
@@ -67,14 +76,17 @@ def sweep_exposure_slots(num_slots_values: Sequence[int] = (4, 8, 16, 32),
     When ``store`` is given, the pool synthesis and pattern learning go
     through the staged runtime keyed on that store, so repeated sweeps
     (or other entry points with matching configs) reuse the cached
-    artifacts instead of re-learning the pattern per grid point.  The
-    rows are bit-identical to the legacy (storeless) path.
+    artifacts instead of re-learning the pattern per grid point.  With
+    ``workers > 1`` the grid points run concurrently over the shared
+    store.  The rows are bit-identical to the legacy serial / storeless
+    path either way.
     """
-    runner = PipelineRunner(store) if store is not None else None
-    rows: List[Dict[str, float]] = []
     for num_slots in num_slots_values:
         if num_slots < 1:
             raise ValueError("every num_slots value must be >= 1")
+    runner = PipelineRunner(store) if store is not None else None
+
+    def grid_point(num_slots: int) -> Dict[str, float]:
         scenario = EdgeSensingScenario(frame_size, frame_size, num_slots)
         row: Dict[str, float] = {
             "num_slots": float(num_slots),
@@ -107,8 +119,9 @@ def sweep_exposure_slots(num_slots_values: Sequence[int] = (4, 8, 16, 32),
                 _, correlation, _ = coded_pixel_correlation(
                     videos, result.tile_pattern, tile_size)
             row["decorrelated_pattern_correlation"] = correlation
-        rows.append(row)
-    return rows
+        return row
+
+    return ParallelSweepExecutor(workers).map(grid_point, num_slots_values)
 
 
 # ----------------------------------------------------------------------
@@ -117,7 +130,8 @@ def sweep_exposure_slots(num_slots_values: Sequence[int] = (4, 8, 16, 32),
 def sweep_tile_size(tile_sizes: Sequence[int] = (4, 8, 14, 16),
                     node_nm: float = 22.0,
                     slot_exposure_s: float = 1e-3,
-                    frame_size: int = 112) -> List[Dict[str, float]]:
+                    frame_size: int = 112,
+                    workers: int = 1) -> List[Dict[str, float]]:
     """Hardware consequences of the CE tile size (Sec. V trade-off).
 
     Larger tiles give the pattern more freedom but make the
@@ -125,13 +139,14 @@ def sweep_tile_size(tile_sizes: Sequence[int] = (4, 8, 14, 16),
     the shift-register load; this sweep reproduces that argument across a
     range of tile sizes.
     """
-    rows: List[Dict[str, float]] = []
     for tile_size in tile_sizes:
         if tile_size < 1:
             raise ValueError("every tile size must be >= 1")
+
+    def grid_point(tile_size: int) -> Dict[str, float]:
         area = pixel_area_report(node_nm=node_nm, tile_size=tile_size)
         stream = PatternStreamTiming(tile_size=tile_size)
-        rows.append({
+        return {
             "tile_size": float(tile_size),
             "ce_logic_area_um2": area.ce_logic_area_um2,
             "broadcast_wire_area_um2": area.broadcast_wire_area_um2,
@@ -143,8 +158,9 @@ def sweep_tile_size(tile_sizes: Sequence[int] = (4, 8, 14, 16),
             "pattern_load_time_us": stream.load_time_s * 1e6,
             "streaming_overhead_fraction":
                 stream.streaming_overhead_fraction(slot_exposure_s),
-        })
-    return rows
+        }
+
+    return ParallelSweepExecutor(workers).map(grid_point, tile_sizes)
 
 
 # ----------------------------------------------------------------------
@@ -154,7 +170,8 @@ def sweep_exposure_density(densities: Sequence[float] = (0.125, 0.25, 0.5, 0.75,
                            num_slots: int = 16, tile_size: int = 8,
                            frame_size: int = 32, num_clips: int = 32,
                            seed: int = 0,
-                           store: Optional[ArtifactStore] = None
+                           store: Optional[ArtifactStore] = None,
+                           workers: int = 1
                            ) -> List[Dict[str, float]]:
     """Coded-pixel correlation as a function of random-pattern exposure density.
 
@@ -162,6 +179,10 @@ def sweep_exposure_density(densities: Sequence[float] = (0.125, 0.25, 0.5, 0.75,
     (density 0.5), and LONG EXPOSURE (density 1.0) baselines, showing how
     light throughput trades against decorrelation.  With a ``store`` the
     shared clip pool is fetched through the staged runtime cache.
+
+    The patterns are drawn serially from one generator (order-dependent)
+    *before* the correlation measurements fan out over ``workers``
+    threads, so parallel rows match serial rows exactly.
     """
     pool_stage = PretrainPoolStage(num_clips=num_clips, num_frames=num_slots,
                                    frame_size=frame_size, seed=seed)
@@ -170,20 +191,25 @@ def sweep_exposure_density(densities: Sequence[float] = (0.125, 0.25, 0.5, 0.75,
     else:
         videos = build_pretrain_dataset(num_clips=num_clips, num_frames=num_slots,
                                         frame_size=frame_size, seed=seed)
-    rng = np.random.default_rng(seed)
-    rows: List[Dict[str, float]] = []
     for density in densities:
         if not 0.0 < density <= 1.0:
             raise ValueError("densities must be in (0, 1]")
-        pattern = random_pattern(num_slots, tile_size, probability=density, rng=rng)
+    rng = np.random.default_rng(seed)
+    patterns = [random_pattern(num_slots, tile_size, probability=density, rng=rng)
+                for density in densities]
+
+    def grid_point(point) -> Dict[str, float]:
+        density, pattern = point
         _, correlation, loss = coded_pixel_correlation(videos, pattern, tile_size)
-        rows.append({
+        return {
             "exposure_density": float(density),
             "mean_exposures_per_pixel": float(density * num_slots),
             "correlation": correlation,
             "decorrelation_loss": loss,
-        })
-    return rows
+        }
+
+    return ParallelSweepExecutor(workers).map(grid_point,
+                                              zip(densities, patterns))
 
 
 # ----------------------------------------------------------------------
@@ -193,7 +219,8 @@ def sweep_digital_codec_quality(qualities: Sequence[int] = (10, 25, 50, 75, 90),
                                 frame_size: int = 32, num_slots: int = 16,
                                 num_frames_measured: int = 4,
                                 link: str = "passive_wifi",
-                                seed: int = 0) -> List[Dict[str, float]]:
+                                seed: int = 0,
+                                workers: int = 1) -> List[Dict[str, float]]:
     """Energy of JPEG-class digital compression across its quality range.
 
     For each quality the codec is run on synthetic frames to measure the
@@ -204,8 +231,8 @@ def sweep_digital_codec_quality(qualities: Sequence[int] = (10, 25, 50, 75, 90),
     videos = build_pretrain_dataset(num_clips=1, num_frames=num_frames_measured,
                                     frame_size=frame_size, seed=seed)
     frames = videos[0]
-    rows: List[Dict[str, float]] = []
-    for quality in qualities:
+
+    def grid_point(quality: int) -> Dict[str, float]:
         codec = JPEGLikeCodec(JPEGLikeConfig(quality=int(quality)))
         _, encoded_frames = codec.compress_video(frames)
         ratios = [frame.compression_ratio for frame in encoded_frames]
@@ -213,11 +240,12 @@ def sweep_digital_codec_quality(qualities: Sequence[int] = (10, 25, 50, 75, 90),
         model = DigitalCompressionEnergyModel(frame_size, frame_size, num_slots,
                                               compression_ratio=measured_ratio)
         comparison = model.compare_with_in_sensor_ce(link)
-        rows.append({
+        return {
             "quality": float(quality),
             "measured_compression_ratio": measured_ratio,
             "digital_total_energy_j": comparison.baseline.total,
             "snappix_total_energy_j": comparison.snappix.total,
             "ce_saving_factor": comparison.saving_factor,
-        })
-    return rows
+        }
+
+    return ParallelSweepExecutor(workers).map(grid_point, qualities)

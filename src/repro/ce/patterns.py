@@ -36,14 +36,16 @@ def random_pattern(num_slots: int, tile_size: int, probability: float = 0.5,
     """Each pixel exposed independently with ``probability`` per slot."""
     if not 0.0 <= probability <= 1.0:
         raise ValueError("probability must be in [0, 1]")
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(0)
     return (rng.random((num_slots, tile_size, tile_size)) < probability).astype(np.float64)
 
 
 def sparse_random_pattern(num_slots: int, tile_size: int,
                           rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """Each pixel exposed in exactly one slot chosen uniformly at random."""
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(0)
     pattern = np.zeros((num_slots, tile_size, tile_size), dtype=np.float64)
     slots = rng.integers(0, num_slots, size=(tile_size, tile_size))
     rows, cols = np.meshgrid(np.arange(tile_size), np.arange(tile_size), indexing="ij")
@@ -62,7 +64,8 @@ def global_random_pattern(num_slots: int, height: int, width: int,
     the within-tile exposure variation, which is exactly the failure
     mode the paper reports.
     """
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(0)
     return (rng.random((num_slots, height, width)) < probability).astype(np.float64)
 
 

@@ -4,7 +4,7 @@ Exposes the main entry points of the library without writing Python::
 
     python -m repro pattern   --num-slots 16 --tile-size 8 --save pattern.json
     python -m repro pipeline  --task ar --dataset ssv2 --pattern decorrelated
-    python -m repro runtime   --task ar --cache-dir .snappix-cache --repeat 2
+    python -m repro runtime   --task ar --cache-dir .snappix-cache --repeat 2 --workers 4
     python -m repro energy    --frame-size 112 --num-slots 16
     python -m repro hardware  --tile-size 8 --node-nm 22
     python -m repro sweep     slots --csv slots.csv
@@ -47,7 +47,7 @@ from ..hardware import (
     ReadoutTiming,
     pixel_area_report,
 )
-from ..runtime import ArtifactStore
+from ..runtime import ArtifactStore, resolve_workers
 from .config import PipelineConfig
 from .experiments import run_correlation_comparison
 from .system import SnapPixSystem
@@ -108,7 +108,8 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     system = SnapPixSystem(_pipeline_config(args),
-                           cache_dir=args.cache_dir or None)
+                           cache_dir=args.cache_dir or None,
+                           workers=resolve_workers(args.workers))
     result = system.run(task=args.task)
     _print_mapping(f"SnapPix pipeline ({args.task})", result.as_dict())
     return 0
@@ -123,9 +124,10 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     """
     config = _pipeline_config(args)
     store = ArtifactStore(args.cache_dir or None)
+    workers = resolve_workers(args.workers)
     result = None
     for iteration in range(args.repeat):
-        system = SnapPixSystem(config, store=store)
+        system = SnapPixSystem(config, store=store, workers=workers)
         result = system.run(task=args.task)
         rows = [{"stage": ex.stage,
                  "cache_hit": "yes" if ex.cache_hit else "no",
@@ -174,7 +176,7 @@ def _cmd_hardware(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    kwargs = {}
+    kwargs = {"workers": resolve_workers(args.workers)}
     if args.cache_dir and args.name in SWEEPS_WITH_STORE:
         kwargs["store"] = ArtifactStore(args.cache_dir)
     rows = SWEEPS[args.name](**kwargs)
@@ -199,6 +201,26 @@ def _cmd_correlation(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _workers_arg(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 1, or 0 for one per CPU")
+    return value
+
+
+def _add_workers_option(sub) -> None:
+    sub.add_argument("--workers", type=_workers_arg, default=1,
+                     help="concurrent workers (stages/grid points); "
+                          "0 means one per CPU core (default: 1, serial)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -240,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--cache-dir", type=str, default="",
                          help="persist stage artifacts to this directory "
                               "(repeat runs become cache hits)")
+        _add_workers_option(sub)
 
     pipeline = subparsers.add_parser("pipeline",
                                      help="run the end-to-end SnapPix pipeline")
@@ -250,13 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
         "runtime",
         help="run the staged pipeline and print the per-stage cache report")
     add_pipeline_options(runtime)
-    def positive_int(text: str) -> int:
-        value = int(text)
-        if value < 1:
-            raise argparse.ArgumentTypeError("must be >= 1")
-        return value
-
-    runtime.add_argument("--repeat", type=positive_int, default=1,
+    runtime.add_argument("--repeat", type=_positive_int, default=1,
                          help="run the pipeline this many times against the "
                               "same artifact store")
     runtime.set_defaults(func=_cmd_runtime)
@@ -282,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", type=str, default="",
                        help="reuse staged-runtime artifacts from this directory "
                             "(slots/density sweeps)")
+    _add_workers_option(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     correlation = subparsers.add_parser(

@@ -52,13 +52,15 @@ def _fast_config(**overrides) -> PipelineConfig:
 def run_pattern_comparison(patterns=FIG6_PATTERNS, use_pretraining: bool = False,
                            config: Optional[PipelineConfig] = None,
                            seed: int = 0,
-                           store: Optional[ArtifactStore] = None) -> List[Dict]:
+                           store: Optional[ArtifactStore] = None,
+                           workers: int = 1) -> List[Dict]:
     """Reproduce Fig. 6: for each pattern, train AR and REC from scratch.
 
     Returns one row per pattern with its coded-pixel Pearson correlation,
     AR test accuracy, and REC test PSNR — the three quantities Fig. 6
     plots / annotates.  All variants share one artifact store, so the
     pre-training pool (identical across patterns) is synthesised once.
+    ``workers`` widens each variant's stage-DAG scheduler.
     """
     store = store if store is not None else ArtifactStore()
     rows = []
@@ -66,7 +68,7 @@ def run_pattern_comparison(patterns=FIG6_PATTERNS, use_pretraining: bool = False
         pattern_config = config or _fast_config()
         pattern_config = replace(pattern_config, pattern=pattern,
                                  use_pretraining=use_pretraining, seed=seed)
-        system = SnapPixSystem(pattern_config, store=store)
+        system = SnapPixSystem(pattern_config, store=store, workers=workers)
         correlation = system.prepare_pattern()
         if use_pretraining:
             system.pretrain()
@@ -249,7 +251,8 @@ def run_downsample_comparison(frame_size: int = 16, num_slots: int = 8,
 # Sec. VI-E: ablation study
 # ----------------------------------------------------------------------
 def run_ablation(config: Optional[PipelineConfig] = None, seed: int = 0,
-                 store: Optional[ArtifactStore] = None) -> List[Dict]:
+                 store: Optional[ArtifactStore] = None,
+                 workers: int = 1) -> List[Dict]:
     """Reproduce the Sec. VI-E ablation on the SSV2 analog.
 
     Four configurations are trained:
@@ -280,7 +283,7 @@ def run_ablation(config: Optional[PipelineConfig] = None, seed: int = 0,
     ]
     rows = []
     for name, variant_config in variants:
-        system = SnapPixSystem(variant_config, store=store)
+        system = SnapPixSystem(variant_config, store=store, workers=workers)
         system.prepare_pattern()
         if variant_config.use_pretraining:
             system.pretrain()

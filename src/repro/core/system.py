@@ -88,16 +88,21 @@ class SnapPixSystem:
     cache_dir:
         Convenience: when ``store`` is not given, build a store
         persisting to this directory (``None`` keeps it in-memory).
+    workers:
+        Scheduler width of the underlying
+        :class:`~repro.runtime.runner.PipelineRunner`; with ``workers
+        > 1`` independent DAG stages execute concurrently (results are
+        bit-identical to the serial schedule).
     """
 
     def __init__(self, config: Optional[PipelineConfig] = None,
                  store: Optional[ArtifactStore] = None,
-                 cache_dir=None):
+                 cache_dir=None, workers: int = 1):
         self.config = config or PipelineConfig()
         self.ce_config = self.config.ce_config()
         if store is None:
             store = ArtifactStore(cache_dir)
-        self.runner = PipelineRunner(store)
+        self.runner = PipelineRunner(store, workers=workers)
         self.sensor = None
         self.pattern = None
         self.pretrained_encoder = None

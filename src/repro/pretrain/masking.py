@@ -26,6 +26,10 @@ def random_tile_masking(num_patches: int, mask_ratio: float,
     mask_ratio:
         Fraction of patches to mask (hide from the encoder).  At least
         one patch is always kept visible.
+    rng:
+        Random generator; ``None`` defaults to a *seeded* generator
+        (``default_rng(0)``) so that, like every other module in the
+        reproduction, the default behaviour is deterministic.
 
     Returns
     -------
@@ -35,7 +39,8 @@ def random_tile_masking(num_patches: int, mask_ratio: float,
         raise ValueError("mask_ratio must be in [0, 1)")
     if num_patches < 1:
         raise ValueError("num_patches must be >= 1")
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng(0)
     num_masked = min(int(round(num_patches * mask_ratio)), num_patches - 1)
     permutation = rng.permutation(num_patches)
     masked = np.sort(permutation[:num_masked])

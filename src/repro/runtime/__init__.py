@@ -19,11 +19,20 @@ decomposed into independently runnable, content-addressed stages:
 - :class:`BatchEncoder` — vectorised coded-exposure encoding over
   batches and streams of clips for serving-style workloads
   (:mod:`repro.runtime.batch`).
+- :class:`ParallelSweepExecutor` — order-preserving thread-pool mapping
+  over independent sweep grid points sharing one store
+  (:mod:`repro.runtime.parallel`).
+
+The store is thread- and process-safe (atomic writes, corruption-
+tolerant reads) and the runner schedules DAG stages onto a thread pool
+with ``workers > 1``, producing bit-identical artifacts and keys to the
+serial schedule.
 """
 
-from .artifacts import ArtifactStore
+from .artifacts import ArtifactStore, StoreStats
 from .batch import BatchEncoder
 from .hashing import fingerprint
+from .parallel import ParallelSweepExecutor, resolve_workers
 from .runner import PipelineRunner, PipelineRunResult, StageExecution
 from .stage import FunctionStage, Stage
 from .stages import (
@@ -39,8 +48,11 @@ from .stages import (
 
 __all__ = [
     "ArtifactStore",
+    "StoreStats",
     "BatchEncoder",
     "fingerprint",
+    "ParallelSweepExecutor",
+    "resolve_workers",
     "PipelineRunner",
     "PipelineRunResult",
     "StageExecution",

@@ -5,30 +5,78 @@ The :class:`ArtifactStore` maps content-hash keys (produced by
 go through an in-memory dictionary first; when a ``cache_dir`` is
 configured, artifacts are also pickled to disk so a *second process*
 running the same configuration gets cache hits too.
+
+Concurrency and atomicity guarantees
+------------------------------------
+The store is safe to share between threads and between processes
+pointing at the same ``cache_dir``:
+
+- **Writes are atomic.**  :meth:`put` pickles into a uniquely named
+  temporary file (``<key>.pkl.<pid>.<token>.tmp``) in the cache
+  directory and publishes it with :func:`os.replace` (atomic for
+  same-filesystem renames on POSIX; on Windows, replacing a file a
+  concurrent reader holds open can raise ``PermissionError``, so the
+  cross-process guarantees target POSIX hosts).  Readers therefore see
+  either the complete previous artifact or the complete new one — never
+  a half-written pickle.  Concurrent writers of the *same* key each
+  write their own temporary file; last rename wins, and because keys are
+  content hashes the competing values are identical anyway.
+- **Reads tolerate corruption.**  A pickle left truncated by a crashed
+  writer (or otherwise unreadable) is treated by :meth:`get` as a cache
+  miss: the bad file is evicted and the caller recomputes, instead of
+  the whole run failing with an unpickling error.
+- **In-process state is lock-guarded.**  The memory level and the
+  :class:`StoreStats` counters are protected by an internal lock, so
+  concurrent :meth:`get`/:meth:`put`/:meth:`evict` calls from a
+  thread-pool scheduler never corrupt the dictionary or lose counts.
+- **Bounded memory.**  ``max_memory_items`` caps the memory level with
+  least-recently-used eviction (the disk level is unaffected), so a
+  long-lived serving process does not grow without bound.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import threading
+import uuid
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 _MISSING = object()
 
+#: Exceptions that signal a truncated / corrupted / stale pickle; these
+#: evict the file and count as misses in :meth:`ArtifactStore.get`.
+#: Deliberately excludes ``OSError``: a transient I/O failure (EMFILE,
+#: EIO) is a plain miss and must *not* delete a possibly-valid artifact.
+_CORRUPT_ERRORS = (pickle.PickleError, EOFError, AttributeError,
+                   ImportError, IndexError, ValueError)
+
 
 @dataclass
 class StoreStats:
-    """Hit/miss counters of an :class:`ArtifactStore`."""
+    """Hit/miss counters of an :class:`ArtifactStore`.
+
+    Counter updates happen under the store's lock, so totals stay exact
+    even when many threads hammer the store concurrently.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     disk_loads: int = 0
+    #: Unreadable/truncated disk pickles dropped and counted as misses.
+    corrupt_drops: int = 0
+    #: Memory-level LRU evictions (disk copies, if any, survive).
+    memory_evictions: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "puts": self.puts, "disk_loads": self.disk_loads}
+                "puts": self.puts, "disk_loads": self.disk_loads,
+                "corrupt_drops": self.corrupt_drops,
+                "memory_evictions": self.memory_evictions}
 
 
 @dataclass
@@ -40,15 +88,28 @@ class ArtifactStore:
     cache_dir:
         Optional directory for the persistent level.  Created on first
         write.  ``None`` keeps the store purely in-memory.
+    max_memory_items:
+        Optional cap on the memory level.  When exceeded, the least
+        recently used artifacts are dropped from memory (their disk
+        copies remain and reload transparently).  ``None`` (default)
+        keeps everything in memory.
+
+    The store is thread-safe, and on-disk artifacts are written
+    atomically so several processes can share one ``cache_dir`` — see
+    the module docstring for the exact guarantees.
     """
 
     cache_dir: Optional[Path] = None
     stats: StoreStats = field(default_factory=StoreStats)
+    max_memory_items: Optional[int] = None
 
     def __post_init__(self):
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
-        self._memory: Dict[str, Any] = {}
+        if self.max_memory_items is not None and self.max_memory_items < 1:
+            raise ValueError("max_memory_items must be >= 1 (or None)")
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Optional[Path]:
@@ -56,60 +117,135 @@ class ArtifactStore:
             return None
         return self.cache_dir / f"{key}.pkl"
 
+    def _remember(self, key: str, value: Any) -> None:
+        """Insert ``key`` at the most-recent end, evicting LRU overflow.
+
+        Caller must hold ``self._lock``.
+        """
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        if self.max_memory_items is not None:
+            while len(self._memory) > self.max_memory_items:
+                self._memory.popitem(last=False)
+                self.stats.memory_evictions += 1
+
+    def _load_disk(self, path: Path) -> Any:
+        """Unpickle ``path``; corrupted or vanished files become misses.
+
+        A truncated pickle (crashed writer) or an artifact written by an
+        incompatible code version is evicted from disk and ``_MISSING``
+        is returned, so the caller recomputes instead of raising.  A
+        transient I/O error (``OSError``) is also a miss, but the file —
+        which may be perfectly valid — is left in place.
+        """
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except _CORRUPT_ERRORS:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            with self._lock:
+                self.stats.corrupt_drops += 1
+            return _MISSING
+        except OSError:
+            return _MISSING
+
     def contains(self, key: str) -> bool:
         """Whether ``key`` is resolvable (memory or disk) without counting stats."""
-        if key in self._memory:
-            return True
+        with self._lock:
+            if key in self._memory:
+                return True
         path = self._path(key)
         return path is not None and path.exists()
 
     def get(self, key: str, default: Any = None) -> Any:
-        """Fetch an artifact; disk hits are promoted into memory."""
-        if key in self._memory:
-            self.stats.hits += 1
-            return self._memory[key]
+        """Fetch an artifact; disk hits are promoted into memory.
+
+        Unreadable disk pickles (e.g. truncated by a crashed writer) are
+        evicted and reported as misses rather than raised, so callers
+        can always fall back to recomputing.
+        """
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                return self._memory[key]
         path = self._path(key)
-        if path is not None and path.exists():
-            with open(path, "rb") as handle:
-                value = pickle.load(handle)
-            self._memory[key] = value
-            self.stats.hits += 1
-            self.stats.disk_loads += 1
-            return value
-        self.stats.misses += 1
+        if path is not None:
+            value = self._load_disk(path)
+            if value is not _MISSING:
+                with self._lock:
+                    self._remember(key, value)
+                    self.stats.hits += 1
+                    self.stats.disk_loads += 1
+                return value
+        with self._lock:
+            self.stats.misses += 1
         return default
 
     def put(self, key: str, value: Any) -> None:
-        """Store an artifact under ``key`` in memory (and on disk if configured)."""
-        self._memory[key] = value
+        """Store an artifact under ``key`` in memory (and on disk if configured).
+
+        The disk write is atomic: the pickle goes to a uniquely named
+        temporary file (so concurrent writers never share one) and is
+        published with :func:`os.replace`.  Readers see either the old
+        complete artifact or the new complete one, never a torn write.
+        """
         path = self._path(key)
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            with open(tmp, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp.replace(path)
-        self.stats.puts += 1
+            tmp = path.parent / (
+                f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+            try:
+                with open(tmp, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
+        with self._lock:
+            self._remember(key, value)
+            self.stats.puts += 1
 
     def evict(self, key: str) -> bool:
-        """Drop ``key`` from both levels; returns whether anything was removed."""
-        removed = self._memory.pop(key, _MISSING) is not _MISSING
+        """Drop ``key`` from both levels; returns whether anything was removed.
+
+        Race-tolerant: a concurrent evict (or writer) removing the disk
+        file first does not raise ``FileNotFoundError``.
+        """
+        with self._lock:
+            removed = self._memory.pop(key, _MISSING) is not _MISSING
         path = self._path(key)
-        if path is not None and path.exists():
-            path.unlink()
-            removed = True
+        if path is not None:
+            existed = path.exists()
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                existed = False
+            removed = removed or existed
         return removed
 
     def clear(self) -> None:
-        """Empty both cache levels (persistent files included)."""
-        self._memory.clear()
+        """Empty both cache levels, including leftover temporary files."""
+        with self._lock:
+            self._memory.clear()
         if self.cache_dir is not None and self.cache_dir.exists():
-            for path in self.cache_dir.glob("*.pkl"):
-                path.unlink()
+            for pattern in ("*.pkl", "*.tmp"):
+                for path in self.cache_dir.glob(pattern):
+                    try:
+                        path.unlink(missing_ok=True)
+                    except OSError:
+                        pass
 
     def keys(self) -> List[str]:
-        """All resolvable keys, memory and disk combined."""
-        keys = set(self._memory)
+        """All resolvable keys, memory and disk combined.
+
+        In-flight ``*.tmp`` files (and any left behind by crashed
+        writers) are never listed.
+        """
+        with self._lock:
+            keys = set(self._memory)
         if self.cache_dir is not None and self.cache_dir.exists():
             keys.update(path.stem for path in self.cache_dir.glob("*.pkl"))
         return sorted(keys)

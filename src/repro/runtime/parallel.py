@@ -1,0 +1,70 @@
+"""Thread-pool helpers for sweep- and batch-level parallelism.
+
+The staged runtime parallelises at two levels: inside one DAG
+(:class:`~repro.runtime.runner.PipelineRunner` with ``workers > 1``) and
+*across* independent grid points of a design-space sweep, where every
+point is a self-contained computation sharing only the (thread-safe)
+:class:`~repro.runtime.artifacts.ArtifactStore`.  This module provides
+the second level.
+
+Grid points are mapped with order-preserving semantics: the returned
+rows are in input order regardless of which point finishes first, so a
+parallel sweep is row-for-row identical to the serial one.  NumPy
+releases the GIL inside its heavy kernels (einsum, matmul), which is
+where sweep grid points spend their time, so threads scale on multi-core
+hosts without any pickling of clip pools across process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+_Item = TypeVar("_Item")
+_Row = TypeVar("_Row")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``--workers`` value: ``None``/``0`` means one per CPU."""
+    if workers is None or workers == 0:
+        return max(1, os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError("workers must be >= 1 (or 0/None for one per CPU)")
+    return int(workers)
+
+
+class ParallelSweepExecutor:
+    """Runs independent sweep grid points concurrently, preserving order.
+
+    Parameters
+    ----------
+    workers:
+        Thread count.  ``1`` degenerates to a plain loop (no pool, no
+        overhead), which is also the path taken for single-item grids.
+
+    The executor assumes grid points are independent: they may share an
+    :class:`~repro.runtime.artifacts.ArtifactStore` (which is
+    thread-safe) but must not mutate other shared state.  Exceptions
+    raised by a grid point propagate to the caller.
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+
+    def map(self, fn: Callable[[_Item], _Row],
+            items: Iterable[_Item]) -> List[_Row]:
+        """Apply ``fn`` to every item; results come back in input order."""
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+    def starmap(self, fn: Callable[..., _Row],
+                items: Iterable[Sequence[Any]]) -> List[_Row]:
+        """Like :meth:`map` but unpacks each item as positional arguments."""
+        return self.map(lambda args: fn(*args), items)

@@ -6,17 +6,29 @@ keys), and executes only the stages whose keyed artifact is missing from
 the :class:`~repro.runtime.artifacts.ArtifactStore`.  A second run with
 an unchanged configuration is therefore pure cache hits — the
 separate-compilation property the runtime exists to provide.
+
+With ``workers > 1`` the runner schedules the DAG onto a thread pool:
+every stage is submitted as soon as all of its inputs have resolved, so
+independent branches execute concurrently.  Cache keys, artifacts, and
+the execution log are identical to the serial schedule — keys are
+derived up front from the (deterministic) topological order, each stage
+still sees exactly its declared inputs, and the execution records are
+reported in topological order regardless of completion order.  The only
+observable difference is wall-clock time.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from .artifacts import ArtifactStore
 from .hashing import fingerprint
 from .stage import Stage
+
+_SENTINEL = object()
 
 
 @dataclass
@@ -90,13 +102,43 @@ def topological_order(stages: Sequence[Stage],
 
 
 class PipelineRunner:
-    """Executes stage DAGs against a shared artifact store."""
+    """Executes stage DAGs against a shared artifact store.
 
-    def __init__(self, store: Optional[ArtifactStore] = None):
+    Parameters
+    ----------
+    store:
+        The artifact store; defaults to a fresh in-memory store.
+    workers:
+        Default scheduler width for :meth:`run`.  ``1`` (default) keeps
+        the classic serial schedule; ``N > 1`` executes up to ``N``
+        dependency-free stages concurrently on a thread pool.  Results
+        are bit-identical either way.
+    """
+
+    def __init__(self, store: Optional[ArtifactStore] = None,
+                 workers: int = 1):
         self.store = store if store is not None else ArtifactStore()
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+
+    # ------------------------------------------------------------------
+    def _execute(self, stage: Stage, key: str,
+                 inputs: Dict[str, Any]) -> Tuple[Any, bool, float]:
+        """Resolve one stage from the store or run it; returns (artifact, hit, s)."""
+        start = time.perf_counter()
+        artifact = (self.store.get(key, _SENTINEL) if stage.cacheable
+                    else _SENTINEL)
+        hit = artifact is not _SENTINEL
+        if not hit:
+            artifact = stage.run(**inputs)
+            if stage.cacheable:
+                self.store.put(key, artifact)
+        return artifact, hit, time.perf_counter() - start
 
     def run(self, stages: Sequence[Stage],
-            overrides: Optional[Dict[str, Any]] = None) -> PipelineRunResult:
+            overrides: Optional[Dict[str, Any]] = None,
+            workers: Optional[int] = None) -> PipelineRunResult:
         """Execute ``stages`` in dependency order, reusing stored artifacts.
 
         Parameters
@@ -108,29 +150,94 @@ class PipelineRunner:
             Pre-computed artifacts injected by name.  Their cache keys
             are content hashes of the values themselves, so overriding
             an input with different data invalidates downstream stages.
+        workers:
+            Scheduler width for this run; ``None`` uses the runner's
+            default.  Any width produces the same artifacts, keys, and
+            execution log (in topological order) as the serial schedule.
         """
+        workers = self.workers if workers is None else int(workers)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         overrides = dict(overrides or {})
         result = PipelineRunResult()
         for name, value in overrides.items():
             result.artifacts[name] = value
             result.keys[name] = f"{name}-override-{fingerprint(value)[:20]}"
 
-        sentinel = object()
-        for stage in topological_order(stages, external=tuple(overrides)):
+        ordered = topological_order(stages, external=tuple(overrides))
+        # Keys depend only on signatures and upstream keys, so they are
+        # derived up front — identically for every scheduler width.
+        for stage in ordered:
             upstream = {dep: result.keys[dep] for dep in stage.inputs}
-            key = stage.cache_key(upstream)
-            start = time.perf_counter()
-            artifact = (self.store.get(key, sentinel) if stage.cacheable
-                        else sentinel)
-            hit = artifact is not sentinel
-            if not hit:
-                artifact = stage.run(
-                    **{dep: result.artifacts[dep] for dep in stage.inputs})
-                if stage.cacheable:
-                    self.store.put(key, artifact)
-            result.artifacts[stage.name] = artifact
-            result.keys[stage.name] = key
-            result.executions.append(StageExecution(
-                stage=stage.name, key=key, cache_hit=hit,
-                seconds=time.perf_counter() - start))
+            result.keys[stage.name] = stage.cache_key(upstream)
+
+        if workers == 1 or len(ordered) <= 1:
+            self._run_serial(ordered, result)
+        else:
+            self._run_parallel(ordered, result, workers)
         return result
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, ordered: Sequence[Stage],
+                    result: PipelineRunResult) -> None:
+        for stage in ordered:
+            inputs = {dep: result.artifacts[dep] for dep in stage.inputs}
+            artifact, hit, seconds = self._execute(
+                stage, result.keys[stage.name], inputs)
+            result.artifacts[stage.name] = artifact
+            result.executions.append(StageExecution(
+                stage=stage.name, key=result.keys[stage.name],
+                cache_hit=hit, seconds=seconds))
+
+    def _run_parallel(self, ordered: Sequence[Stage],
+                      result: PipelineRunResult, workers: int) -> None:
+        """Submit each stage as soon as its inputs resolve.
+
+        All bookkeeping (the artifacts dict, dependency counts, the
+        execution log) is mutated only by this scheduling thread; worker
+        threads receive their inputs as an explicit dict and only touch
+        the (thread-safe) artifact store.
+        """
+        deps_left: Dict[str, Set[str]] = {
+            stage.name: {dep for dep in stage.inputs
+                         if dep not in result.artifacts}
+            for stage in ordered}
+        executions: Dict[str, StageExecution] = {}
+        with ThreadPoolExecutor(max_workers=min(workers, len(ordered))) as pool:
+            futures: Dict[Any, Stage] = {}
+
+            def submit_ready() -> None:
+                for stage in ordered:
+                    if (stage.name not in executions
+                            and not deps_left[stage.name]
+                            and stage not in futures.values()):
+                        inputs = {dep: result.artifacts[dep]
+                                  for dep in stage.inputs}
+                        future = pool.submit(self._execute, stage,
+                                             result.keys[stage.name], inputs)
+                        futures[future] = stage
+
+            submit_ready()
+            try:
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        stage = futures.pop(future)
+                        artifact, hit, seconds = future.result()
+                        result.artifacts[stage.name] = artifact
+                        executions[stage.name] = StageExecution(
+                            stage=stage.name, key=result.keys[stage.name],
+                            cache_hit=hit, seconds=seconds)
+                        for other in deps_left.values():
+                            other.discard(stage.name)
+                    submit_ready()
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+            finally:
+                # Topological-order log; partial (like the serial path's)
+                # when a stage raised.
+                result.executions.extend(
+                    executions[stage.name] for stage in ordered
+                    if stage.name in executions)

@@ -1,0 +1,392 @@
+"""Concurrency tests for the process-safe parallel runtime.
+
+Covers the :class:`~repro.runtime.artifacts.ArtifactStore` guarantees
+(atomic writes, corruption-tolerant reads, lock-guarded state, LRU
+bounds), the parallel :class:`~repro.runtime.runner.PipelineRunner`
+schedule (bit-identical to serial), the parallel sweep / batch-encoding
+paths, and the seeded-by-default RNG fixes.
+"""
+
+import pickle
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    sweep_digital_codec_quality,
+    sweep_exposure_density,
+    sweep_exposure_slots,
+    sweep_tile_size,
+)
+from repro.ce import CEConfig, CodedExposureSensor, make_pattern, random_pattern
+from repro.core import PipelineConfig
+from repro.pretrain import random_tile_masking
+from repro.runtime import (
+    ArtifactStore,
+    BatchEncoder,
+    FunctionStage,
+    ParallelSweepExecutor,
+    PipelineRunner,
+    build_pipeline_stages,
+    fingerprint,
+    resolve_workers,
+)
+
+
+def tiny_config(**overrides):
+    defaults = dict(frame_size=16, num_slots=8, tile_size=8, model_variant="tiny",
+                    pattern_epochs=1, pretrain_epochs=1, finetune_epochs=2,
+                    pretrain_clips=12, train_clips_per_class=3,
+                    test_clips_per_class=2, batch_size=6)
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+def run_threads(count, target):
+    """Run ``target(thread_index)`` on ``count`` threads; re-raise failures."""
+    errors = []
+
+    def wrapped(index):
+        try:
+            target(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+# ----------------------------------------------------------------------
+# ArtifactStore: write races, corruption tolerance, tmp hygiene, LRU
+# ----------------------------------------------------------------------
+class TestArtifactStoreConcurrency:
+    def test_same_key_writers_never_publish_torn_pickles(self, tmp_path):
+        """8 threads hammering one key: every published pickle is complete."""
+        store = ArtifactStore(tmp_path / "cache")
+        payloads = {i: {"writer": i, "data": np.full(20_000, i, dtype=np.int64)}
+                    for i in range(8)}
+        valid = {fingerprint(p) for p in payloads.values()}
+
+        def hammer(index):
+            for _ in range(20):
+                store.put("shared", payloads[index])
+                seen = store.get("shared")
+                assert seen is not None
+                assert fingerprint(seen) in valid
+
+        run_threads(8, hammer)
+        assert not list((tmp_path / "cache").glob("*.tmp"))
+        files = list((tmp_path / "cache").glob("*.pkl"))
+        assert len(files) == 1
+        with open(files[0], "rb") as handle:
+            assert fingerprint(pickle.load(handle)) in valid
+        assert store.stats.corrupt_drops == 0
+
+    def test_put_get_evict_hammer_small_keyspace(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        keys = [f"key-{i}" for i in range(4)]
+
+        def hammer(index):
+            rng = np.random.default_rng(index)
+            for step in range(40):
+                key = keys[int(rng.integers(len(keys)))]
+                op = step % 3
+                if op == 0:
+                    store.put(key, np.arange(512) + index)
+                elif op == 1:
+                    value = store.get(key)
+                    assert value is None or isinstance(value, np.ndarray)
+                else:
+                    store.evict(key)
+
+        run_threads(8, hammer)
+        # Whatever survived must load cleanly and round-trip.
+        for path in (tmp_path / "cache").glob("*.pkl"):
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+            assert isinstance(value, np.ndarray) and value.shape == (512,)
+        assert store.stats.corrupt_drops == 0
+
+    def test_truncated_pickle_is_a_miss_then_recovers(self, tmp_path):
+        writer = ArtifactStore(tmp_path / "cache")
+        writer.put("k", {"x": np.arange(64)})
+        path = tmp_path / "cache" / "k.pkl"
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # crashed-writer analog
+
+        reader = ArtifactStore(tmp_path / "cache")
+        assert reader.get("k", "fallback") == "fallback"
+        assert reader.stats.misses == 1
+        assert reader.stats.corrupt_drops == 1
+        assert not path.exists()  # evicted, not left to fail forever
+        # Recompute-and-put recovers the key.
+        reader.put("k", {"x": np.arange(64)})
+        np.testing.assert_array_equal(reader.get("k")["x"], np.arange(64))
+
+    def test_garbage_bytes_are_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        (tmp_path / "cache").mkdir(parents=True, exist_ok=True)
+        (tmp_path / "cache" / "junk.pkl").write_bytes(b"\x00not a pickle")
+        assert store.get("junk") is None
+        assert store.stats.corrupt_drops == 1
+
+    def test_keys_and_clear_handle_leftover_tmp_files(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("real", 1)
+        # Leftovers from both the legacy and the current tmp naming.
+        (tmp_path / "cache" / "stale.tmp").write_bytes(b"x")
+        (tmp_path / "cache" / "real.pkl.123.deadbeef.tmp").write_bytes(b"y")
+        assert store.keys() == ["real"]
+        assert len(store) == 1
+        store.clear()
+        assert store.keys() == []
+        assert not any((tmp_path / "cache").iterdir())
+
+    def test_concurrent_evicts_do_not_raise(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        for round_index in range(5):
+            store.put("k", round_index)
+            run_threads(8, lambda _i: store.evict("k"))
+            assert not store.contains("k")
+
+    def test_lru_bound_spills_to_disk(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache", max_memory_items=2)
+        for index in range(4):
+            store.put(f"k{index}", index)
+        assert store.stats.memory_evictions == 2
+        # Every key still resolves: evicted entries reload from disk
+        # (each reload re-enters the bounded memory level, displacing
+        # the current LRU entry, so all four walk through the disk).
+        assert [store.get(f"k{i}") for i in range(4)] == [0, 1, 2, 3]
+        assert store.stats.disk_loads == 4
+
+    def test_lru_bound_memory_only_store(self):
+        store = ArtifactStore(max_memory_items=1)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.get("b") == 2
+        assert store.get("a") is None  # no disk level to reload from
+        assert store.stats.memory_evictions == 1
+
+    def test_get_refreshes_lru_recency(self):
+        store = ArtifactStore(max_memory_items=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.get("a") == 1  # touch: "b" is now the LRU entry
+        store.put("c", 3)
+        assert store.get("a") == 1
+        assert store.get("b") is None
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactStore(max_memory_items=0)
+
+
+# ----------------------------------------------------------------------
+# Parallel PipelineRunner: bit-identical to serial
+# ----------------------------------------------------------------------
+class TestParallelRunner:
+    def diamond_stages(self):
+        return [
+            FunctionStage("base", lambda: np.arange(200.0), config={"n": 200}),
+            FunctionStage("left", lambda base: base * 2, inputs=("base",)),
+            FunctionStage("right", lambda base: base + 1, inputs=("base",)),
+            FunctionStage("merge", lambda left, right: left @ right,
+                          inputs=("left", "right")),
+        ]
+
+    def test_diamond_parallel_matches_serial(self):
+        serial = PipelineRunner(ArtifactStore()).run(self.diamond_stages())
+        parallel = PipelineRunner(ArtifactStore(), workers=3).run(
+            self.diamond_stages())
+        assert parallel.keys == serial.keys
+        assert set(parallel.artifacts) == set(serial.artifacts)
+        for name in serial.artifacts:
+            assert fingerprint(parallel.artifacts[name]) == fingerprint(
+                serial.artifacts[name])
+        # Execution log is reported in topological order either way.
+        assert ([ex.stage for ex in parallel.executions]
+                == [ex.stage for ex in serial.executions])
+
+    def test_full_pipeline_parallel_bit_identical(self):
+        """Acceptance check: parallel == serial, byte for byte.
+
+        The one exception is ``inference_per_second`` inside the finetune
+        artifact — a wall-clock throughput *measurement* that differs
+        even between two serial runs — which is compared for presence
+        only.
+        """
+        config = tiny_config(use_pretraining=True)
+        serial = PipelineRunner(ArtifactStore()).run(
+            build_pipeline_stages(config, task="ar"))
+        parallel = PipelineRunner(ArtifactStore(), workers=4).run(
+            build_pipeline_stages(config, task="ar"))
+        assert parallel.keys == serial.keys
+        for name, artifact in serial.artifacts.items():
+            other = parallel.artifacts[name]
+            if name == "finetune":
+                artifact, other = dict(artifact), dict(other)
+                assert np.isfinite(other.pop("inference_per_second"))
+                artifact.pop("inference_per_second")
+            assert fingerprint(other) == fingerprint(artifact), name
+        assert set(parallel.cache_misses) == set(serial.cache_misses)
+
+    def test_parallel_run_seeds_cache_for_serial_run(self, tmp_path):
+        config = tiny_config(use_pretraining=False)
+        store = ArtifactStore(tmp_path / "cache")
+        PipelineRunner(store, workers=4).run(build_pipeline_stages(config, "ar"))
+        warm = PipelineRunner(ArtifactStore(tmp_path / "cache")).run(
+            build_pipeline_stages(config, "ar"))
+        assert warm.cache_misses == []
+
+    def test_per_run_workers_override(self):
+        runner = PipelineRunner(ArtifactStore())
+        result = runner.run(self.diamond_stages(), workers=3)
+        assert set(result.artifacts) == {"base", "left", "right", "merge"}
+
+    def test_stage_exception_propagates(self):
+        def boom():
+            raise RuntimeError("stage failed")
+
+        stages = [FunctionStage("ok", lambda: 1),
+                  FunctionStage("boom", boom)]
+        with pytest.raises(RuntimeError, match="stage failed"):
+            PipelineRunner(ArtifactStore(), workers=2).run(stages)
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            PipelineRunner(workers=0)
+        with pytest.raises(ValueError):
+            PipelineRunner().run([], workers=0)
+
+    def test_overrides_resolve_before_parallel_stages(self):
+        stages = [FunctionStage("double", lambda base: base * 2,
+                                inputs=("base",)),
+                  FunctionStage("triple", lambda base: base * 3,
+                                inputs=("base",))]
+        result = PipelineRunner(ArtifactStore(), workers=2).run(
+            stages, overrides={"base": 5})
+        assert result.artifacts["double"] == 10
+        assert result.artifacts["triple"] == 15
+
+
+# ----------------------------------------------------------------------
+# ParallelSweepExecutor and the sweep workers= paths
+# ----------------------------------------------------------------------
+class TestParallelSweeps:
+    def test_executor_preserves_input_order(self):
+        def slow_identity(item):
+            time.sleep(0.002 * (4 - item))  # later items finish first
+            return item
+
+        assert ParallelSweepExecutor(4).map(slow_identity, range(4)) == [0, 1, 2, 3]
+
+    def test_executor_propagates_exceptions(self):
+        def maybe_boom(item):
+            if item == 2:
+                raise ValueError("bad grid point")
+            return item
+
+        with pytest.raises(ValueError, match="bad grid point"):
+            ParallelSweepExecutor(3).map(maybe_boom, range(4))
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_slots_sweep_parallel_rows_identical(self):
+        kwargs = dict(num_slots_values=(4, 8), frame_size=16, tile_size=8,
+                      measure_correlation=True, num_clips=8, seed=0)
+        serial = sweep_exposure_slots(**kwargs)
+        store = ArtifactStore()
+        parallel = sweep_exposure_slots(store=store, workers=2, **kwargs)
+        assert parallel == serial
+        # Shared store populated concurrently still serves a warm re-sweep.
+        again = sweep_exposure_slots(store=store, workers=2, **kwargs)
+        assert again == serial
+
+    def test_density_sweep_parallel_rows_identical(self):
+        kwargs = dict(densities=(0.25, 0.5, 0.75), num_slots=8, tile_size=4,
+                      frame_size=16, num_clips=8, seed=0)
+        assert sweep_exposure_density(workers=3, **kwargs) == \
+            sweep_exposure_density(**kwargs)
+
+    def test_tile_and_codec_sweeps_parallel_rows_identical(self):
+        assert sweep_tile_size(workers=3) == sweep_tile_size()
+        kwargs = dict(qualities=(10, 50, 90), frame_size=16, num_slots=8)
+        assert sweep_digital_codec_quality(workers=3, **kwargs) == \
+            sweep_digital_codec_quality(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# BatchEncoder: zero-clip edge case, thread-safe counters, parallel path
+# ----------------------------------------------------------------------
+class TestBatchEncoderConcurrency:
+    def make_encoder(self, batch_size=2, num_slots=8, tile_size=4, frame_size=16):
+        config = CEConfig(num_slots=num_slots, tile_size=tile_size,
+                          frame_height=frame_size, frame_width=frame_size)
+        pattern = make_pattern("random", num_slots, tile_size,
+                               rng=np.random.default_rng(0))
+        return BatchEncoder(CodedExposureSensor(config, pattern),
+                            batch_size=batch_size)
+
+    def test_zero_clip_batch_returns_empty_without_counting(self):
+        encoder = self.make_encoder()
+        coded = encoder.encode(np.zeros((0, 8, 16, 16)))
+        assert coded.shape == (0, 16, 16)
+        assert coded.dtype == np.float64
+        assert encoder.stats == {"clips_encoded": 0, "batches_encoded": 0}
+
+    def test_encode_parallel_matches_encode(self, rng):
+        clips = rng.random((9, 8, 16, 16))
+        encoder = self.make_encoder(batch_size=2)
+        serial = encoder.encode(clips)
+        parallel = encoder.encode_parallel(clips, workers=3)
+        np.testing.assert_array_equal(serial, parallel)
+        # Both passes chunked identically: 5 batches each.
+        assert encoder.stats == {"clips_encoded": 18, "batches_encoded": 10}
+
+    def test_encode_parallel_zero_and_validation(self, rng):
+        encoder = self.make_encoder()
+        assert encoder.encode_parallel(np.zeros((0, 8, 16, 16))).shape == (0, 16, 16)
+        with pytest.raises(ValueError):
+            encoder.encode_parallel(rng.random((8, 16, 16)))
+        with pytest.raises(ValueError):
+            encoder.encode_parallel(rng.random((2, 8, 16, 16)), workers=0)
+
+    def test_counters_exact_under_thread_hammer(self, rng):
+        encoder = self.make_encoder(batch_size=2)
+        clips = rng.random((4, 8, 16, 16))
+        run_threads(8, lambda _i: encoder.encode(clips))
+        assert encoder.stats == {"clips_encoded": 32, "batches_encoded": 16}
+
+
+# ----------------------------------------------------------------------
+# Seeded-by-default RNGs (satellite fix)
+# ----------------------------------------------------------------------
+class TestSeededDefaults:
+    def test_random_tile_masking_default_is_deterministic(self):
+        keep_a, masked_a = random_tile_masking(16, 0.75)
+        keep_b, masked_b = random_tile_masking(16, 0.75)
+        np.testing.assert_array_equal(keep_a, keep_b)
+        np.testing.assert_array_equal(masked_a, masked_b)
+        keep_seeded, masked_seeded = random_tile_masking(
+            16, 0.75, np.random.default_rng(0))
+        np.testing.assert_array_equal(keep_a, keep_seeded)
+        np.testing.assert_array_equal(masked_a, masked_seeded)
+
+    def test_pattern_defaults_are_deterministic(self):
+        np.testing.assert_array_equal(random_pattern(8, 4), random_pattern(8, 4))
+        np.testing.assert_array_equal(
+            random_pattern(8, 4),
+            random_pattern(8, 4, rng=np.random.default_rng(0)))
