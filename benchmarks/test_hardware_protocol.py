@@ -36,7 +36,7 @@ def test_hardware_protocol_equivalence(benchmark, record_rows):
             "charge_transfers": stats.charge_transfers,
             "pixels_read": stats.pixels_read,
             "pattern_load_time_us": stats.pattern_clock_cycles
-            / len(sensor._tiles) / constants.PATTERN_CLOCK_HZ * 1e6,
+            / sensor.num_tiles / constants.PATTERN_CLOCK_HZ * 1e6,
         }
 
     summary = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -48,7 +48,7 @@ def expand_tile_pattern(tile_pattern: np.ndarray, height: int, width: int) -> np
 
 
 def coded_exposure(video: np.ndarray, mask: np.ndarray,
-                   normalize: bool = False) -> np.ndarray:
+                   normalize: bool = False, dtype=None) -> np.ndarray:
     """Apply Eqn. 1: integrate selectively-exposed frames into a coded image.
 
     Parameters
@@ -61,13 +61,22 @@ def coded_exposure(video: np.ndarray, mask: np.ndarray,
         If True, divide every pixel by its exposure count (the
         per-pixel number of open slots), the normalisation used before
         the ViT.  Pixels with zero exposures stay zero.
+    dtype:
+        Accumulation dtype of the einsum (default float64, the seed
+        behaviour).  Integer video — e.g. raw uint8 byte video — is
+        never pre-cast: the einsum promotes it against the ``dtype``
+        mask directly, halving encode memory traffic versus an upfront
+        float64 copy.
 
     Returns
     -------
     Coded image(s) of shape ``(H, W)`` or ``(B, H, W)``.
     """
-    video = np.asarray(video, dtype=np.float64)
-    mask = np.asarray(mask, dtype=np.float64)
+    dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+    video = np.asarray(video)
+    if video.dtype != dtype and not np.issubdtype(video.dtype, np.integer):
+        video = video.astype(dtype)
+    mask = np.asarray(mask, dtype=dtype)
     squeeze = False
     if video.ndim == 3:
         video = video[None]
@@ -78,6 +87,10 @@ def coded_exposure(video: np.ndarray, mask: np.ndarray,
         raise ValueError(
             f"mask shape {mask.shape} does not match video frames {video.shape[1:]}")
     coded = np.einsum("bthw,thw->bhw", video, mask)
+    if coded.dtype != dtype:
+        # Wide-integer video (int32/int64) promotes the einsum to float64
+        # regardless of the mask dtype; honour the requested dtype anyway.
+        coded = coded.astype(dtype)
     if normalize:
         counts = mask.sum(axis=0)
         coded = np.divide(coded, counts, out=np.zeros_like(coded), where=counts > 0)

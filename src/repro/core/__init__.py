@@ -1,5 +1,13 @@
 """``repro.core`` — end-to-end SnapPix pipeline orchestration, experiments, and CLI."""
 
+from .bench import (
+    benchmark_ce_encode,
+    benchmark_model_dtypes,
+    benchmark_sensor_capture,
+    remeasure_slow_models,
+    run_perf_engine,
+    write_results,
+)
 from .cli import build_parser, main
 from .config import PipelineConfig
 from .system import SnapPixResult, SnapPixSystem
@@ -26,6 +34,12 @@ __all__ = [
     "run_throughput_comparison",
     "run_downsample_comparison",
     "run_ablation",
+    "benchmark_model_dtypes",
+    "benchmark_ce_encode",
+    "benchmark_sensor_capture",
+    "run_perf_engine",
+    "remeasure_slow_models",
+    "write_results",
     "build_parser",
     "main",
 ]

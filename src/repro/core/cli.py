@@ -9,6 +9,7 @@ Exposes the main entry points of the library without writing Python::
     python -m repro hardware  --tile-size 8 --node-nm 22
     python -m repro sweep     slots --csv slots.csv
     python -m repro correlation --num-slots 16
+    python -m repro bench     --quick
 
 Every subcommand prints an aligned text table (or a key/value listing)
 built by :mod:`repro.analysis.report`, and returns a process exit code of
@@ -48,6 +49,12 @@ from ..hardware import (
     pixel_area_report,
 )
 from ..runtime import ArtifactStore, resolve_workers
+from .bench import (
+    DEFAULT_RESULTS_PATH,
+    remeasure_slow_models,
+    run_perf_engine,
+    write_results,
+)
 from .config import PipelineConfig
 from .experiments import run_correlation_comparison
 from .system import SnapPixSystem
@@ -187,6 +194,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time the engine's hot paths and persist the perf-regression JSON."""
+    payload = run_perf_engine(quick=args.quick, seed=args.seed)
+    # Same noise-tolerant re-measurement the regression gate applies, so
+    # the persisted JSON (the CI artifact) reflects the gated numbers.
+    payload = remeasure_slow_models(payload, seed=args.seed)
+    print(format_text_table(payload["models"]))
+    _print_mapping("CE batch encode (float64 vs float32)", payload["ce_encode"])
+    _print_mapping("sensor capture (vectorised vs per-pixel objects)",
+                   payload["sensor"])
+    path = write_results(payload, args.out)
+    print(f"perf results written to {path}")
+    return 0
+
+
 def _cmd_correlation(args: argparse.Namespace) -> int:
     rows = run_correlation_comparison(num_slots=args.num_slots,
                                       tile_size=args.tile_size,
@@ -301,6 +323,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(slots/density sweeps)")
     _add_workers_option(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="time the fast-inference hot paths and write perf_engine.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-sized geometry (smaller batches, ~tens of "
+                            "seconds end to end)")
+    bench.add_argument("--out", type=str, default=str(DEFAULT_RESULTS_PATH),
+                       help="output JSON path (default: "
+                            "benchmarks/results/perf_engine.json)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=_cmd_bench)
 
     correlation = subparsers.add_parser(
         "correlation", help="compare the Fig. 6 patterns' coded-pixel correlation")

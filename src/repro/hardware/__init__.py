@@ -1,7 +1,7 @@
 """``repro.hardware`` — CE pixel functional simulator and area model (paper Sec. V)."""
 
 from .pixel import CEPixel, PixelActivityCounters, TilePatternShiftRegister
-from .sensor_sim import CaptureStats, StackedCESensor
+from .sensor_sim import CaptureStats, PixelArraySensor, StackedCESensor
 from .area import (
     BROADCAST_WIRE_SIDE_UM,
     CE_LOGIC_AREA_22NM_UM2,
@@ -30,6 +30,7 @@ __all__ = [
     "PixelActivityCounters",
     "TilePatternShiftRegister",
     "StackedCESensor",
+    "PixelArraySensor",
     "CaptureStats",
     "CE_LOGIC_AREA_65NM_UM2",
     "CE_LOGIC_AREA_22NM_UM2",

@@ -1,8 +1,6 @@
 """Slot-level functional simulation of the stacked CE image sensor (Sec. V).
 
-The simulator instantiates one :class:`~repro.hardware.pixel.CEPixel` per
-sensor pixel, wires each tile's bottom-layer DFFs into a shift register,
-and executes the per-slot control protocol of the paper:
+Two simulators implement the per-slot control protocol of the paper:
 
 1. stream the slot's tile pattern into the DFFs (``pixels_per_tile``
    pattern-clock cycles),
@@ -11,6 +9,15 @@ and executes the per-slot control protocol of the paper:
 4. stream the same pattern in again,
 5. assert *pattern transfer* (CE bit 1 -> PD charge moves onto the FD),
 6. power-gate the DFFs until the next slot.
+
+:class:`StackedCESensor` is the production simulator: the photodiode /
+floating-diffusion / DFF state of the whole array is held in ``(H, W)``
+NumPy arrays and each protocol phase is one vectorised update, so a
+capture costs a handful of array ops per slot instead of ``H x W``
+Python method calls.  :class:`PixelArraySensor` is the original
+one-object-per-pixel reference implementation (kept for protocol-level
+unit testing and as the oracle the vectorised sensor is checked against
+bit-for-bit — same readout charges, same :class:`CaptureStats`).
 
 After all ``T`` slots, a single read-out produces the coded image.  The
 simulation exists to verify that this hardware protocol computes exactly
@@ -49,18 +56,144 @@ class CaptureStats:
         }
 
 
+def _validate_pattern(config: CEConfig, tile_pattern: np.ndarray) -> np.ndarray:
+    tile_pattern = np.asarray(tile_pattern)
+    expected = (config.num_slots, config.tile_size, config.tile_size)
+    if tile_pattern.shape != expected:
+        raise ValueError(f"tile_pattern shape {tile_pattern.shape} != {expected}")
+    if not np.isin(tile_pattern, (0, 1)).all():
+        raise ValueError("tile_pattern must be binary")
+    return tile_pattern.astype(int)
+
+
 class StackedCESensor:
-    """Pixel-array simulator of the stacked CE sensor."""
+    """Vectorised pixel-array simulator of the stacked CE sensor.
+
+    The protocol semantics (and the resulting charges and activity
+    counters) are identical to :class:`PixelArraySensor`; only the state
+    representation differs: per-pixel scalars become ``(H, W)`` arrays
+    and each control phase is a masked array update applied in the same
+    slot order, so every floating-point addition happens in the same
+    sequence as in the object-based simulator.
+    """
 
     def __init__(self, config: CEConfig, tile_pattern: np.ndarray):
-        tile_pattern = np.asarray(tile_pattern)
-        expected = (config.num_slots, config.tile_size, config.tile_size)
-        if tile_pattern.shape != expected:
-            raise ValueError(f"tile_pattern shape {tile_pattern.shape} != {expected}")
-        if not np.isin(tile_pattern, (0, 1)).all():
-            raise ValueError("tile_pattern must be binary")
         self.config = config
-        self.tile_pattern = tile_pattern.astype(int)
+        self.tile_pattern = _validate_pattern(config, tile_pattern)
+        height, width = config.frame_height, config.frame_width
+        # Frame-level exposure mask, (T, H, W) boolean.
+        self._mask = expand_tile_pattern(
+            self.tile_pattern, height, width).astype(bool)
+        self._ones_per_slot = self._mask.reshape(config.num_slots, -1).sum(axis=1)
+        # Array state: photodiode charge, floating-diffusion charge, DFF bits.
+        self._pd = np.zeros((height, width))
+        self._fd = np.zeros((height, width))
+        self._dff = np.zeros((height, width), dtype=np.int8)
+        self._dff_powered = False
+        # Aggregate activity counters (CaptureStats semantics).
+        self._clock_cycles = 0
+        self._dff_writes = 0
+        self._pd_resets = 0
+        self._charge_transfers = 0
+        self._pixels_read = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tiles(self) -> int:
+        return self.config.tiles_per_frame
+
+    # ------------------------------------------------------------------
+    def capture(self, video: np.ndarray) -> np.ndarray:
+        """Run the full per-slot protocol on a clip and read out the coded image.
+
+        Parameters
+        ----------
+        video:
+            ``(T, H, W)`` incident light per slot.
+
+        Returns
+        -------
+        The coded image of shape ``(H, W)`` (raw charge sums, i.e. the
+        un-normalised Eqn. 1 output).
+        """
+        video = np.asarray(video, dtype=np.float64)
+        expected = (self.config.num_slots, self.config.frame_height,
+                    self.config.frame_width)
+        if video.shape != expected:
+            raise ValueError(f"video shape {video.shape} != expected {expected}")
+
+        pixels = self.config.frame_height * self.config.frame_width
+        for slot in range(self.config.num_slots):
+            bits = self._mask[slot]
+            ones = int(self._ones_per_slot[slot])
+            # Phase 1: stream the pattern in and reset selected PDs.
+            self._stream_in(bits, pixels)
+            self._pd[bits] = 0.0
+            self._pd_resets += ones
+            self._power_gate()
+            # Phase 2: exposure — every pixel integrates its incident light.
+            self._expose(video[slot])
+            # Phase 3: stream the pattern again and transfer selected charges.
+            self._stream_in(bits, pixels)
+            self._fd[bits] += self._pd[bits]
+            self._pd[bits] = 0.0
+            self._charge_transfers += ones
+            self._power_gate()
+        return self._readout()
+
+    # ------------------------------------------------------------------
+    def _stream_in(self, bits: np.ndarray, pixels: int) -> None:
+        """One pattern load: every pixel's DFF is written, one clock per bit."""
+        np.copyto(self._dff, bits, casting="unsafe")
+        self._dff_powered = True
+        self._clock_cycles += pixels
+        self._dff_writes += pixels
+
+    def _power_gate(self) -> None:
+        self._dff_powered = False
+
+    def _expose(self, frame: np.ndarray) -> None:
+        if (frame < 0).any():
+            raise ValueError("light intensity must be non-negative")
+        self._pd += frame
+
+    def _readout(self) -> np.ndarray:
+        image = self._fd.copy()
+        self._fd[:] = 0.0
+        self._pd[:] = 0.0
+        self._pixels_read += image.size
+        return image
+
+    # ------------------------------------------------------------------
+    def capture_stats(self) -> CaptureStats:
+        """Aggregate control-activity counters across the array."""
+        return CaptureStats(pattern_clock_cycles=self._clock_cycles,
+                            dff_writes=self._dff_writes,
+                            pd_resets=self._pd_resets,
+                            charge_transfers=self._charge_transfers,
+                            pixels_read=self._pixels_read)
+
+    # ------------------------------------------------------------------
+    def expected_clock_cycles_per_capture(self) -> int:
+        """Pattern-clock cycles per capture: 2 loads per slot per tile pixel."""
+        tiles = (self.config.frame_height // self.config.tile_size) * \
+            (self.config.frame_width // self.config.tile_size)
+        return 2 * self.config.num_slots * tiles * self.config.pixels_per_tile
+
+
+class PixelArraySensor:
+    """Reference pixel-array simulator built from :class:`CEPixel` objects.
+
+    One Python object per pixel, one method call per control event —
+    slow, but a direct transcription of the Fig. 5 protocol.  Used as the
+    oracle for :class:`StackedCESensor` (the test suite checks readout
+    and :class:`CaptureStats` match exactly) and for event-level
+    protocol experiments.
+    """
+
+    def __init__(self, config: CEConfig, tile_pattern: np.ndarray):
+        self.config = config
+        self.tile_pattern = _validate_pattern(config, tile_pattern)
         height, width = config.frame_height, config.frame_width
         self.pixels = [[CEPixel() for _ in range(width)] for _ in range(height)]
         self._tiles = self._build_tiles()
@@ -80,20 +213,13 @@ class StackedCESensor:
                 registers.append(TilePatternShiftRegister(members))
         return registers
 
+    @property
+    def num_tiles(self) -> int:
+        return len(self._tiles)
+
     # ------------------------------------------------------------------
     def capture(self, video: np.ndarray) -> np.ndarray:
-        """Run the full per-slot protocol on a clip and read out the coded image.
-
-        Parameters
-        ----------
-        video:
-            ``(T, H, W)`` incident light per slot.
-
-        Returns
-        -------
-        The coded image of shape ``(H, W)`` (raw charge sums, i.e. the
-        un-normalised Eqn. 1 output).
-        """
+        """Run the full per-slot protocol on a clip and read out the coded image."""
         video = np.asarray(video, dtype=np.float64)
         expected = (self.config.num_slots, self.config.frame_height,
                     self.config.frame_width)

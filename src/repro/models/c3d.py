@@ -51,7 +51,7 @@ class C3DModel(Module):
 
     def forward(self, videos: np.ndarray) -> Tensor:
         """Classify ``(B, T, H, W)`` uncompressed clips."""
-        x = np.asarray(videos, dtype=np.float64)
+        x = np.asarray(videos, dtype=self.dtype)
         if x.ndim != 4:
             raise ValueError("videos must have shape (B, T, H, W)")
         x = Tensor(x[:, None])  # (B, 1, T, H, W)

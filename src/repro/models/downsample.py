@@ -23,7 +23,9 @@ def spatial_downsample(videos: np.ndarray, factor: int = 4) -> np.ndarray:
     ``factor = 4`` gives a 16x pixel-count reduction, matching SnapPix's
     T = 16 temporal compression rate.
     """
-    videos = np.asarray(videos, dtype=np.float64)
+    videos = np.asarray(videos)
+    if not np.issubdtype(videos.dtype, np.floating):
+        videos = videos.astype(np.float64)
     if videos.ndim == 3:
         videos = videos[None]
         squeeze = True

@@ -15,14 +15,30 @@ import numpy as np
 from ..nn import Linear, Module, Tensor
 
 
-def image_to_patches(images: np.ndarray, patch_size: int) -> np.ndarray:
+def _as_float(array: np.ndarray, dtype=None) -> np.ndarray:
+    """Coerce to a floating array.
+
+    ``dtype=None`` keeps an already-floating input's dtype (so float32
+    pipelines stay float32) and promotes everything else to float64, the
+    seed behaviour.
+    """
+    array = np.asarray(array)
+    if dtype is not None:
+        return array.astype(dtype, copy=False)
+    if np.issubdtype(array.dtype, np.floating):
+        return array
+    return array.astype(np.float64)
+
+
+def image_to_patches(images: np.ndarray, patch_size: int,
+                     dtype=None) -> np.ndarray:
     """Rearrange ``(B, H, W)`` images into ``(B, N, patch_size**2)`` patch vectors.
 
     Patches are ordered row-major over the patch grid, pixels row-major
     within each patch — the same layout used by the CE tile statistics,
     which is what lets the model and the exposure pattern share indices.
     """
-    images = np.asarray(images, dtype=np.float64)
+    images = _as_float(images, dtype)
     if images.ndim != 3:
         raise ValueError("images must have shape (B, H, W)")
     batch, height, width = images.shape
@@ -55,7 +71,7 @@ def video_to_patches(videos: np.ndarray, patch_size: int) -> np.ndarray:
     pre-training (Eqn. 3): each spatial patch token predicts the full
     temporal stack of pixels at its location.
     """
-    videos = np.asarray(videos, dtype=np.float64)
+    videos = _as_float(videos)
     if videos.ndim != 4:
         raise ValueError("videos must have shape (B, T, H, W)")
     batch, frames, height, width = videos.shape
@@ -90,7 +106,7 @@ class PatchEmbed(Module):
         self.proj = Linear(in_channels * patch_size * patch_size, dim, rng=rng)
 
     def forward(self, images: np.ndarray) -> Tensor:
-        patches = image_to_patches(images, self.patch_size)
+        patches = image_to_patches(images, self.patch_size, dtype=self.dtype)
         return self.proj(Tensor(patches))
 
 
@@ -111,7 +127,7 @@ class TubeEmbed(Module):
         self.proj = Linear(tube_frames * patch_size * patch_size, dim, rng=rng)
 
     def forward(self, videos: np.ndarray) -> Tensor:
-        videos = np.asarray(videos, dtype=np.float64)
+        videos = _as_float(videos, dtype=self.dtype)
         batch, frames, height, width = videos.shape
         if frames % self.tube_frames:
             raise ValueError("clip length must be a multiple of tube_frames")

@@ -114,7 +114,7 @@ def _scatter_subgrid(out: Tensor, rows: np.ndarray, cols: np.ndarray, full_shape
     def scatter(sub: Tensor) -> Tensor:
         # Embed the sub-grid into a zero frame via the sub tensor's _make so
         # that backward extracts the sub-grid gradient.
-        data = np.zeros(full_shape)
+        data = np.zeros(full_shape, dtype=sub.data.dtype)
         data[:, :, row_index, col_index] = sub.data
 
         def backward(grad):
@@ -148,7 +148,7 @@ class SVC2DModel(Module):
         self.fc = Linear(base_channels * 2, num_classes, rng=rng)
 
     def forward(self, coded_images: np.ndarray) -> Tensor:
-        x = np.asarray(coded_images, dtype=np.float64)
+        x = np.asarray(coded_images, dtype=self.dtype)
         if x.ndim == 3:
             x = x[:, None]  # add channel dim
         x = Tensor(x)

@@ -68,7 +68,7 @@ class VideoMAEClassifier(Module):
 
     def forward(self, videos: np.ndarray) -> Tensor:
         """Classify ``(B, T, H, W)`` uncompressed clips."""
-        videos = np.asarray(videos, dtype=np.float64)
+        videos = np.asarray(videos, dtype=self.dtype)
         if videos.ndim != 4:
             raise ValueError("videos must have shape (B, T, H, W)")
         tokens = self.tube_embed(videos)

@@ -30,6 +30,7 @@ from ..nn import (
     TransformerBlock,
     concatenate,
 )
+from ..nn import init
 from ..nn.attention import sinusoidal_position_encoding
 from .patch import PatchEmbed, image_to_patches
 
@@ -218,7 +219,7 @@ class MaskedAutoencoder(Module):
         self.num_output_frames = num_output_frames
         self.encoder = ViTEncoder(config, rng=rng)
         self.decoder_embed = Linear(config.dim, decoder_dim, rng=rng)
-        self.mask_token = Parameter(np.zeros(decoder_dim))
+        self.mask_token = Parameter(init.zeros(decoder_dim))
         self.decoder_pos = Parameter(
             sinusoidal_position_encoding(config.num_patches, decoder_dim))
         self.decoder_blocks = [
@@ -263,7 +264,8 @@ class MaskedAutoencoder(Module):
             if position in visible_positions:
                 token = embedded[:, visible_positions[position]:visible_positions[position] + 1]
             else:
-                token = mask_row * Tensor(np.ones((batch, 1, 1)))
+                token = mask_row * Tensor(np.ones((batch, 1, 1),
+                                                   dtype=self.mask_token.dtype))
             full_tokens.append(token)
         tokens = concatenate(full_tokens, axis=1)
         tokens = tokens + self.decoder_pos

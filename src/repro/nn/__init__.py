@@ -7,7 +7,18 @@ reproduction: the CE-optimized ViT, the learnable coded-exposure
 pattern, and the SVC2D / C3D / VideoMAE-ST baselines.
 """
 
-from .tensor import Tensor, concatenate, no_grad, stack, where
+from .tensor import (
+    Tensor,
+    concatenate,
+    default_dtype,
+    get_default_dtype,
+    is_grad_enabled,
+    needs_grad,
+    no_grad,
+    set_default_dtype,
+    stack,
+    where,
+)
 from . import functional
 from .modules import (
     Dropout,
@@ -46,6 +57,11 @@ __all__ = [
     "stack",
     "where",
     "no_grad",
+    "is_grad_enabled",
+    "needs_grad",
+    "set_default_dtype",
+    "get_default_dtype",
+    "default_dtype",
     "functional",
     "Module",
     "Parameter",

@@ -12,7 +12,7 @@ import numpy as np
 
 from . import functional as F
 from .modules import Dropout, LayerNorm, Linear, MLP, Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype, needs_grad
 
 
 class MultiHeadAttention(Module):
@@ -27,13 +27,18 @@ class MultiHeadAttention(Module):
         self.dim = dim
         self.num_heads = num_heads
         self.head_dim = dim // num_heads
-        self.scale = 1.0 / np.sqrt(self.head_dim)
+        # Python float so float32 activations are not upcast (NEP 50).
+        self.scale = float(1.0 / np.sqrt(self.head_dim))
         self.qkv = Linear(dim, dim * 3, rng=rng)
         self.proj = Linear(dim, dim, rng=rng)
         self.drop = Dropout(dropout_p, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
         batch, tokens, dim = x.shape
+        dropout_active = self.training and self.drop.p > 0.0
+        if not dropout_active and not needs_grad(x, self.qkv.weight, self.qkv.bias,
+                                                 self.proj.weight, self.proj.bias):
+            return self._forward_inference(x.data, batch, tokens, dim)
         qkv = self.qkv(x)  # (B, T, 3*D)
         qkv = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, Dh)
@@ -45,6 +50,32 @@ class MultiHeadAttention(Module):
         out = attn @ v  # (B, H, T, Dh)
         out = out.transpose(0, 2, 1, 3).reshape(batch, tokens, dim)
         return self.drop(self.proj(out))
+
+    def _forward_inference(self, x_data: np.ndarray, batch: int, tokens: int,
+                           dim: int) -> Tensor:
+        """Graph-free attention: pure BLAS matmuls, no closures or parents.
+
+        Mirrors the autodiff path op-for-op (same associativity), so the
+        logits match the training-path forward bit-for-bit.
+        """
+        qkv = x_data @ self.qkv.weight.data
+        if self.qkv.bias is not None:
+            qkv += self.qkv.bias.data
+        qkv = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, Dh)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (B, H, T, T)
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+        out = scores @ v  # (B, H, T, Dh)
+        out = np.ascontiguousarray(out.transpose(0, 2, 1, 3)).reshape(
+            batch, tokens, dim)
+        out = out @ self.proj.weight.data
+        if self.proj.bias is not None:
+            out += self.proj.bias.data
+        return Tensor(out)
 
 
 class TransformerBlock(Module):
@@ -66,13 +97,23 @@ class TransformerBlock(Module):
         return x
 
 
-def sinusoidal_position_encoding(num_positions: int, dim: int) -> np.ndarray:
-    """Fixed sinusoidal positional embedding table of shape (num_positions, dim)."""
+def sinusoidal_position_encoding(num_positions: int, dim: int,
+                                 dtype=None) -> np.ndarray:
+    """Fixed sinusoidal positional embedding table of shape (num_positions, dim).
+
+    Column ``2i`` holds ``sin(pos * w_i)`` and column ``2i + 1`` holds
+    ``cos(pos * w_i)`` for the shared frequency ``w_i``.  Odd ``dim`` is
+    supported: the final unpaired column carries the sine of the last
+    frequency, and the cosine half uses exactly the first ``dim // 2``
+    frequencies (symmetric pairing, no silent mis-shaping).
+    """
+    if num_positions < 1 or dim < 1:
+        raise ValueError("num_positions and dim must be >= 1")
     position = np.arange(num_positions)[:, None]
-    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
-    table = np.zeros((num_positions, dim))
-    table[:, 0::2] = np.sin(position * div)
-    table[:, 1::2] = np.cos(position * div[: table[:, 1::2].shape[1]])
+    frequencies = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    table = np.zeros((num_positions, dim), dtype=dtype or get_default_dtype())
+    table[:, 0::2] = np.sin(position * frequencies)
+    table[:, 1::2] = np.cos(position * frequencies[: dim // 2])
     return table
 
 

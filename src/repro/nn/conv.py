@@ -13,7 +13,7 @@ import numpy as np
 
 from . import init
 from .modules import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, needs_grad
 
 
 def _pair(value) -> Tuple[int, int]:
@@ -57,7 +57,10 @@ def _col2im2d(cols: np.ndarray, x_shape, kernel, stride, padding) -> np.ndarray:
     kh, kw = kernel
     sh, sw = stride
     ph, pw = padding
-    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw))
+    # Scratch must match the gradient dtype — an untyped np.zeros would
+    # silently upcast float32 backward passes to float64.
+    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw),
+                      dtype=cols.dtype)
     out_h = (padded.shape[2] - kh) // sh + 1
     out_w = (padded.shape[3] - kw) // sw + 1
     cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
@@ -75,7 +78,7 @@ class Conv2d(Module):
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size,
                  stride=1, padding=0, bias: bool = True,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None, dtype=None):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.in_channels = in_channels
@@ -85,8 +88,9 @@ class Conv2d(Module):
         self.padding = _pair(padding)
         kh, kw = self.kernel_size
         self.weight = Parameter(
-            init.kaiming_normal((out_channels, in_channels, kh, kw), rng))
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+            init.kaiming_normal((out_channels, in_channels, kh, kw), rng,
+                                dtype=dtype))
+        self.bias = Parameter(init.zeros(out_channels, dtype=dtype)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         x_data = x.data
@@ -101,6 +105,10 @@ class Conv2d(Module):
         batch = x_data.shape[0]
         out_data = out_data.transpose(0, 2, 1).reshape(batch, self.out_channels,
                                                        out_h, out_w)
+        if not needs_grad(x, weight, bias):
+            # Graph-free fast path: the column buffer dies here instead of
+            # being captured by a backward closure that inference never runs.
+            return Tensor(out_data)
         x_shape = x_data.shape
         kernel, stride, padding = self.kernel_size, self.stride, self.padding
         module = self
@@ -130,7 +138,7 @@ class Conv3d(Module):
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size,
                  stride=1, padding=0, bias: bool = True,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None, dtype=None):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.in_channels = in_channels
@@ -140,8 +148,9 @@ class Conv3d(Module):
         self.padding = _triple(padding)
         kt, kh, kw = self.kernel_size
         self.weight = Parameter(
-            init.kaiming_normal((out_channels, in_channels, kt, kh, kw), rng))
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+            init.kaiming_normal((out_channels, in_channels, kt, kh, kw), rng,
+                                dtype=dtype))
+        self.bias = Parameter(init.zeros(out_channels, dtype=dtype)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         kt, kh, kw = self.kernel_size
@@ -159,20 +168,28 @@ class Conv3d(Module):
         # per temporal output index.
         w_mat = self.weight.data.reshape(self.out_channels, -1)  # (O, C*kt*kh*kw)
         weight, bias = self.weight, self.bias
+        grad_needed = needs_grad(x, weight, bias)
 
-        cols_per_t = []
-        out_frames = []
+        # Only the autodiff path keeps per-slot column buffers alive; the
+        # graph-free path holds at most one at a time.
+        cols_per_t = [] if grad_needed else None
+        out_data = None
         for t_out in range(out_t):
             window = x_pad[:, :, t_out * st:t_out * st + kt]  # (B, C, kt, H, W)
             stacked = window.reshape(batch, channels * kt, height, width)
             cols, (out_h, out_w) = _im2col2d(stacked, (kh, kw), (sh, sw), (ph, pw))
-            cols_per_t.append(cols)
+            if grad_needed:
+                cols_per_t.append(cols)
             frame = cols @ w_mat.T
             if bias is not None:
                 frame = frame + bias.data
-            out_frames.append(frame.transpose(0, 2, 1).reshape(
-                batch, self.out_channels, out_h, out_w))
-        out_data = np.stack(out_frames, axis=2)  # (B, O, T', H', W')
+            if out_data is None:
+                out_data = np.empty((batch, self.out_channels, out_t, out_h, out_w),
+                                    dtype=frame.dtype)
+            out_data[:, :, t_out] = frame.transpose(0, 2, 1).reshape(
+                batch, self.out_channels, out_h, out_w)
+        if not grad_needed:
+            return Tensor(out_data)
 
         x_shape = x_data.shape
         stacked_shape = (batch, channels * kt, height, width)

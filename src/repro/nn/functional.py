@@ -6,11 +6,17 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, is_grad_enabled
+from .tensor import Tensor, get_default_dtype, is_grad_enabled, needs_grad
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
+    if not needs_grad(x):
+        # Graph-free fast path: in-place exp/normalise, no closures.
+        shifted = x.data - x.data.max(axis=axis, keepdims=True)
+        np.exp(shifted, out=shifted)
+        shifted /= shifted.sum(axis=axis, keepdims=True)
+        return Tensor(shifted)
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
@@ -40,7 +46,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     targets = np.asarray(targets, dtype=np.int64)
     batch, num_classes = logits.shape
     log_probs = log_softmax(logits, axis=-1)
-    one_hot = np.zeros((batch, num_classes))
+    one_hot = np.zeros((batch, num_classes), dtype=log_probs.dtype)
     one_hot[np.arange(batch), targets] = 1.0
     if label_smoothing > 0.0:
         one_hot = one_hot * (1.0 - label_smoothing) + label_smoothing / num_classes
@@ -74,6 +80,14 @@ def dropout(x: Tensor, p: float, training: bool,
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-6) -> Tensor:
     """Layer normalisation over the last dimension."""
+    if not needs_grad(x, weight, bias):
+        # Graph-free fast path mirroring the autodiff formula op-for-op,
+        # so inference results are bit-identical to the training path.
+        data = x.data
+        centred = data - data.mean(axis=-1, keepdims=True)
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred / np.sqrt(variance + eps)
+        return Tensor(normalised * weight.data + bias.data)
     mean = x.mean(axis=-1, keepdims=True)
     centred = x - mean
     variance = (centred * centred).mean(axis=-1, keepdims=True)
@@ -88,10 +102,11 @@ def accuracy(logits: Tensor, targets: np.ndarray) -> float:
     return float(np.mean(predictions == targets))
 
 
-def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
-    """Integer indices -> one-hot matrix."""
+def one_hot(indices: np.ndarray, num_classes: int, dtype=None) -> np.ndarray:
+    """Integer indices -> one-hot matrix in the requested (or default) dtype."""
     indices = np.asarray(indices, dtype=np.int64)
-    out = np.zeros((indices.shape[0], num_classes))
+    out = np.zeros((indices.shape[0], num_classes),
+                   dtype=dtype or get_default_dtype())
     out[np.arange(indices.shape[0]), indices] = 1.0
     return out
 

@@ -1,37 +1,56 @@
-"""Weight initialisation schemes used across the model zoo."""
+"""Weight initialisation schemes used across the model zoo.
+
+Every initialiser accepts an optional ``dtype``; when omitted, the
+process-wide default compute dtype (:func:`repro.nn.get_default_dtype`)
+is used, so models built under ``set_default_dtype(np.float32)`` come up
+entirely in float32.  Values are always drawn in float64 and then cast,
+so a model built in float32 is bit-identical to a float64 model converted
+with ``Module.to(np.float32)`` for the same seed.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from .tensor import get_default_dtype
 
-def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+
+def resolve_dtype(dtype=None) -> np.dtype:
+    """``dtype`` as a NumPy dtype, defaulting to the process compute dtype."""
+    return np.dtype(dtype) if dtype is not None else get_default_dtype()
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0,
+                   dtype=None) -> np.ndarray:
     """Glorot/Xavier uniform init for linear layers."""
     fan_in, fan_out = _fans(shape)
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype(dtype),
+                                                         copy=False)
 
 
-def kaiming_normal(shape, rng: np.random.Generator) -> np.ndarray:
+def kaiming_normal(shape, rng: np.random.Generator, dtype=None) -> np.ndarray:
     """He-normal init, appropriate for ReLU-family activations."""
     fan_in, _ = _fans(shape)
     std = np.sqrt(2.0 / fan_in)
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype(dtype),
+                                                   copy=False)
 
 
 def truncated_normal(shape, rng: np.random.Generator, std: float = 0.02,
-                     bound: float = 2.0) -> np.ndarray:
+                     bound: float = 2.0, dtype=None) -> np.ndarray:
     """Truncated normal init, the default for ViT weights."""
     values = rng.normal(0.0, std, size=shape)
-    return np.clip(values, -bound * std, bound * std)
+    clipped = np.clip(values, -bound * std, bound * std)
+    return clipped.astype(resolve_dtype(dtype), copy=False)
 
 
-def zeros(shape, rng: np.random.Generator = None) -> np.ndarray:
-    return np.zeros(shape)
+def zeros(shape, rng: np.random.Generator = None, dtype=None) -> np.ndarray:
+    return np.zeros(shape, dtype=resolve_dtype(dtype))
 
 
-def ones(shape, rng: np.random.Generator = None) -> np.ndarray:
-    return np.ones(shape)
+def ones(shape, rng: np.random.Generator = None, dtype=None) -> np.ndarray:
+    return np.ones(shape, dtype=resolve_dtype(dtype))
 
 
 def _fans(shape):

@@ -13,7 +13,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype, needs_grad
 
 
 class Parameter(Tensor):
@@ -67,6 +67,44 @@ class Module:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
+
+    # ------------------------------------------------------------------
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every registered descendant."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Compute dtype of the module's parameters.
+
+        Falls back to the process default dtype for parameter-free
+        modules.
+        """
+        for _, param in self.named_parameters():
+            return param.data.dtype
+        return get_default_dtype()
+
+    def to(self, dtype) -> "Module":
+        """Cast every parameter (and non-parameter tensor buffer) in place.
+
+        The idiomatic way to switch an existing model to the float32
+        inference dtype: ``model.to(np.float32)``.  Returns ``self`` so
+        calls can be chained.
+        """
+        dtype = np.dtype(dtype)
+        if not np.issubdtype(dtype, np.floating):
+            raise ValueError(f"Module.to expects a floating dtype, got {dtype}")
+        for module in self.modules():
+            for attr, value in vars(module).items():
+                if attr in ("_parameters", "_modules"):
+                    continue
+                if isinstance(value, Tensor):
+                    value.data = value.data.astype(dtype, copy=False)
+                    if value.grad is not None:
+                        value.grad = value.grad.astype(dtype, copy=False)
+        return self
 
     # ------------------------------------------------------------------
     def train(self, mode: bool = True) -> "Module":
@@ -124,15 +162,22 @@ class Linear(Module):
     """Fully-connected layer: ``y = x @ W + b``."""
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None, dtype=None):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(init.truncated_normal((in_features, out_features), rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.weight = Parameter(
+            init.truncated_normal((in_features, out_features), rng, dtype=dtype))
+        self.bias = Parameter(init.zeros(out_features, dtype=dtype)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if not needs_grad(x, self.weight, self.bias):
+            # Graph-free fast path: one BLAS matmul, no closures/parents.
+            out = x.data @ self.weight.data
+            if self.bias is not None:
+                out += self.bias.data
+            return Tensor(out)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -142,12 +187,12 @@ class Linear(Module):
 class LayerNorm(Module):
     """Layer normalisation over the trailing feature dimension."""
 
-    def __init__(self, dim: int, eps: float = 1e-6):
+    def __init__(self, dim: int, eps: float = 1e-6, dtype=None):
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.weight = Parameter(np.ones(dim))
-        self.bias = Parameter(np.zeros(dim))
+        self.weight = Parameter(init.ones(dim, dtype=dtype))
+        self.bias = Parameter(init.zeros(dim, dtype=dtype))
 
     def forward(self, x: Tensor) -> Tensor:
         return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
@@ -179,10 +224,11 @@ class Embedding(Module):
     """Lookup table mapping integer ids to dense vectors."""
 
     def __init__(self, num_embeddings: int, dim: int,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None, dtype=None):
         super().__init__()
         rng = rng or np.random.default_rng(0)
-        self.weight = Parameter(init.truncated_normal((num_embeddings, dim), rng))
+        self.weight = Parameter(
+            init.truncated_normal((num_embeddings, dim), rng, dtype=dtype))
 
     def forward(self, indices: np.ndarray) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)

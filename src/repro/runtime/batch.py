@@ -39,6 +39,11 @@ class BatchEncoder:
     normalize:
         Divide coded pixels by their exposure counts.  ``None`` (default)
         follows ``sensor.config.normalize_by_exposures``.
+    dtype:
+        Accumulation dtype handed to :func:`repro.ce.coded_exposure`.
+        ``None`` keeps the float64 seed behaviour; ``np.float32`` halves
+        encode memory traffic (uint8 byte video is then never expanded
+        to float64 at all).
 
     The encoder is safe to share between threads: the
     ``clips_encoded``/``batches_encoded`` counters are updated under a
@@ -46,7 +51,7 @@ class BatchEncoder:
     """
 
     def __init__(self, sensor: Sensor, batch_size: int = 32,
-                 normalize: Optional[bool] = None):
+                 normalize: Optional[bool] = None, dtype=None):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.sensor = sensor
@@ -54,6 +59,7 @@ class BatchEncoder:
         if normalize is None:
             normalize = sensor.config.normalize_by_exposures
         self.normalize = bool(normalize)
+        self.dtype = np.dtype(dtype) if dtype is not None else None
         self.clips_encoded = 0
         self.batches_encoded = 0
         self._stats_lock = threading.Lock()
@@ -61,7 +67,7 @@ class BatchEncoder:
     # ------------------------------------------------------------------
     def _encode_batch(self, batch: np.ndarray) -> np.ndarray:
         coded = coded_exposure(batch, self.sensor.full_mask,
-                               normalize=self.normalize)
+                               normalize=self.normalize, dtype=self.dtype)
         with self._stats_lock:
             self.clips_encoded += batch.shape[0]
             self.batches_encoded += 1
@@ -73,7 +79,8 @@ class BatchEncoder:
 
     def _empty_result(self, clips: np.ndarray) -> np.ndarray:
         """The coded shape of an empty batch, without touching the counters."""
-        return np.zeros((0, clips.shape[2], clips.shape[3]), dtype=np.float64)
+        return np.zeros((0, clips.shape[2], clips.shape[3]),
+                        dtype=self.dtype or np.float64)
 
     def encode(self, clips: np.ndarray) -> np.ndarray:
         """Encode a single clip ``(T, H, W)`` or a batch ``(B, T, H, W)``.

@@ -1,0 +1,342 @@
+"""Tests for the fast inference engine.
+
+Covers the dtype substrate (``set_default_dtype`` / ``Module.to``),
+float32-vs-float64 equivalence on the Table I models, the graph-free
+``no_grad`` fast paths (no parents / backward closures retained), the
+dtype-aware CE encode, the vectorised sensor simulator's exact
+equivalence with the per-pixel-object oracle, and the odd-``dim``
+sinusoidal position encoding regression.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.ce import CEConfig, coded_exposure, make_pattern, random_pattern
+from repro.hardware import PixelArraySensor, StackedCESensor
+from repro.models import build_model, model_input_kind
+from repro.nn import (
+    Conv2d,
+    Conv3d,
+    LayerNorm,
+    Linear,
+    MultiHeadAttention,
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    no_grad,
+    set_default_dtype,
+)
+from repro.nn.attention import sinusoidal_position_encoding
+from repro.runtime import BatchEncoder
+
+TABLE1_SAMPLE = ("snappix_s", "snappix_b", "c3d", "videomae_st")
+
+
+def _example_input(name: str, rng, batch: int = 4, image_size: int = 16,
+                   num_frames: int = 8) -> np.ndarray:
+    if model_input_kind(name) == "ce":
+        return rng.random((batch, image_size, image_size))
+    return rng.random((batch, num_frames, image_size, image_size))
+
+
+# ----------------------------------------------------------------------
+# Default-dtype machinery
+# ----------------------------------------------------------------------
+class TestDefaultDtype:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_set_and_restore(self):
+        previous = set_default_dtype(np.float32)
+        try:
+            assert Tensor([1.0]).dtype == np.float32
+            assert Tensor.zeros((2, 2)).dtype == np.float32
+            assert nn.functional.one_hot(np.array([0, 1]), 3).dtype == np.float32
+        finally:
+            set_default_dtype(previous)
+        assert Tensor([1.0]).dtype == np.float64
+
+    def test_context_manager(self):
+        with default_dtype(np.float32):
+            assert get_default_dtype() == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_non_floating_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+    def test_floating_arrays_keep_their_dtype(self):
+        data = np.ones((2, 2), dtype=np.float32)
+        assert Tensor(data).dtype == np.float32
+
+    def test_module_to_casts_everything(self):
+        model = build_model("snappix_tiny", num_classes=4, image_size=16, seed=0)
+        model.to(np.float32)
+        assert all(p.dtype == np.float32 for p in model.parameters())
+        assert model.dtype == np.float32
+
+    def test_module_to_rejects_integer_dtype(self):
+        with pytest.raises(ValueError):
+            Linear(4, 4).to(np.int64)
+
+    def test_build_under_float32_matches_cast(self):
+        """Building under a float32 default equals casting a float64 build."""
+        with default_dtype(np.float32):
+            built = build_model("snappix_tiny", num_classes=4, image_size=16,
+                               seed=0)
+        cast = build_model("snappix_tiny", num_classes=4, image_size=16,
+                          seed=0).to(np.float32)
+        for (name, p1), (_, p2) in zip(built.named_parameters(),
+                                       cast.named_parameters()):
+            assert p1.dtype == np.float32
+            assert np.array_equal(p1.data, p2.data), name
+
+    def test_scalar_ops_do_not_upcast_float32(self):
+        x = Tensor(np.ones((3,), dtype=np.float32))
+        assert (x + 1.0).dtype == np.float32
+        assert (x * 2.0).dtype == np.float32
+        assert (1.0 - x).dtype == np.float32
+        assert (x / 2.0).dtype == np.float32
+        assert x.gelu().dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# float32 vs float64 equivalence on Table I models
+# ----------------------------------------------------------------------
+class TestFloat32Equivalence:
+    @pytest.mark.parametrize("name", TABLE1_SAMPLE)
+    def test_logits_close_and_decisions_identical(self, name, rng):
+        model64 = build_model(name, num_classes=5, image_size=16, num_frames=8,
+                              seed=0)
+        model32 = build_model(name, num_classes=5, image_size=16, num_frames=8,
+                              seed=0).to(np.float32)
+        x = _example_input(name, rng)
+        with no_grad():
+            logits64 = model64(x).data
+            logits32 = model32(x.astype(np.float32)).data
+        assert logits32.dtype == np.float32
+        assert logits64.dtype == np.float64
+        assert np.allclose(logits64, logits32, atol=1e-4)
+        assert np.array_equal(logits64.argmax(axis=-1), logits32.argmax(axis=-1))
+
+    def test_training_step_works_in_float32(self, rng):
+        """Gradients stay float32 end to end (no silent upcast in backward)."""
+        model = build_model("snappix_tiny", num_classes=4, image_size=16,
+                           seed=0).to(np.float32)
+        x = rng.random((4, 16, 16)).astype(np.float32)
+        targets = np.array([0, 1, 2, 3])
+        loss = nn.functional.cross_entropy(model(x), targets)
+        assert loss.dtype == np.float32
+        loss.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+            assert param.grad.dtype == np.float32, name
+
+    def test_conv_backward_keeps_float32(self, rng):
+        """_col2im2d / Conv3d scratch must not upcast float32 gradients."""
+        for module, shape in ((Conv2d(2, 3, 3, padding=1), (2, 2, 8, 8)),
+                              (Conv3d(2, 3, 3, padding=1), (2, 2, 4, 8, 8))):
+            module.to(np.float32)
+            x = Tensor(rng.random(shape).astype(np.float32), requires_grad=True)
+            out = module(x)
+            assert out.dtype == np.float32
+            out.sum().backward()
+            assert x.grad.dtype == np.float32
+            assert module.weight.grad.dtype == np.float32
+            assert module.bias.grad.dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# Graph-free no_grad fast paths
+# ----------------------------------------------------------------------
+class TestNoGradFastPath:
+    def _assert_graph_free(self, out: Tensor):
+        assert out._parents == ()
+        assert out._backward is None
+        assert not out.requires_grad
+
+    @pytest.mark.parametrize("layer,shape", [
+        (lambda rng: Linear(8, 4), (3, 8)),
+        (lambda rng: LayerNorm(8), (3, 5, 8)),
+        (lambda rng: MultiHeadAttention(8, 2), (2, 5, 8)),
+        (lambda rng: Conv2d(2, 3, 3, padding=1), (2, 2, 8, 8)),
+        (lambda rng: Conv3d(2, 3, 3, padding=1), (2, 2, 4, 8, 8)),
+    ])
+    def test_layers_retain_no_closures_under_no_grad(self, layer, shape, rng):
+        module = layer(rng)
+        module.eval()
+        x = Tensor(rng.random(shape))
+        with no_grad():
+            out = module(x)
+        self._assert_graph_free(out)
+
+    def test_model_output_has_no_graph_under_no_grad(self, rng):
+        model = build_model("snappix_s", num_classes=5, image_size=16, seed=0)
+        model.eval()
+        with no_grad():
+            out = model(rng.random((2, 16, 16)))
+        self._assert_graph_free(out)
+
+    def test_fast_path_matches_graph_path(self, rng):
+        """The graph-free forward must be numerically identical to the
+        closure-building forward used during training."""
+        for name in ("snappix_s", "c3d"):
+            model = build_model(name, num_classes=5, image_size=16,
+                                num_frames=8, seed=0)
+            model.eval()
+            x = _example_input(name, rng)
+            with no_grad():
+                fast = model(x).data
+            graph = model(x).data  # weights require grad -> closure path
+            assert np.array_equal(fast, graph)
+
+    def test_mha_bias_only_training_gets_gradients(self, rng):
+        """Bias-only fine-tuning must not be routed to the graph-free path."""
+        mha = MultiHeadAttention(8, 2)
+        mha.eval()
+        mha.qkv.weight.requires_grad = False
+        mha.proj.weight.requires_grad = False
+        out = mha(Tensor(rng.random((2, 5, 8))))
+        assert out.requires_grad
+        out.sum().backward()
+        assert mha.qkv.bias.grad is not None
+        assert mha.proj.bias.grad is not None
+
+    def test_grad_still_flows_outside_no_grad(self, rng):
+        module = Conv2d(1, 2, 3, padding=1)
+        x = Tensor(rng.random((1, 1, 6, 6)), requires_grad=True)
+        out = module(x)
+        assert out.requires_grad
+        out.sum().backward()
+        assert x.grad is not None
+
+
+# ----------------------------------------------------------------------
+# dtype-aware CE encode (BatchEncoder / coded_exposure)
+# ----------------------------------------------------------------------
+class TestEncodeDtype:
+    def _sensor(self, rng):
+        from repro.ce import CodedExposureSensor
+        config = CEConfig(num_slots=8, tile_size=4, frame_height=16,
+                          frame_width=16)
+        return CodedExposureSensor(config,
+                                   make_pattern("random", 8, 4, rng=rng))
+
+    def test_coded_exposure_dtype_argument(self, rng):
+        video = rng.random((2, 8, 16, 16))
+        mask = make_pattern("random", 8, 16, rng=rng)
+        full64 = coded_exposure(video, mask)
+        full32 = coded_exposure(video, mask, dtype=np.float32)
+        assert full64.dtype == np.float64
+        assert full32.dtype == np.float32
+        assert np.allclose(full64, full32, rtol=1e-5, atol=1e-3)
+
+    def test_uint8_video_is_not_upcast_to_float64(self, rng):
+        video = rng.integers(0, 256, size=(2, 8, 16, 16), dtype=np.uint8)
+        mask = make_pattern("random", 8, 16, rng=rng)
+        coded32 = coded_exposure(video, mask, dtype=np.float32)
+        assert coded32.dtype == np.float32
+        # uint8 sums over 8 slots fit exactly in float32: results match
+        # the float64 reference bit-for-bit after casting.
+        coded64 = coded_exposure(video, mask)
+        assert np.array_equal(coded32, coded64.astype(np.float32))
+
+    def test_wide_integer_video_still_honours_dtype(self, rng):
+        """int64 video promotes the einsum to float64; the requested
+        output dtype must win anyway (and match the empty-batch dtype)."""
+        video = rng.integers(0, 1000, size=(2, 8, 16, 16)).astype(np.int64)
+        mask = make_pattern("random", 8, 16, rng=rng)
+        coded = coded_exposure(video, mask, dtype=np.float32)
+        assert coded.dtype == np.float32
+        assert np.array_equal(coded,
+                              coded_exposure(video, mask).astype(np.float32))
+
+    def test_batch_encoder_dtype(self, rng):
+        sensor = self._sensor(rng)
+        clips = rng.integers(0, 256, size=(5, 8, 16, 16), dtype=np.uint8)
+        encoder32 = BatchEncoder(sensor, batch_size=2, dtype=np.float32)
+        encoder64 = BatchEncoder(sensor, batch_size=2)
+        coded32 = encoder32.encode(clips)
+        coded64 = encoder64.encode(clips)
+        assert coded32.dtype == np.float32
+        assert coded64.dtype == np.float64
+        assert np.allclose(coded32, coded64, rtol=1e-5, atol=1e-3)
+        assert encoder32.stats == encoder64.stats
+
+    def test_batch_encoder_empty_batch_dtype(self, rng):
+        sensor = self._sensor(rng)
+        empty = np.zeros((0, 8, 16, 16))
+        assert BatchEncoder(sensor, dtype=np.float32).encode(empty).dtype == \
+            np.float32
+        assert BatchEncoder(sensor).encode(empty).dtype == np.float64
+
+
+# ----------------------------------------------------------------------
+# Vectorised sensor sim vs per-pixel-object oracle
+# ----------------------------------------------------------------------
+class TestVectorizedSensor:
+    def _config(self, slots=6, tile=2, size=8):
+        return CEConfig(num_slots=slots, tile_size=tile, frame_height=size,
+                        frame_width=size)
+
+    def test_readout_and_stats_exact(self, rng):
+        config = self._config()
+        pattern = random_pattern(6, 2, rng=rng)
+        video = rng.random((6, 8, 8))
+        vectorized = StackedCESensor(config, pattern)
+        reference = PixelArraySensor(config, pattern)
+        assert np.array_equal(vectorized.capture(video),
+                              reference.capture(video))
+        assert vectorized.capture_stats() == reference.capture_stats()
+
+    def test_repeated_captures_stay_equal(self, rng):
+        config = self._config(slots=4, tile=4, size=8)
+        pattern = random_pattern(4, 4, rng=rng)
+        vectorized = StackedCESensor(config, pattern)
+        reference = PixelArraySensor(config, pattern)
+        for _ in range(3):
+            video = rng.random((4, 8, 8))
+            assert np.array_equal(vectorized.capture(video),
+                                  reference.capture(video))
+        assert vectorized.capture_stats() == reference.capture_stats()
+
+    def test_negative_light_rejected(self, rng):
+        config = self._config(slots=2, tile=2, size=4)
+        sensor = StackedCESensor(config, random_pattern(2, 2, rng=rng))
+        video = rng.random((2, 4, 4))
+        video[1, 0, 0] = -0.5
+        with pytest.raises(ValueError):
+            sensor.capture(video)
+
+
+# ----------------------------------------------------------------------
+# Sinusoidal position encoding regression (odd dim)
+# ----------------------------------------------------------------------
+class TestSinusoidalPositionEncoding:
+    def test_odd_dim_shape_and_pairing(self):
+        table = sinusoidal_position_encoding(10, 7)
+        assert table.shape == (10, 7)
+        position = np.arange(10)[:, None]
+        frequencies = np.exp(np.arange(0, 7, 2) * (-np.log(10000.0) / 7))
+        # Columns 2i / 2i+1 share frequency w_i; the unpaired final
+        # column carries the sine of the last frequency.
+        assert np.allclose(table[:, 0::2], np.sin(position * frequencies))
+        assert np.allclose(table[:, 1::2], np.cos(position * frequencies[:3]))
+
+    def test_dim_one_is_pure_sine(self):
+        table = sinusoidal_position_encoding(4, 1)
+        assert table.shape == (4, 1)
+        assert np.allclose(table[:, 0], np.sin(np.arange(4)))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            sinusoidal_position_encoding(0, 8)
+        with pytest.raises(ValueError):
+            sinusoidal_position_encoding(8, 0)
+
+    def test_dtype_follows_default(self):
+        assert sinusoidal_position_encoding(4, 6).dtype == np.float64
+        assert sinusoidal_position_encoding(4, 6,
+                                            dtype=np.float32).dtype == np.float32
