@@ -14,6 +14,8 @@ Top-level package layout:
 - :mod:`repro.analysis` — design-space sweeps and result reporting.
 - :mod:`repro.runtime` — staged execution runtime: content-addressed
   pipeline stages, artifact caching, and batch/stream CE encoding.
+- :mod:`repro.serving` — inference serving: warm model registry,
+  dynamic micro-batching, and the sensor->CE->predict request path.
 - :mod:`repro.core` — end-to-end SnapPix system orchestration and CLI.
 """
 
@@ -31,5 +33,6 @@ __all__ = [
     "compression",
     "analysis",
     "runtime",
+    "serving",
     "core",
 ]

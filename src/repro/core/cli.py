@@ -10,6 +10,7 @@ Exposes the main entry points of the library without writing Python::
     python -m repro sweep     slots --csv slots.csv
     python -m repro correlation --num-slots 16
     python -m repro bench     --quick
+    python -m repro serve     --smoke
 
 Every subcommand prints an aligned text table (or a key/value listing)
 built by :mod:`repro.analysis.report`, and returns a process exit code of
@@ -49,6 +50,15 @@ from ..hardware import (
     pixel_area_report,
 )
 from ..runtime import ArtifactStore, resolve_workers
+from ..serving import (
+    DEFAULT_SERVING_RESULTS_PATH,
+    FULL_PROFILE,
+    SMOKE_PROFILE,
+    ModelRegistry,
+    benchmark_bundle,
+    benchmark_serving,
+    write_serving_results,
+)
 from .bench import (
     DEFAULT_RESULTS_PATH,
     remeasure_slow_models,
@@ -209,6 +219,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the synthetic-traffic serving load test and persist the report.
+
+    Measures p50/p95 latency and throughput of the micro-batched
+    :class:`~repro.serving.server.InferenceServer` at several max batch
+    sizes against the sequential single-clip reference, printing the
+    rows and writing ``serving_bench.json`` (the CI artifact).  With
+    ``--checkpoint``, serves a registry bundle exported by
+    ``SnapPixSystem.export_servable`` / ``repro.serving.save_servable``
+    instead of a freshly initialised model.
+    """
+    if args.checkpoint and args.models:
+        print("ERROR: --checkpoint and --models are mutually exclusive "
+              "(a checkpoint fixes the served model)")
+        return 2
+    profile = SMOKE_PROFILE if args.smoke else FULL_PROFILE
+    models = args.models.split(",") if args.models else list(profile["models"])
+    batch_sizes = ([int(b) for b in args.batch_sizes.split(",")]
+                   if args.batch_sizes else list(profile["batch_sizes"]))
+    num_requests = args.requests or profile["num_requests"]
+    max_delay_s = args.max_delay_ms * 1e-3
+    if args.checkpoint:
+        registry = ModelRegistry()
+        registry.register("checkpoint", args.checkpoint)
+        bundle = registry.get("checkpoint")
+        rows = benchmark_bundle(bundle, batch_sizes, num_requests,
+                                max_delay_s=max_delay_s,
+                                capture_mode=args.capture, seed=args.seed)
+        payload = {"geometry": {"checkpoint": args.checkpoint,
+                                "num_requests": num_requests,
+                                "capture_mode": args.capture},
+                   "rows": rows}
+    else:
+        payload = benchmark_serving(
+            models=models, batch_sizes=batch_sizes,
+            num_requests=num_requests,
+            image_size=args.image_size or profile["image_size"],
+            num_frames=args.num_slots or profile["num_frames"],
+            max_delay_s=max_delay_s, capture_mode=args.capture,
+            seed=args.seed)
+    print(format_text_table([
+        {key: row[key] for key in
+         ("model", "max_batch_size", "inference_per_second",
+          "latency_p50_ms", "latency_p95_ms", "mean_batch_size",
+          "speedup_vs_sequential", "labels_match_sequential")}
+        for row in payload["rows"]]))
+    path = write_serving_results(payload, args.out)
+    print(f"serving results written to {path}")
+    mismatched = [row for row in payload["rows"]
+                  if not row["labels_match_sequential"]]
+    if mismatched:
+        print("ERROR: micro-batched labels diverged from the sequential "
+              f"reference for {[row['model'] for row in mismatched]}")
+        return 1
+    return 0
+
+
 def _cmd_correlation(args: argparse.Namespace) -> int:
     rows = run_correlation_comparison(num_slots=args.num_slots,
                                       tile_size=args.tile_size,
@@ -335,6 +402,41 @@ def build_parser() -> argparse.ArgumentParser:
                             "benchmarks/results/perf_engine.json)")
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=_cmd_bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serving load test: micro-batched inference vs sequential, "
+             "writes serving_bench.json")
+    serve.add_argument("--models", type=str, default="",
+                       help="comma-separated registry model names "
+                            "(default: profile models)")
+    serve.add_argument("--checkpoint", type=str, default="",
+                       help="serve this exported .npz bundle instead of "
+                            "fresh models")
+    serve.add_argument("--batch-sizes", type=str, default="",
+                       help="comma-separated max micro-batch sizes "
+                            "(default: profile sizes, e.g. 1,8,32)")
+    serve.add_argument("--requests", type=int, default=0,
+                       help="synthetic requests per measurement "
+                            "(0 = profile default)")
+    serve.add_argument("--image-size", type=int, default=0,
+                       help="frame side length (0 = profile default)")
+    serve.add_argument("--num-slots", type=int, default=0,
+                       help="clip length T (0 = profile default)")
+    serve.add_argument("--max-delay-ms", type=float, default=5.0,
+                       help="micro-batch flush deadline in milliseconds")
+    serve.add_argument("--capture", choices=("operator", "hardware"),
+                       default="operator",
+                       help="CE front-end: vectorised operator or "
+                            "protocol-exact stacked-sensor simulation")
+    serve.add_argument("--smoke", action="store_true",
+                       help="CI-sized profile (small geometry, seconds)")
+    serve.add_argument("--out", type=str,
+                       default=str(DEFAULT_SERVING_RESULTS_PATH),
+                       help="output JSON path (default: "
+                            "benchmarks/results/serving_bench.json)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
 
     correlation = subparsers.add_parser(
         "correlation", help="compare the Fig. 6 patterns' coded-pixel correlation")

@@ -29,6 +29,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..ce import CodedExposureSensor
+from ..data import DATASET_SPECS
+from ..models import build_from_spec, build_spec
 from ..runtime import (
     ArtifactStore,
     PipelineRunner,
@@ -37,6 +40,7 @@ from ..runtime import (
     build_sensor,
     encoder_from_artifact,
 )
+from ..serving import save_servable
 from ..runtime.stages import (
     finetune_stage_from_config,
     pattern_stage_from_config,
@@ -194,6 +198,63 @@ class SnapPixSystem:
     def hardware_report(self) -> Dict[str, float]:
         """Area comparison of the CE augmentations (Sec. V)."""
         return dict(self._report()["hardware"])
+
+    # ------------------------------------------------------------------
+    def export_servable(self, path, name: Optional[str] = None,
+                        model=None, metadata: Optional[Dict] = None):
+        """Package this system's results as a serving checkpoint.
+
+        Writes a :mod:`repro.serving` bundle — the system's CE
+        pattern/sensor plus an action-recognition model at the system's
+        geometry — loadable by
+        :class:`~repro.serving.registry.ModelRegistry` in any process.
+        By default the exported model is a fresh classification head
+        over the system's pre-trained encoder (when pre-training ran);
+        pass ``model`` to export an externally fine-tuned
+        :class:`~repro.models.SnapPixModel` instead.  Returns the
+        written checkpoint path.
+        """
+        if self.sensor is None:
+            raise RuntimeError(
+                "run the pipeline (or prepare_pattern()) before exporting")
+        if not isinstance(self.sensor, CodedExposureSensor):
+            raise ValueError(
+                "only tile-repetitive patterns are servable; the 'global' "
+                "ablation sensor cannot be packaged")
+        spec = build_spec(
+            f"snappix_{self.config.model_variant}",
+            num_classes=DATASET_SPECS[self.config.dataset].num_classes,
+            image_size=self.config.frame_size,
+            num_frames=self.config.num_slots,
+            tile_size=self.config.tile_size, seed=self.config.seed)
+        if model is None:
+            model = build_from_spec(spec)
+            if self.pretrained_encoder is not None:
+                model.load_pretrained_encoder(self.pretrained_encoder)
+        else:
+            # The checkpoint loader rebuilds from the spec before
+            # restoring weights, so an externally trained model must
+            # match it now — not fail with a shape mismatch in the
+            # consuming process.
+            reference = {key: value.shape for key, value
+                         in build_from_spec(spec).state_dict().items()}
+            provided = {key: value.shape for key, value
+                        in model.state_dict().items()}
+            if reference != provided:
+                mismatched = sorted(
+                    set(reference.items()) ^ set(provided.items()))
+                raise ValueError(
+                    "model does not match this system's serving spec "
+                    f"{spec} (differing parameters: "
+                    f"{[key for key, _ in mismatched][:6]}); retrain at "
+                    "the system geometry or export via save_servable "
+                    "with a matching spec")
+        bundle_metadata = {"dataset": self.config.dataset,
+                           "pattern": self.config.pattern,
+                           "pretrained": self.pretrained_encoder is not None,
+                           **(metadata or {})}
+        return save_servable(path, model, spec, sensor=self.sensor,
+                             name=name, metadata=bundle_metadata)
 
     # ------------------------------------------------------------------
     def run(self, task: str = "ar") -> SnapPixResult:

@@ -85,9 +85,8 @@ class StackedCESensor:
         self._mask = expand_tile_pattern(
             self.tile_pattern, height, width).astype(bool)
         self._ones_per_slot = self._mask.reshape(config.num_slots, -1).sum(axis=1)
-        # Array state: photodiode charge, floating-diffusion charge, DFF bits.
-        self._pd = np.zeros((height, width))
-        self._fd = np.zeros((height, width))
+        # DFF pattern state; photodiode / floating-diffusion charge is
+        # held per capture (with a leading batch axis) in capture_batch.
         self._dff = np.zeros((height, width), dtype=np.int8)
         self._dff_powered = False
         # Aggregate activity counters (CaptureStats semantics).
@@ -115,31 +114,65 @@ class StackedCESensor:
         -------
         The coded image of shape ``(H, W)`` (raw charge sums, i.e. the
         un-normalised Eqn. 1 output).
+
+        Implemented as a batch-of-one :meth:`capture_batch` so the
+        protocol exists exactly once; the per-pixel float operations
+        (and therefore the readout charges and counters) are identical.
         """
         video = np.asarray(video, dtype=np.float64)
         expected = (self.config.num_slots, self.config.frame_height,
                     self.config.frame_width)
         if video.shape != expected:
             raise ValueError(f"video shape {video.shape} != expected {expected}")
+        return self.capture_batch(video[None])[0]
 
-        pixels = self.config.frame_height * self.config.frame_width
+    # ------------------------------------------------------------------
+    def capture_batch(self, videos: np.ndarray) -> np.ndarray:
+        """Run the per-slot protocol on a ``(B, T, H, W)`` clip batch at once.
+
+        Simulates ``B`` independent captures in parallel: the photodiode
+        and floating-diffusion state gains a leading batch axis, every
+        protocol phase is one batched array update, and the activity
+        counters advance exactly as ``B`` sequential :meth:`capture`
+        calls would (each in-flight capture streams its own pattern).
+        The returned ``(B, H, W)`` coded images are bit-identical to
+        stacking per-clip :meth:`capture` results — this is the
+        ``"hardware"`` capture mode of the serving path.
+        """
+        videos = np.asarray(videos, dtype=np.float64)
+        expected = (self.config.num_slots, self.config.frame_height,
+                    self.config.frame_width)
+        if videos.ndim != 4 or videos.shape[1:] != expected:
+            raise ValueError(
+                f"videos shape {videos.shape} != expected (B,) + {expected}")
+        if (videos < 0).any():
+            raise ValueError("light intensity must be non-negative")
+        batch = videos.shape[0]
+        if batch == 0:
+            return np.zeros((0,) + expected[1:])
+
+        height, width = expected[1:]
+        pixels = height * width
+        pd = np.zeros((batch, height, width))
+        fd = np.zeros((batch, height, width))
         for slot in range(self.config.num_slots):
             bits = self._mask[slot]
             ones = int(self._ones_per_slot[slot])
             # Phase 1: stream the pattern in and reset selected PDs.
-            self._stream_in(bits, pixels)
-            self._pd[bits] = 0.0
-            self._pd_resets += ones
+            self._stream_in(bits, pixels * batch)
+            pd[:, bits] = 0.0
+            self._pd_resets += ones * batch
             self._power_gate()
             # Phase 2: exposure — every pixel integrates its incident light.
-            self._expose(video[slot])
+            pd += videos[:, slot]
             # Phase 3: stream the pattern again and transfer selected charges.
-            self._stream_in(bits, pixels)
-            self._fd[bits] += self._pd[bits]
-            self._pd[bits] = 0.0
-            self._charge_transfers += ones
+            self._stream_in(bits, pixels * batch)
+            fd[:, bits] += pd[:, bits]
+            pd[:, bits] = 0.0
+            self._charge_transfers += ones * batch
             self._power_gate()
-        return self._readout()
+        self._pixels_read += pixels * batch
+        return fd
 
     # ------------------------------------------------------------------
     def _stream_in(self, bits: np.ndarray, pixels: int) -> None:
@@ -151,18 +184,6 @@ class StackedCESensor:
 
     def _power_gate(self) -> None:
         self._dff_powered = False
-
-    def _expose(self, frame: np.ndarray) -> None:
-        if (frame < 0).any():
-            raise ValueError("light intensity must be non-negative")
-        self._pd += frame
-
-    def _readout(self) -> np.ndarray:
-        image = self._fd.copy()
-        self._fd[:] = 0.0
-        self._pd[:] = 0.0
-        self._pixels_read += image.size
-        return image
 
     # ------------------------------------------------------------------
     def capture_stats(self) -> CaptureStats:

@@ -36,7 +36,8 @@ from .svc import ShiftVariantConv2d, SVC2DModel
 from .c3d import C3DModel
 from .videomae import VideoMAEClassifier, VideoViTConfig
 from .downsample import DownsampleBaseline, spatial_downsample
-from .registry import MODEL_INPUTS, build_model, model_input_kind, model_names
+from .registry import (MODEL_INPUTS, build_from_spec, build_model, build_spec,
+                       model_input_kind, model_names)
 
 __all__ = [
     "PatchEmbed",
@@ -66,6 +67,8 @@ __all__ = [
     "spatial_downsample",
     "MODEL_INPUTS",
     "build_model",
+    "build_spec",
+    "build_from_spec",
     "model_input_kind",
     "model_names",
 ]

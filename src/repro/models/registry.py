@@ -82,3 +82,26 @@ def model_input_kind(name: str) -> str:
     if name not in MODEL_INPUTS:
         raise KeyError(f"unknown model '{name}'")
     return MODEL_INPUTS[name]
+
+
+def build_spec(name: str, num_classes: int = 10, image_size: int = 32,
+               num_frames: int = 16, tile_size: int = 8,
+               seed: int = 0) -> Dict:
+    """The canonical, JSON-serialisable build recipe of a registry model.
+
+    A spec is what a serving checkpoint stores in its metadata so that
+    :func:`build_from_spec` can reconstruct a weight-compatible module
+    in another process before loading the saved parameters into it.
+    """
+    if name not in MODEL_INPUTS:
+        raise KeyError(f"unknown model '{name}'; available: {model_names()}")
+    return {"name": name, "num_classes": int(num_classes),
+            "image_size": int(image_size), "num_frames": int(num_frames),
+            "tile_size": int(tile_size), "seed": int(seed)}
+
+
+def build_from_spec(spec: Dict):
+    """Reconstruct the model described by a :func:`build_spec` dictionary."""
+    spec = dict(spec)
+    name = spec.pop("name")
+    return build_model(name, **spec)

@@ -49,7 +49,8 @@ from .optim import (
     StepDecay,
     clip_grad_norm,
 )
-from .serialization import load_checkpoint, save_checkpoint
+from .serialization import (load_checkpoint, read_checkpoint_metadata,
+                            save_checkpoint)
 
 __all__ = [
     "Tensor",
@@ -92,4 +93,5 @@ __all__ = [
     "clip_grad_norm",
     "save_checkpoint",
     "load_checkpoint",
+    "read_checkpoint_metadata",
 ]

@@ -73,6 +73,41 @@ def _col2im2d(cols: np.ndarray, x_shape, kernel, stride, padding) -> np.ndarray:
     return padded
 
 
+def _im2col3d(x: np.ndarray, kernel: Tuple[int, int, int],
+              stride: Tuple[int, int, int],
+              padding: Tuple[int, int, int]) -> Tuple[np.ndarray,
+                                                      Tuple[int, int, int]]:
+    """Unfold (B, C, T, H, W) into columns (B, out_t*out_h*out_w, C*kt*kh*kw).
+
+    The column axis is ordered ``(C, kt, kh, kw)``, matching the
+    ``weight.reshape(out_channels, -1)`` layout of :class:`Conv3d`, so a
+    single GEMM against the reshaped weight computes every temporal
+    output at once — the inference fast path that replaces the
+    per-``out_t`` Python loop (and its per-window copies) of the
+    autodiff forward.
+    """
+    batch, channels, frames, height, width = x.shape
+    kt, kh, kw = kernel
+    st, sh, sw = stride
+    pt, ph, pw = padding
+    if pt or ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (pt, pt), (ph, ph), (pw, pw)))
+    out_t = (x.shape[2] - kt) // st + 1
+    out_h = (x.shape[3] - kh) // sh + 1
+    out_w = (x.shape[4] - kw) // sw + 1
+    strides = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, out_t, out_h, out_w, kt, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * st, strides[3] * sh,
+                 strides[4] * sw, strides[2], strides[3], strides[4]),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 4, 1, 5, 6, 7).reshape(
+        batch, out_t * out_h * out_w, channels * kt * kh * kw)
+    return np.ascontiguousarray(cols), (out_t, out_h, out_w)
+
+
 class Conv2d(Module):
     """2-D convolution over inputs of shape (B, C, H, W)."""
 
@@ -158,6 +193,9 @@ class Conv3d(Module):
         pt, ph, pw = self.padding
         x_data = x.data
         batch, channels, frames, height, width = x_data.shape
+        weight, bias = self.weight, self.bias
+        if not needs_grad(x, weight, bias):
+            return Tensor(self._forward_fast(x_data))
         if pt:
             x_pad = np.pad(x_data, ((0, 0), (0, 0), (pt, pt), (0, 0), (0, 0)))
         else:
@@ -165,21 +203,16 @@ class Conv3d(Module):
         out_t = (x_pad.shape[2] - kt) // st + 1
 
         # Treat (C, kt) as an expanded channel dimension and run a 2-D conv
-        # per temporal output index.
+        # per temporal output index; the per-slot column buffers must
+        # stay alive for the backward pass.
         w_mat = self.weight.data.reshape(self.out_channels, -1)  # (O, C*kt*kh*kw)
-        weight, bias = self.weight, self.bias
-        grad_needed = needs_grad(x, weight, bias)
-
-        # Only the autodiff path keeps per-slot column buffers alive; the
-        # graph-free path holds at most one at a time.
-        cols_per_t = [] if grad_needed else None
+        cols_per_t = []
         out_data = None
         for t_out in range(out_t):
             window = x_pad[:, :, t_out * st:t_out * st + kt]  # (B, C, kt, H, W)
             stacked = window.reshape(batch, channels * kt, height, width)
             cols, (out_h, out_w) = _im2col2d(stacked, (kh, kw), (sh, sw), (ph, pw))
-            if grad_needed:
-                cols_per_t.append(cols)
+            cols_per_t.append(cols)
             frame = cols @ w_mat.T
             if bias is not None:
                 frame = frame + bias.data
@@ -188,8 +221,6 @@ class Conv3d(Module):
                                     dtype=frame.dtype)
             out_data[:, :, t_out] = frame.transpose(0, 2, 1).reshape(
                 batch, self.out_channels, out_h, out_w)
-        if not grad_needed:
-            return Tensor(out_data)
 
         x_shape = x_data.shape
         stacked_shape = (batch, channels * kt, height, width)
@@ -223,6 +254,55 @@ class Conv3d(Module):
 
         parents = (x, weight) if bias is None else (x, weight, bias)
         return x._make(out_data, parents, backward)
+
+    #: Column-buffer budget of the inference fast path, in elements
+    #: (~64 MB float64 / 32 MB float32): large enough that reproduction-
+    #: scale serving batches unfold in one GEMM, small enough that big
+    #: geometries stay bounded instead of materialising out_t-fold peaks.
+    _FAST_COLS_BUDGET = 1 << 23
+
+    def _forward_fast(self, x_data: np.ndarray) -> np.ndarray:
+        """Graph-free inference forward: 3-D im2col + batched GEMM.
+
+        Temporal outputs are unfolded in chunks sized to
+        ``_FAST_COLS_BUDGET`` so the column buffer (freed immediately,
+        never captured by a closure) has bounded peak memory; small
+        inputs take a single GEMM over every temporal output, replacing
+        the per-``out_t`` Python loop (and its per-window copies) of the
+        autodiff forward.  The input dtype is preserved (float32 stays
+        float32).
+        """
+        kt, kh, kw = self.kernel_size
+        st, sh, sw = self.stride
+        pt, ph, pw = self.padding
+        batch, channels, frames, height, width = x_data.shape
+        if pt:
+            x_pad = np.pad(x_data, ((0, 0), (0, 0), (pt, pt), (0, 0), (0, 0)))
+        else:
+            x_pad = x_data
+        out_t = (x_pad.shape[2] - kt) // st + 1
+        out_h = (height + 2 * ph - kh) // sh + 1
+        out_w = (width + 2 * pw - kw) // sw + 1
+        per_t = batch * out_h * out_w * channels * kt * kh * kw
+        chunk_t = max(1, min(out_t, self._FAST_COLS_BUDGET // max(per_t, 1)))
+        w_mat_t = self.weight.data.reshape(self.out_channels, -1).T
+        bias_data = self.bias.data if self.bias is not None else None
+        out_data = None
+        for t0 in range(0, out_t, chunk_t):
+            t1 = min(t0 + chunk_t, out_t)
+            window = x_pad[:, :, t0 * st:(t1 - 1) * st + kt]
+            cols, _ = _im2col3d(window, (kt, kh, kw), (st, sh, sw),
+                                (0, ph, pw))
+            out = cols @ w_mat_t
+            if bias_data is not None:
+                out += bias_data
+            if out_data is None:
+                out_data = np.empty(
+                    (batch, self.out_channels, out_t, out_h, out_w),
+                    dtype=out.dtype)
+            out_data[:, :, t0:t1] = out.transpose(0, 2, 1).reshape(
+                batch, self.out_channels, t1 - t0, out_h, out_w)
+        return out_data
 
 
 class AvgPool2d(Module):

@@ -35,3 +35,18 @@ def load_checkpoint(module: Module, path, strict: bool = True) -> Dict:
         state = {key: archive[key] for key in archive.files if key != "__metadata__"}
     module.load_state_dict(state, strict=strict)
     return json.loads(metadata_bytes.decode("utf-8"))
+
+
+def read_checkpoint_metadata(path) -> Dict:
+    """Read only the JSON metadata of a checkpoint, without a module.
+
+    Cheap (the parameter arrays are not materialised), so registries can
+    scan a directory of checkpoints and decide what to warm-load from
+    the metadata alone.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if "__metadata__" not in archive:
+            return {}
+        metadata_bytes = archive["__metadata__"].tobytes()
+    return json.loads(metadata_bytes.decode("utf-8"))

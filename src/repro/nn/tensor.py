@@ -15,13 +15,27 @@ graph in reverse topological order.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_grad_enabled = True
+
+class _GradMode(threading.local):
+    """Per-thread autodiff switch.
+
+    Thread-local so an inference thread inside ``no_grad()`` (e.g. a
+    serving micro-batch worker) never disables — or re-enables —
+    gradient tracking for a concurrently training thread.  New threads
+    start with gradients enabled.
+    """
+
+    enabled = True
+
+
+_grad_mode = _GradMode()
 
 # Process-wide compute dtype for newly created tensors and parameters.
 # float64 preserves the seed behaviour; inference paths switch to float32
@@ -72,20 +86,18 @@ class no_grad:
     """
 
     def __enter__(self):
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = _grad_mode.enabled
+        _grad_mode.enabled = False
         return self
 
     def __exit__(self, *exc):
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _grad_mode.enabled = self._prev
         return False
 
 
 def is_grad_enabled() -> bool:
-    """Return whether new operations will be recorded for autodiff."""
-    return _grad_enabled
+    """Whether new operations will be recorded for autodiff (per thread)."""
+    return _grad_mode.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -136,7 +148,7 @@ def needs_grad(*tensors) -> bool:
     the participating tensors requires grad — the condition under which
     layers may take their graph-free fast paths.
     """
-    if not _grad_enabled:
+    if not _grad_mode.enabled:
         return False
     return any(t is not None and t.requires_grad for t in tensors)
 
@@ -158,7 +170,7 @@ class Tensor:
     ):
         self.data = _as_array(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self.requires_grad = bool(requires_grad) and _grad_mode.enabled
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
@@ -225,7 +237,7 @@ class Tensor:
 
     def _make(self, data: np.ndarray, parents: Tuple["Tensor", ...],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = _grad_mode.enabled and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
         return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
@@ -596,7 +608,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             index[axis] = slice(start, stop)
             tensor._accumulate(grad[tuple(index)])
 
-    requires = _grad_enabled and any(t.requires_grad for t in tensors)
+    requires = _grad_mode.enabled and any(t.requires_grad for t in tensors)
     if not requires:
         return Tensor(out_data)
     return Tensor(out_data, requires_grad=True, _parents=tuple(tensors), _backward=backward)
@@ -612,7 +624,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         for tensor, part in zip(tensors, parts):
             tensor._accumulate(np.squeeze(part, axis=axis))
 
-    requires = _grad_enabled and any(t.requires_grad for t in tensors)
+    requires = _grad_mode.enabled and any(t.requires_grad for t in tensors)
     if not requires:
         return Tensor(out_data)
     return Tensor(out_data, requires_grad=True, _parents=tuple(tensors), _backward=backward)
@@ -629,7 +641,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         a._accumulate(_unbroadcast(grad * cond, a.shape))
         b._accumulate(_unbroadcast(grad * (~cond), b.shape))
 
-    requires = _grad_enabled and (a.requires_grad or b.requires_grad)
+    requires = _grad_mode.enabled and (a.requires_grad or b.requires_grad)
     if not requires:
         return Tensor(out_data)
     return Tensor(out_data, requires_grad=True, _parents=(a, b), _backward=backward)

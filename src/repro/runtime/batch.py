@@ -77,6 +77,25 @@ class BatchEncoder:
         if clips.ndim != 4:
             raise ValueError("clips must have shape (T, H, W) or (B, T, H, W)")
 
+    def _coerce_clip(self, clip) -> np.ndarray:
+        """Apply the encoder's per-clip dtype rule (one code path for all modes).
+
+        Mirrors :func:`repro.ce.coded_exposure`'s input handling:
+        floating clips are cast to the accumulation dtype up front,
+        integer clips (raw byte video) are left alone so the einsum
+        promotes them against the mask directly.  Both :meth:`encode`
+        (single-clip form) and :meth:`encode_stream` route clips through
+        here, which is what makes streamed, single-clip, and batched
+        encodes of the same clips bit-identical.
+        """
+        clip = np.asarray(clip)
+        if clip.ndim != 3:
+            raise ValueError("clips must have shape (T, H, W)")
+        target = self.dtype or np.dtype(np.float64)
+        if clip.dtype != target and not np.issubdtype(clip.dtype, np.integer):
+            clip = clip.astype(target)
+        return clip
+
     def _empty_result(self, clips: np.ndarray) -> np.ndarray:
         """The coded shape of an empty batch, without touching the counters."""
         return np.zeros((0, clips.shape[2], clips.shape[3]),
@@ -93,7 +112,7 @@ class BatchEncoder:
         """
         clips = np.asarray(clips)
         if clips.ndim == 3:
-            return self._encode_batch(clips[None])[0]
+            return self._encode_batch(self._coerce_clip(clips)[None])[0]
         self._check_batch_shape(clips)
         if clips.shape[0] == 0:
             return self._empty_result(clips)
@@ -134,12 +153,19 @@ class BatchEncoder:
         vectorised CE application, and yielded one coded ``(H, W)`` image
         per input clip, preserving arrival order.  Suitable for
         serving-style workloads where clips arrive as a stream.
+
+        Every clip goes through the same :meth:`_coerce_clip` dtype rule
+        as :meth:`encode`, and a dtype change mid-stream flushes the
+        buffer first, so ``np.stack`` never silently promotes buffered
+        clips — streamed results are bit-identical to encoding each
+        clip (or a same-dtype batch of them) directly.
         """
         buffer = []
         for clip in clips:
-            clip = np.asarray(clip)
-            if clip.ndim != 3:
-                raise ValueError("streamed clips must have shape (T, H, W)")
+            clip = self._coerce_clip(clip)
+            if buffer and buffer[0].dtype != clip.dtype:
+                yield from self._encode_batch(np.stack(buffer))
+                buffer = []
             buffer.append(clip)
             if len(buffer) >= self.batch_size:
                 yield from self._encode_batch(np.stack(buffer))

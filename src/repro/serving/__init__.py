@@ -1,0 +1,66 @@
+"""``repro.serving`` — production inference-serving subsystem.
+
+Turns the reproduction into a servable engine, following the packaged
+encode/decode APIs of codec deployments (DAC-style) and the
+allocation/scheduling-vs-kernel separation of parallel building-block
+libraries:
+
+- :class:`ModelRegistry` / :class:`ServableBundle` — warm model +
+  CE-pattern bundles, packaged to/from ``nn.serialization`` checkpoints
+  (:mod:`repro.serving.registry`).
+- :class:`MicroBatcher` — dynamic micro-batching request scheduler:
+  bounded queue, flush on size or deadline, future-based results,
+  backpressure by rejection (:mod:`repro.serving.batcher`).
+- :class:`InferenceServer` — the end-to-end request path: sensor
+  capture -> CE encode -> batched ``no_grad`` forward -> decoded labels,
+  with a sequential reference path for equivalence testing
+  (:mod:`repro.serving.server`).
+- :class:`ServerStats` — queue/batch telemetry in the ``StoreStats``
+  idiom (:mod:`repro.serving.stats`).
+- :func:`benchmark_serving` and friends — synthetic-traffic load
+  generation and the ``serving_bench.json`` latency/throughput report
+  behind the ``repro serve`` CLI (:mod:`repro.serving.loadgen`).
+"""
+
+from .batcher import BatcherClosed, MicroBatcher, RequestRejected
+from .loadgen import (
+    DEFAULT_SERVING_RESULTS_PATH,
+    FULL_PROFILE,
+    SMOKE_PROFILE,
+    benchmark_bundle,
+    benchmark_serving,
+    generate_clips,
+    run_load_test,
+    write_serving_results,
+)
+from .registry import (
+    ModelRegistry,
+    ServableBundle,
+    fresh_bundle,
+    load_servable,
+    save_servable,
+)
+from .server import InferenceServer, Prediction
+from .stats import ServerStats
+
+__all__ = [
+    "MicroBatcher",
+    "RequestRejected",
+    "BatcherClosed",
+    "ModelRegistry",
+    "ServableBundle",
+    "save_servable",
+    "load_servable",
+    "fresh_bundle",
+    "InferenceServer",
+    "Prediction",
+    "ServerStats",
+    "generate_clips",
+    "run_load_test",
+    "benchmark_bundle",
+    "benchmark_serving",
+    "write_serving_results",
+    "DEFAULT_SERVING_RESULTS_PATH",
+    "SMOKE_PROFILE",
+    "FULL_PROFILE",
+]

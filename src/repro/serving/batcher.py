@@ -1,0 +1,251 @@
+"""Dynamic micro-batching request scheduler.
+
+:class:`MicroBatcher` is the queuing core of the serving subsystem: many
+request threads call :meth:`~MicroBatcher.submit` with one payload each
+and get back a :class:`concurrent.futures.Future`; a single background
+worker coalesces queued payloads into batches and hands each batch to
+the user-supplied ``run_batch`` callable (for inference serving, one
+``no_grad`` float32 forward pass over the stacked clips).
+
+Flush policy
+------------
+A batch is dispatched as soon as **either**
+
+- ``max_batch_size`` payloads have been collected (*flush on size*), or
+- ``max_delay_s`` has elapsed since the first payload of the batch
+  arrived (*flush on deadline*) — this bounds the queueing latency a
+  lone request can suffer under light traffic.
+
+Backpressure
+------------
+The submit queue is bounded by ``max_queue``.  When it is full,
+:meth:`submit` raises :class:`RequestRejected` immediately instead of
+blocking the caller — the serving-layer contract is that overload is
+signalled to the client, never silently absorbed into unbounded memory.
+
+Because ``run_batch`` receives payloads in arrival order and results
+are matched back to futures positionally, the batcher is *order- and
+value-equivalent* to running ``run_batch([p])`` per payload
+sequentially whenever ``run_batch`` itself is batch-invariant (the
+serving tests assert this for the model forward).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, List, Optional, Sequence
+
+from .stats import ServerStats
+
+
+class RequestRejected(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` when the bounded queue is full."""
+
+
+class BatcherClosed(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` after :meth:`MicroBatcher.close`."""
+
+
+class _Request:
+    __slots__ = ("payload", "future")
+
+    def __init__(self, payload: Any):
+        self.payload = payload
+        self.future: "Future[Any]" = Future()
+
+
+class MicroBatcher:
+    """Coalesce concurrent single-payload requests into batched calls.
+
+    Parameters
+    ----------
+    run_batch:
+        Callable executed on the worker thread with a list of payloads
+        (in arrival order); must return one result per payload, in the
+        same order.
+    max_batch_size:
+        Upper bound on payloads per ``run_batch`` call.
+    max_delay_s:
+        Longest time the first payload of a batch may wait for
+        companions before the batch is flushed anyway.
+    max_queue:
+        Bound on queued (not yet dispatched) requests; ``submit`` raises
+        :class:`RequestRejected` beyond it.
+    name:
+        Used in the worker thread's name (visible in debuggers/logs).
+    """
+
+    def __init__(self, run_batch: Callable[[List[Any]], Sequence[Any]],
+                 max_batch_size: int = 32, max_delay_s: float = 0.002,
+                 max_queue: int = 1024, name: str = "microbatcher"):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._run_batch = run_batch
+        self.max_batch_size = max_batch_size
+        self.max_delay_s = max_delay_s
+        self.max_queue = max_queue
+        self._queue: "queue.Queue[_Request]" = queue.Queue(maxsize=max_queue)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._stats = ServerStats()
+        self._worker = threading.Thread(target=self._run, name=name,
+                                        daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> "Future[Any]":
+        """Enqueue one payload; returns the future of its result.
+
+        Raises :class:`RequestRejected` when the queue is full
+        (backpressure) and :class:`BatcherClosed` after shutdown.
+        """
+        request = _Request(payload)
+        with self._lock:
+            if self._closed:
+                raise BatcherClosed("submit() after close()")
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                self._stats.rejected += 1
+                raise RequestRejected(
+                    f"queue full ({self.max_queue} pending requests)") from None
+            self._stats.submitted += 1
+            self._stats.observe_queue_depth(self._queue.qsize())
+        return request.future
+
+    def submit_many(self, payloads: Sequence[Any]) -> List["Future[Any]"]:
+        """Submit several payloads; returns their futures in input order."""
+        return [self.submit(payload) for payload in payloads]
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting requests, drain the queue, and join the worker.
+
+        Safe to call multiple times and with zero outstanding requests
+        (the idle worker notices the flag within its poll interval and
+        exits).
+        """
+        with self._lock:
+            self._closed = True
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued (excludes the batch being executed)."""
+        return self._queue.qsize()
+
+    @property
+    def stats(self) -> ServerStats:
+        return self._stats
+
+    def stats_snapshot(self) -> dict:
+        with self._lock:
+            return self._stats.as_dict()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    #: Idle poll interval; bounds how long close() waits on an empty queue.
+    _IDLE_POLL_S = 0.01
+
+    def _run(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=self._IDLE_POLL_S)
+            except queue.Empty:
+                if self.closed:
+                    # A submit() racing close() may have enqueued after
+                    # our last get(): drain before exiting so every
+                    # accepted future resolves.
+                    self._drain_remaining()
+                    return
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.max_delay_s
+            while len(batch) < self.max_batch_size and not self.closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                # Companion waits are sliced so close() is observed
+                # within the poll interval instead of stalling a
+                # partial batch for the whole deadline.
+                try:
+                    batch.append(self._queue.get(
+                        timeout=min(remaining, self._IDLE_POLL_S)))
+                except queue.Empty:
+                    continue
+            reason = "size" if len(batch) == self.max_batch_size else "deadline"
+            if self.closed and reason == "deadline":
+                # Drain flush: collect whatever is left without waiting.
+                while len(batch) < self.max_batch_size:
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except queue.Empty:
+                        break
+                reason = "close" if len(batch) < self.max_batch_size else "size"
+            self._execute(batch, reason)
+
+    def _drain_remaining(self) -> None:
+        """Execute whatever is still queued at shutdown, in batches."""
+        while True:
+            batch = []
+            while len(batch) < self.max_batch_size:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            if not batch:
+                return
+            self._execute(batch, "close")
+
+    def _execute(self, batch: List[_Request], reason: str) -> None:
+        # A client may have cancelled a queued future; transitioning the
+        # survivors to running here makes later set_result/set_exception
+        # calls safe (a cancelled future would raise InvalidStateError
+        # and kill the worker thread).
+        live = [request for request in batch
+                if request.future.set_running_or_notify_cancel()]
+        if len(live) != len(batch):
+            with self._lock:
+                self._stats.cancelled += len(batch) - len(live)
+        batch = live
+        if not batch:
+            return
+        with self._lock:
+            self._stats.observe_batch(len(batch), reason)
+        try:
+            results = self._run_batch([request.payload for request in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"run_batch returned {len(results)} results for "
+                    f"{len(batch)} payloads")
+        except BaseException as error:  # noqa: BLE001 — forwarded to futures
+            with self._lock:
+                self._stats.failed += len(batch)
+            for request in batch:
+                request.future.set_exception(error)
+            return
+        with self._lock:
+            self._stats.completed += len(batch)
+        for request, result in zip(batch, results):
+            request.future.set_result(result)

@@ -1,0 +1,185 @@
+"""Synthetic-traffic load generator and latency/throughput reporting.
+
+Drives an :class:`~repro.serving.server.InferenceServer` with a burst of
+synthetic clips, measures per-request latency (submit to future
+completion) and aggregate throughput, and compares the micro-batched
+path against the sequential single-clip reference — both for speed
+(inf/s vs. max batch size) and for correctness (identical argmax
+labels).  The measured payload is persisted as
+``benchmarks/results/serving_bench.json`` so CI tracks the serving
+baseline per PR, next to ``perf_engine.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .registry import ServableBundle, fresh_bundle
+from .server import InferenceServer, Prediction
+
+DEFAULT_SERVING_RESULTS_PATH = (Path("benchmarks") / "results"
+                                / "serving_bench.json")
+
+#: Geometry and traffic of the CI smoke profile (runs in seconds).
+SMOKE_PROFILE = {"models": ("snappix_s",), "batch_sizes": (1, 8),
+                 "num_requests": 24, "image_size": 16, "num_frames": 8}
+#: The default profile of ``repro serve`` without ``--smoke``.
+FULL_PROFILE = {"models": ("snappix_s", "snappix_b"),
+                "batch_sizes": (1, 8, 32), "num_requests": 64,
+                "image_size": 32, "num_frames": 16}
+
+
+def generate_clips(num_requests: int, num_frames: int, image_size: int,
+                   seed: int = 0) -> np.ndarray:
+    """Synthetic raw sensor traffic: ``(N, T, H, W)`` light clips in [0, 1)."""
+    rng = np.random.default_rng(seed)
+    return rng.random((num_requests, num_frames, image_size, image_size))
+
+
+def _percentile_ms(latencies: Sequence[float], q: float) -> float:
+    return float(np.percentile(np.asarray(latencies), q) * 1e3)
+
+
+def run_load_test(server: InferenceServer,
+                  clips: np.ndarray) -> Tuple[Dict, List[Prediction]]:
+    """Fire all clips at the server as one burst; measure latency/throughput.
+
+    Returns the measurement row and the predictions (in submit order).
+    Per-request latency is submit-to-completion, recorded by a done
+    callback on each future so queueing and batching delay are included.
+    """
+    num = len(clips)
+    latencies: List[Optional[float]] = [None] * num
+    # future.result() can return before the done callback has run (the
+    # waiter is notified first), so completion of *all* callbacks is
+    # tracked explicitly before the percentiles are computed.
+    recorded = threading.Semaphore(0)
+    futures = []
+    start_wall = time.perf_counter()
+    for i in range(num):
+        submit_time = time.perf_counter()
+
+        def _record(future, index=i, submitted=submit_time):
+            latencies[index] = time.perf_counter() - submitted
+            recorded.release()
+
+        future = server.submit(clips[i])
+        future.add_done_callback(_record)
+        futures.append(future)
+    predictions = [future.result() for future in futures]
+    elapsed = time.perf_counter() - start_wall
+    for _ in range(num):
+        recorded.acquire()
+    stats = server.stats()
+    row = {
+        "num_requests": num,
+        "total_s": elapsed,
+        "inference_per_second": num / elapsed if elapsed > 0 else float("inf"),
+        "latency_p50_ms": _percentile_ms(latencies, 50),
+        "latency_p95_ms": _percentile_ms(latencies, 95),
+        "mean_batch_size": stats["mean_batch_size"],
+        "batches": stats["batches"],
+        "rejected": stats["rejected"],
+    }
+    return row, predictions
+
+
+def _time_sequential(server: InferenceServer,
+                     clips: np.ndarray) -> Tuple[Dict, List[Prediction]]:
+    """Reference measurement: one clip at a time through the same pipeline."""
+    start = time.perf_counter()
+    predictions = server.predict_sequential(clips)
+    elapsed = time.perf_counter() - start
+    per_clip_ms = elapsed / len(clips) * 1e3
+    return {
+        "num_requests": len(clips),
+        "total_s": elapsed,
+        "inference_per_second": len(clips) / elapsed if elapsed > 0
+        else float("inf"),
+        "latency_p50_ms": per_clip_ms,
+        "latency_p95_ms": per_clip_ms,
+    }, predictions
+
+
+def benchmark_bundle(bundle: ServableBundle, batch_sizes: Sequence[int],
+                     num_requests: int, max_delay_s: float = 0.02,
+                     capture_mode: str = "operator",
+                     seed: int = 0) -> List[Dict]:
+    """Measure one bundle at several micro-batch limits vs. sequential.
+
+    Each row carries p50/p95 latency, throughput, the speedup over the
+    sequential single-clip reference, and whether the batched argmax
+    labels were identical to the reference (the serving equivalence
+    gate).
+    """
+    clips = generate_clips(num_requests, bundle.num_frames,
+                           bundle.image_size, seed=seed)
+    with InferenceServer(bundle, max_batch_size=1,
+                         capture_mode=capture_mode) as reference:
+        sequential, ref_predictions = _time_sequential(reference, clips)
+    ref_labels = [p.label for p in ref_predictions]
+    rows = []
+    for batch_size in batch_sizes:
+        server = InferenceServer(bundle, max_batch_size=batch_size,
+                                 max_delay_s=max_delay_s,
+                                 max_queue=max(num_requests * 2, 64),
+                                 capture_mode=capture_mode)
+        with server:
+            row, predictions = run_load_test(server, clips)
+        row = {"model": bundle.spec["name"], "max_batch_size": batch_size,
+               **row,
+               "sequential_inference_per_second":
+                   sequential["inference_per_second"],
+               "speedup_vs_sequential": (row["inference_per_second"]
+                                         / sequential["inference_per_second"]),
+               "labels_match_sequential": ([p.label for p in predictions]
+                                           == ref_labels)}
+        rows.append(row)
+    return rows
+
+
+def benchmark_serving(models: Sequence[str] = ("snappix_s",),
+                      batch_sizes: Sequence[int] = (1, 8, 32),
+                      num_requests: int = 64, image_size: int = 32,
+                      num_frames: int = 16, tile_size: int = 8,
+                      num_classes: int = 6, max_delay_s: float = 0.02,
+                      capture_mode: str = "operator", seed: int = 0) -> Dict:
+    """Run the serving load benchmark across models and batch limits."""
+    rows: List[Dict] = []
+    for model_name in models:
+        bundle = fresh_bundle(model_name, num_classes=num_classes,
+                              image_size=image_size, num_frames=num_frames,
+                              tile_size=tile_size, seed=seed)
+        rows.extend(benchmark_bundle(bundle, batch_sizes, num_requests,
+                                     max_delay_s=max_delay_s,
+                                     capture_mode=capture_mode, seed=seed))
+    return {
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "timestamp": time.time(),
+        },
+        "geometry": {"image_size": image_size, "num_frames": num_frames,
+                     "tile_size": tile_size, "num_classes": num_classes,
+                     "num_requests": num_requests,
+                     "capture_mode": capture_mode},
+        "rows": rows,
+    }
+
+
+def write_serving_results(payload: Dict,
+                          path=DEFAULT_SERVING_RESULTS_PATH) -> Path:
+    """Persist a serving benchmark payload as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path

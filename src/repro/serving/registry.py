@@ -1,0 +1,293 @@
+"""Warm model registry: named, ready-to-serve model + pattern bundles.
+
+A *servable* is everything the serving layer needs to answer a request
+end to end: the vision model (weights loaded, ``eval`` mode, inference
+dtype applied) plus — for CE-input models — the coded-exposure sensor
+that turns a raw ``(T, H, W)`` clip into the coded image the model
+consumes.  :func:`save_servable` packages both into one
+:mod:`repro.nn.serialization` checkpoint (the CE pattern and geometry
+travel in the JSON metadata), and :func:`load_servable` reconstructs the
+bundle in another process from the checkpoint alone.
+
+:class:`ModelRegistry` keeps bundles *warm*: a checkpoint is loaded at
+most once (double-checked under a lock, so concurrent ``get`` calls
+never build the model twice) and every later request reuses the resident
+module — model construction never sits on the request path.
+"""
+
+from __future__ import annotations
+
+import threading
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..ce import CEConfig, CodedExposureSensor, make_pattern
+from ..models import build_from_spec, build_spec, model_input_kind
+from ..nn import load_checkpoint, read_checkpoint_metadata, save_checkpoint
+from ..nn.modules import Module
+
+#: Metadata key under which serving bundles store their recipe.
+SERVING_METADATA_KEY = "serving"
+
+
+@dataclass
+class ServableBundle:
+    """A warm, self-contained serving unit: model (+ CE sensor) + recipe."""
+
+    name: str
+    model: Module
+    spec: Dict
+    sensor: Optional[CodedExposureSensor] = None
+    metadata: Dict = field(default_factory=dict)
+
+    @property
+    def input_kind(self) -> str:
+        """``"ce"`` (needs the sensor front-end) or ``"video"``."""
+        return model_input_kind(self.spec["name"])
+
+    @property
+    def num_frames(self) -> int:
+        return int(self.spec["num_frames"])
+
+    @property
+    def image_size(self) -> int:
+        return int(self.spec["image_size"])
+
+    def __post_init__(self):
+        if self.input_kind == "ce" and self.sensor is None:
+            raise ValueError(
+                f"bundle '{self.name}' wraps CE-input model "
+                f"{self.spec['name']!r} but has no sensor")
+
+
+# ----------------------------------------------------------------------
+# Checkpoint packaging
+# ----------------------------------------------------------------------
+def _ce_metadata(sensor: CodedExposureSensor) -> Dict:
+    config = sensor.config
+    return {"num_slots": config.num_slots, "tile_size": config.tile_size,
+            "frame_height": config.frame_height,
+            "frame_width": config.frame_width,
+            "normalize_by_exposures": config.normalize_by_exposures,
+            "pattern": np.asarray(sensor.tile_pattern, dtype=int).tolist()}
+
+
+def _sensor_from_metadata(ce: Dict) -> CodedExposureSensor:
+    config = CEConfig(num_slots=ce["num_slots"], tile_size=ce["tile_size"],
+                      frame_height=ce["frame_height"],
+                      frame_width=ce["frame_width"],
+                      normalize_by_exposures=ce["normalize_by_exposures"])
+    return CodedExposureSensor(config, np.asarray(ce["pattern"]))
+
+
+def save_servable(path, model: Module, spec: Dict,
+                  sensor: Optional[CodedExposureSensor] = None,
+                  name: Optional[str] = None,
+                  metadata: Optional[Dict] = None) -> Path:
+    """Write a serving checkpoint: weights + build spec + CE pattern.
+
+    ``spec`` must be a :func:`repro.models.build_spec` recipe for
+    ``model`` (the loader rebuilds the module from it before restoring
+    the weights).  CE-input models must pass their ``sensor`` so the
+    encode front-end is reproducible at load time.
+    """
+    if model_input_kind(spec["name"]) == "ce" and sensor is None:
+        raise ValueError(
+            f"CE-input model {spec['name']!r} needs its sensor to be servable")
+    serving = {"name": name or spec["name"], "spec": dict(spec),
+               "user": dict(metadata or {})}
+    if sensor is not None:
+        serving["ce"] = _ce_metadata(sensor)
+    path = Path(path)
+    save_checkpoint(model, path, metadata={SERVING_METADATA_KEY: serving})
+    # np.savez appends .npz when missing; report the real file name.
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def load_servable(path, dtype=np.float32) -> ServableBundle:
+    """Reconstruct a :class:`ServableBundle` from a serving checkpoint.
+
+    ``dtype`` is the inference compute dtype the resident model is cast
+    to (float32 by default — the fast path); ``None`` keeps the saved
+    parameter dtype.
+    """
+    path = Path(path)
+    metadata = read_checkpoint_metadata(path)
+    if SERVING_METADATA_KEY not in metadata:
+        raise ValueError(
+            f"{path} is a bare checkpoint, not a serving bundle "
+            f"(missing {SERVING_METADATA_KEY!r} metadata); "
+            f"write it with repro.serving.save_servable")
+    serving = metadata[SERVING_METADATA_KEY]
+    model = build_from_spec(serving["spec"])
+    load_checkpoint(model, path)
+    if dtype is not None:
+        model.to(dtype)
+    model.eval()
+    sensor = (_sensor_from_metadata(serving["ce"])
+              if "ce" in serving else None)
+    return ServableBundle(name=serving["name"], model=model,
+                          spec=dict(serving["spec"]), sensor=sensor,
+                          metadata=dict(serving.get("user", {})))
+
+
+def fresh_bundle(model_name: str, num_classes: int = 6, image_size: int = 32,
+                 num_frames: int = 16, tile_size: int = 8, seed: int = 0,
+                 pattern: str = "random", dtype=np.float32,
+                 name: Optional[str] = None) -> ServableBundle:
+    """Build an in-memory bundle with freshly initialised weights.
+
+    The serving layer is model-agnostic, so load generators and smoke
+    tests use this to exercise the full sensor -> encode -> predict path
+    without a training run.  CE-input models get a ``pattern`` baseline
+    exposure pattern at the bundle's geometry.
+    """
+    spec = build_spec(model_name, num_classes=num_classes,
+                      image_size=image_size, num_frames=num_frames,
+                      tile_size=tile_size, seed=seed)
+    model = build_from_spec(spec)
+    if dtype is not None:
+        model.to(dtype)
+    model.eval()
+    sensor = None
+    if model_input_kind(model_name) == "ce":
+        config = CEConfig(num_slots=num_frames, tile_size=tile_size,
+                          frame_height=image_size, frame_width=image_size)
+        tile = make_pattern(pattern, num_frames, tile_size,
+                            rng=np.random.default_rng(seed))
+        sensor = CodedExposureSensor(config, tile)
+    return ServableBundle(name=name or model_name, model=model, spec=spec,
+                          sensor=sensor)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class ModelRegistry:
+    """Name -> warm :class:`ServableBundle` mapping with lazy checkpoint loads.
+
+    Parameters
+    ----------
+    root:
+        Optional directory scanned for ``*.npz`` serving checkpoints at
+        construction (see :meth:`scan`).
+    dtype:
+        Inference dtype applied to checkpoint-loaded models (float32 by
+        default; ``None`` keeps the stored dtype).
+
+    ``get`` is thread-safe: concurrent first requests for the same name
+    load the checkpoint exactly once, and every later call returns the
+    resident bundle without touching the filesystem.
+    """
+
+    def __init__(self, root=None, dtype=np.float32):
+        self.dtype = dtype
+        self._paths: Dict[str, Path] = {}
+        self._bundles: Dict[str, ServableBundle] = {}
+        self._lock = threading.Lock()
+        #: Per-name locks so one cold checkpoint load never blocks
+        #: warm ``get`` calls for other models.
+        self._load_locks: Dict[str, threading.Lock] = {}
+        if root is not None:
+            self.scan(root)
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, path) -> None:
+        """Register a serving checkpoint path under ``name`` (lazy load)."""
+        with self._lock:
+            self._paths[name] = Path(path)
+            self._bundles.pop(name, None)
+
+    def register_bundle(self, bundle: ServableBundle) -> None:
+        """Adopt an already-built bundle (kept warm immediately)."""
+        with self._lock:
+            self._bundles[bundle.name] = bundle
+
+    def scan(self, root) -> List[str]:
+        """Discover serving checkpoints under ``root``; returns new names.
+
+        Only ``*.npz`` files carrying serving metadata are registered;
+        bare checkpoints are skipped.  The registered name is the
+        bundle's stored name (falling back to the file stem).
+        """
+        root = Path(root)
+        found = []
+        for path in sorted(root.glob("*.npz")):
+            try:
+                metadata = read_checkpoint_metadata(path)
+            except (OSError, ValueError, KeyError, EOFError,
+                    zipfile.BadZipFile):
+                # Unreadable/truncated checkpoints (e.g. a killed
+                # export) must not take down the scan for the healthy
+                # ones next to them.
+                continue
+            serving = metadata.get(SERVING_METADATA_KEY)
+            if not serving:
+                continue
+            name = serving.get("name") or path.stem
+            self.register(name, path)
+            found.append(name)
+        return found
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(set(self._paths) | set(self._bundles))
+
+    def loaded_names(self) -> List[str]:
+        """Names whose bundle is currently resident (warm)."""
+        with self._lock:
+            return sorted(self._bundles)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._paths or name in self._bundles
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> ServableBundle:
+        """Return the warm bundle for ``name``, loading its checkpoint once.
+
+        Cold loads are serialised per name (concurrent first requests
+        never build one model twice) but run outside the registry-wide
+        lock, so a slow checkpoint load never stalls warm ``get`` calls
+        for other models.
+        """
+        with self._lock:
+            bundle = self._bundles.get(name)
+            if bundle is not None:
+                return bundle
+            if name not in self._paths:
+                available = sorted(set(self._paths) | set(self._bundles))
+                raise KeyError(
+                    f"unknown servable '{name}'; available: {available}")
+            load_lock = self._load_locks.setdefault(name, threading.Lock())
+        with load_lock:
+            with self._lock:
+                bundle = self._bundles.get(name)
+                if bundle is not None:
+                    return bundle
+                # Re-read under the load lock: a concurrent register()
+                # may have hot-swapped the checkpoint path since the
+                # first look, and the superseded path must not win.
+                path = self._paths[name]
+            bundle = load_servable(path, dtype=self.dtype)
+            bundle.name = name
+            with self._lock:
+                self._bundles[name] = bundle
+            return bundle
+
+    def warm(self, names: Optional[Iterable[str]] = None) -> List[str]:
+        """Eagerly load the given (default: all) registered checkpoints."""
+        targets = list(names) if names is not None else self.names()
+        for name in targets:
+            self.get(name)
+        return targets

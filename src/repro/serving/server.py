@@ -1,0 +1,225 @@
+"""Inference-serving facade: sensor capture -> CE encode -> batched predict.
+
+:class:`InferenceServer` owns the full request path of one servable
+bundle:
+
+1. **Capture/encode** — for CE-input models, the raw ``(T, H, W)`` clip
+   batch is compressed into coded images, either through the vectorised
+   CE operator (:class:`repro.runtime.BatchEncoder`, the fast
+   ``"operator"`` mode) or through the protocol-exact stacked-sensor
+   simulator (:class:`repro.hardware.StackedCESensor`, the
+   ``"hardware"`` mode); video-input baselines skip this step.
+2. **Batched forward** — the coalesced batch runs through the warm
+   model in one graph-free ``no_grad`` pass at the bundle's inference
+   dtype (float32 by default).
+3. **Decode** — per-clip argmax labels and logits come back as
+   :class:`Prediction` objects through the request futures.
+
+Requests are coalesced by a :class:`~repro.serving.batcher.MicroBatcher`
+(flush on size or deadline, bounded-queue backpressure), so concurrent
+single-clip clients transparently share large, BLAS-friendly batches
+while :meth:`InferenceServer.predict_sequential` provides the
+per-request reference path the equivalence tests compare against.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..ce.operator import exposure_counts
+from ..hardware import StackedCESensor
+from ..nn import no_grad
+from ..runtime import BatchEncoder
+from .batcher import MicroBatcher
+from .registry import ServableBundle
+
+CAPTURE_MODES = ("operator", "hardware")
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One served inference result."""
+
+    label: int
+    logits: np.ndarray
+
+    def as_dict(self) -> dict:
+        return {"label": self.label, "logits": self.logits.tolist()}
+
+
+class InferenceServer:
+    """Micro-batched serving endpoint over one :class:`ServableBundle`.
+
+    Parameters
+    ----------
+    bundle:
+        The warm model (+ CE sensor) to serve.
+    max_batch_size, max_delay_s, max_queue:
+        Micro-batching knobs, forwarded to
+        :class:`~repro.serving.batcher.MicroBatcher`: the coalescing
+        limit, the flush deadline of a partially filled batch, and the
+        backpressure bound of the submit queue.
+    capture_mode:
+        ``"operator"`` (default) encodes clip batches with the
+        vectorised CE einsum; ``"hardware"`` runs the per-slot stacked
+        sensor protocol simulation instead — slower, but the served
+        path then exercises the exact Sec. V capture semantics.
+        Ignored for video-input models.
+
+    Use as a context manager (or call :meth:`close`) so the worker
+    thread is joined deterministically.
+    """
+
+    def __init__(self, bundle: ServableBundle, max_batch_size: int = 32,
+                 max_delay_s: float = 0.002, max_queue: int = 1024,
+                 capture_mode: str = "operator"):
+        if capture_mode not in CAPTURE_MODES:
+            raise ValueError(
+                f"capture_mode must be one of {CAPTURE_MODES}, got {capture_mode!r}")
+        self.bundle = bundle
+        self.capture_mode = capture_mode
+        self.dtype = np.dtype(bundle.model.dtype)
+        self._encoder = None
+        self._hw_sensor = None
+        if bundle.input_kind == "ce":
+            self._encoder = BatchEncoder(bundle.sensor,
+                                         batch_size=max(max_batch_size, 1),
+                                         dtype=self.dtype)
+            if capture_mode == "hardware":
+                self._hw_sensor = StackedCESensor(bundle.sensor.config,
+                                                  bundle.sensor.tile_pattern)
+                self._exposure_counts = exposure_counts(
+                    bundle.sensor.full_mask)
+                # The stacked sensor's state/counters are not internally
+                # locked; the worker thread and predict_sequential
+                # callers may capture concurrently.
+                self._hw_lock = threading.Lock()
+        self._batcher = MicroBatcher(self._run_batch,
+                                     max_batch_size=max_batch_size,
+                                     max_delay_s=max_delay_s,
+                                     max_queue=max_queue,
+                                     name=f"serve-{bundle.name}")
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _clip_shape(self) -> tuple:
+        size = self.bundle.image_size
+        return (self.bundle.num_frames, size, size)
+
+    def _validate_clip(self, clip) -> np.ndarray:
+        clip = np.asarray(clip)
+        expected = self._clip_shape()
+        if clip.shape != expected:
+            raise ValueError(
+                f"clip shape {clip.shape} != expected {expected} for "
+                f"servable '{self.bundle.name}'")
+        return clip
+
+    def submit(self, clip) -> "Future[Prediction]":
+        """Enqueue one raw ``(T, H, W)`` clip; returns a prediction future.
+
+        Raises :class:`~repro.serving.batcher.RequestRejected` when the
+        bounded queue is full.
+        """
+        return self._batcher.submit(self._validate_clip(clip))
+
+    def submit_many(self, clips: Sequence) -> List["Future[Prediction]"]:
+        """Submit several clips; futures come back in input order."""
+        return [self.submit(clip) for clip in clips]
+
+    def predict(self, clip, timeout: Optional[float] = None) -> Prediction:
+        """Synchronous single-clip convenience wrapper over :meth:`submit`."""
+        return self.submit(clip).result(timeout=timeout)
+
+    def stream(self, clips: Iterable,
+               window: Optional[int] = None) -> Iterator[Prediction]:
+        """Serve an iterable of clips, yielding predictions in input order.
+
+        Submission runs ``window`` requests ahead of consumption (half
+        the queue bound by default), so the batcher always has material
+        to coalesce while arbitrarily long — even unbounded — streams
+        never overrun the bounded queue's backpressure limit.
+        """
+        if window is None:
+            window = max(1, self._batcher.max_queue // 2)
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        pending: "deque[Future[Prediction]]" = deque()
+        for clip in clips:
+            if len(pending) >= window:
+                yield pending.popleft().result()
+            pending.append(self.submit(clip))
+        while pending:
+            yield pending.popleft().result()
+
+    # ------------------------------------------------------------------
+    # Batched execution (worker thread)
+    # ------------------------------------------------------------------
+    def _encode(self, batch: np.ndarray) -> np.ndarray:
+        """CE-compress a ``(B, T, H, W)`` clip batch into model inputs."""
+        if self._hw_sensor is not None:
+            with self._hw_lock:
+                coded = self._hw_sensor.capture_batch(batch)
+            if self.bundle.sensor.config.normalize_by_exposures:
+                counts = self._exposure_counts
+                coded = np.divide(coded, counts, out=np.zeros_like(coded),
+                                  where=counts > 0)
+            return coded.astype(self.dtype, copy=False)
+        return self._encoder.encode(batch)
+
+    def _forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = inputs.astype(self.dtype, copy=False)
+        with no_grad():
+            return self.bundle.model(inputs).data
+
+    def _run_batch(self, clips: List[np.ndarray]) -> List[Prediction]:
+        batch = np.stack(clips)
+        if self.bundle.input_kind == "ce":
+            batch = self._encode(batch)
+        logits = self._forward(batch)
+        labels = logits.argmax(axis=-1)
+        return [Prediction(label=int(labels[i]), logits=logits[i])
+                for i in range(len(clips))]
+
+    # ------------------------------------------------------------------
+    def predict_sequential(self, clips: Sequence) -> List[Prediction]:
+        """Reference path: each clip encoded and inferred alone (batch 1).
+
+        Bypasses the queue and the batcher entirely; the serving tests
+        assert the micro-batched path produces identical argmax labels.
+        """
+        return [self._run_batch([self._validate_clip(clip)])[0]
+                for clip in clips]
+
+    # ------------------------------------------------------------------
+    # Telemetry / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._batcher.queue_depth
+
+    def stats(self) -> dict:
+        """Combined serving telemetry: batcher counters + encode counters."""
+        snapshot = self._batcher.stats_snapshot()
+        snapshot["capture_mode"] = (self.capture_mode
+                                    if self.bundle.input_kind == "ce"
+                                    else "none")
+        if self._encoder is not None:
+            snapshot["encoder"] = self._encoder.stats
+        return snapshot
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        self._batcher.close(timeout=timeout)
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

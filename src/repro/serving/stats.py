@@ -1,0 +1,87 @@
+"""Serving telemetry counters, following the runtime ``StoreStats`` pattern.
+
+One :class:`ServerStats` instance is owned by a :class:`~repro.serving.batcher.MicroBatcher`
+(and surfaced through :class:`~repro.serving.server.InferenceServer`).
+All updates happen under the owner's lock, so the totals stay exact even
+when many request threads submit concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ServerStats:
+    """Queue / batching telemetry of one serving endpoint.
+
+    Mirrors :class:`repro.runtime.StoreStats`: a plain counter dataclass
+    whose owner updates it under a lock and exposes snapshots via
+    :meth:`as_dict`.
+    """
+
+    #: Requests accepted into the queue.
+    submitted: int = 0
+    #: Requests whose result future completed successfully.
+    completed: int = 0
+    #: Requests whose batch failed (future carries the exception).
+    failed: int = 0
+    #: Requests refused because the bounded queue was full (backpressure).
+    rejected: int = 0
+    #: Requests whose future the client cancelled while still queued.
+    cancelled: int = 0
+    #: Coalesced forward passes executed.
+    batches: int = 0
+    #: Batches flushed because ``max_batch_size`` filled up.
+    flushed_on_size: int = 0
+    #: Batches flushed because the ``max_delay_s`` deadline expired.
+    flushed_on_deadline: int = 0
+    #: Batches flushed while draining the queue at shutdown.
+    flushed_on_close: int = 0
+    #: Highest queue depth observed at submit time.
+    max_queue_depth: int = 0
+    #: Histogram of executed batch sizes (``{size: count}``).
+    batch_size_hist: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def observe_batch(self, size: int, reason: str) -> None:
+        """Record one executed batch and its flush reason."""
+        self.batches += 1
+        self.batch_size_hist[size] = self.batch_size_hist.get(size, 0) + 1
+        if reason == "size":
+            self.flushed_on_size += 1
+        elif reason == "deadline":
+            self.flushed_on_deadline += 1
+        elif reason == "close":
+            self.flushed_on_close += 1
+        else:
+            raise ValueError(f"unknown flush reason {reason!r}")
+
+    def observe_queue_depth(self, depth: int) -> None:
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_batch_size(self) -> float:
+        """Average coalesced batch size (0.0 before the first batch)."""
+        total = sum(size * count for size, count in self.batch_size_hist.items())
+        count = sum(self.batch_size_hist.values())
+        return total / count if count else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "batches": self.batches,
+            "flushed_on_size": self.flushed_on_size,
+            "flushed_on_deadline": self.flushed_on_deadline,
+            "flushed_on_close": self.flushed_on_close,
+            "max_queue_depth": self.max_queue_depth,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_hist": dict(sorted(self.batch_size_hist.items())),
+        }

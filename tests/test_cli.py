@@ -27,6 +27,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "nonexistent"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--smoke"])
+        assert args.smoke
+        assert args.capture == "operator"
+        assert args.max_delay_ms == 5.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--capture", "quantum"])
+
 
 class TestCommands:
     def test_energy_command(self, capsys):
@@ -74,3 +82,20 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "test_accuracy" in output
         assert "pattern_correlation" in output
+
+    def test_serve_checkpoint_and_models_conflict(self, capsys):
+        assert main(["serve", "--checkpoint", "x.npz",
+                     "--models", "snappix_s"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().out
+
+    def test_serve_smoke_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "serving_bench.json"
+        assert main(["serve", "--smoke", "--out", str(out_path)]) == 0
+        output = capsys.readouterr().out
+        assert "inference_per_second" in output
+        assert "labels_match_sequential" in output
+        import json
+        payload = json.loads(out_path.read_text())
+        assert payload["rows"]
+        assert all(row["labels_match_sequential"]
+                   for row in payload["rows"])

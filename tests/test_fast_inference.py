@@ -180,8 +180,11 @@ class TestNoGradFastPath:
         self._assert_graph_free(out)
 
     def test_fast_path_matches_graph_path(self, rng):
-        """The graph-free forward must be numerically identical to the
-        closure-building forward used during training."""
+        """The graph-free forward must match the closure-building forward
+        used during training: bit-identical where the fast path runs the
+        same arithmetic (ViT), float-tolerance with identical decisions
+        for c3d, whose fast path folds the per-slot GEMM loop into one
+        3-D-im2col GEMM (same reduction, different BLAS blocking)."""
         for name in ("snappix_s", "c3d"):
             model = build_model(name, num_classes=5, image_size=16,
                                 num_frames=8, seed=0)
@@ -190,7 +193,13 @@ class TestNoGradFastPath:
             with no_grad():
                 fast = model(x).data
             graph = model(x).data  # weights require grad -> closure path
-            assert np.array_equal(fast, graph)
+            if name == "snappix_s":
+                assert np.array_equal(fast, graph)
+            else:
+                np.testing.assert_allclose(fast, graph, rtol=1e-9,
+                                           atol=1e-11)
+                assert np.array_equal(fast.argmax(axis=-1),
+                                      graph.argmax(axis=-1))
 
     def test_mha_bias_only_training_gets_gradients(self, rng):
         """Bias-only fine-tuning must not be routed to the graph-free path."""
@@ -211,6 +220,127 @@ class TestNoGradFastPath:
         assert out.requires_grad
         out.sum().backward()
         assert x.grad is not None
+
+    def test_no_grad_is_thread_local(self, rng):
+        """An inference thread's no_grad must not leak into other threads
+        (a serving worker runs no_grad forwards next to training)."""
+        import threading
+
+        from repro.nn import is_grad_enabled
+
+        entered = threading.Event()
+        release = threading.Event()
+        seen_in_worker = []
+
+        def worker():
+            with no_grad():
+                seen_in_worker.append(is_grad_enabled())
+                entered.set()
+                release.wait(timeout=10)
+            seen_in_worker.append(is_grad_enabled())
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=10)
+        # The worker sits inside no_grad; this thread must be untouched.
+        assert is_grad_enabled()
+        x = Tensor(rng.random((3,)), requires_grad=True)
+        x.sum().backward()
+        assert x.grad is not None
+        release.set()
+        thread.join(timeout=10)
+        assert seen_in_worker == [False, True]
+        assert is_grad_enabled()
+
+
+# ----------------------------------------------------------------------
+# Conv3d single-GEMM im2col inference fast path
+# ----------------------------------------------------------------------
+class TestConv3dIm2colFastPath:
+    """The ``no_grad`` Conv3d forward unfolds (B, C, T, H, W) with one
+    3-D im2col and computes every temporal output in a single GEMM."""
+
+    def _naive_cols(self, x, kernel, stride, padding):
+        """Reference 3-D im2col via explicit window gathering."""
+        kt, kh, kw = kernel
+        st, sh, sw = stride
+        pt, ph, pw = padding
+        x = np.pad(x, ((0, 0), (0, 0), (pt, pt), (ph, ph), (pw, pw)))
+        batch, channels = x.shape[:2]
+        out_t = (x.shape[2] - kt) // st + 1
+        out_h = (x.shape[3] - kh) // sh + 1
+        out_w = (x.shape[4] - kw) // sw + 1
+        cols = np.empty((batch, out_t * out_h * out_w,
+                         channels * kt * kh * kw), dtype=x.dtype)
+        index = 0
+        for t in range(out_t):
+            for i in range(out_h):
+                for j in range(out_w):
+                    window = x[:, :, t * st:t * st + kt,
+                               i * sh:i * sh + kh, j * sw:j * sw + kw]
+                    cols[:, index] = window.reshape(batch, -1)
+                    index += 1
+        return cols, (out_t, out_h, out_w)
+
+    @pytest.mark.parametrize("kernel,stride,padding", [
+        ((3, 3, 3), (1, 1, 1), (1, 1, 1)),
+        ((2, 3, 3), (2, 2, 2), (0, 1, 1)),
+        ((3, 2, 2), (1, 2, 1), (1, 0, 1)),
+    ])
+    def test_im2col3d_matches_naive_unfold(self, kernel, stride, padding,
+                                           rng):
+        from repro.nn.conv import _im2col3d
+        x = rng.random((2, 3, 6, 8, 8))
+        cols, dims = _im2col3d(x, kernel, stride, padding)
+        ref_cols, ref_dims = self._naive_cols(x, kernel, stride, padding)
+        assert dims == ref_dims
+        assert np.array_equal(cols, ref_cols)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("stride,padding", [
+        ((1, 1, 1), (1, 1, 1)),
+        ((2, 1, 2), (1, 1, 0)),
+    ])
+    def test_no_grad_forward_matches_graph_forward(self, dtype, stride,
+                                                   padding, rng):
+        conv = Conv3d(3, 5, (3, 3, 3), stride=stride, padding=padding,
+                      rng=rng).to(dtype)
+        x = rng.random((2, 3, 8, 10, 10)).astype(dtype)
+        with no_grad():
+            fast = conv(Tensor(x)).data
+        graph = conv(Tensor(x)).data  # weights require grad -> loop path
+        assert fast.shape == graph.shape
+        assert fast.dtype == dtype
+        rtol, atol = ((1e-10, 1e-12) if dtype == np.float64
+                      else (1e-4, 1e-5))
+        np.testing.assert_allclose(fast, graph, rtol=rtol, atol=atol)
+
+    def test_no_grad_forward_without_bias(self, rng):
+        conv = Conv3d(2, 4, (2, 2, 2), bias=False, rng=rng)
+        x = rng.random((1, 2, 4, 6, 6))
+        with no_grad():
+            fast = conv(Tensor(x)).data
+        graph = conv(Tensor(x)).data
+        np.testing.assert_allclose(fast, graph, rtol=1e-10)
+
+    def test_float32_stays_float32_through_fast_path(self, rng):
+        conv = Conv3d(2, 3, 3, padding=1, rng=rng).to(np.float32)
+        x = rng.random((2, 2, 4, 8, 8)).astype(np.float32)
+        with no_grad():
+            out = conv(Tensor(x))
+        assert out.dtype == np.float32
+
+    def test_c3d_model_decisions_identical_across_paths(self, rng):
+        """End to end: the c3d fast path must not change predictions."""
+        model = build_model("c3d", num_classes=5, image_size=16,
+                            num_frames=8, seed=0)
+        model.eval()
+        x = _example_input("c3d", rng)
+        with no_grad():
+            fast = model(x).data
+        graph = model(x).data
+        assert np.array_equal(fast.argmax(axis=-1), graph.argmax(axis=-1))
+        np.testing.assert_allclose(fast, graph, rtol=1e-9, atol=1e-11)
 
 
 # ----------------------------------------------------------------------
