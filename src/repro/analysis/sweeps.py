@@ -65,7 +65,8 @@ def sweep_exposure_slots(num_slots_values: Sequence[int] = (4, 8, 16, 32),
                          num_clips: int = 32,
                          seed: int = 0,
                          store: Optional[ArtifactStore] = None,
-                         workers: int = 1
+                         workers: int = 1,
+                         compute_dtype: str = "float64"
                          ) -> List[Dict[str, float]]:
     """Energy and compression consequences of the exposure-slot count ``T``.
 
@@ -79,11 +80,15 @@ def sweep_exposure_slots(num_slots_values: Sequence[int] = (4, 8, 16, 32),
     artifacts instead of re-learning the pattern per grid point.  With
     ``workers > 1`` the grid points run concurrently over the shared
     store.  The rows are bit-identical to the legacy serial / storeless
-    path either way.
+    path either way.  ``compute_dtype`` selects the precision of the
+    per-grid-point pattern training (``"float32"`` = the fast training
+    engine; the default keeps the seed float64 trajectories).
     """
     for num_slots in num_slots_values:
         if num_slots < 1:
             raise ValueError("every num_slots value must be >= 1")
+    if compute_dtype not in {"float32", "float64"}:
+        raise ValueError("compute_dtype must be 'float32' or 'float64'")
     runner = PipelineRunner(store) if store is not None else None
 
     def grid_point(num_slots: int) -> Dict[str, float]:
@@ -103,7 +108,8 @@ def sweep_exposure_slots(num_slots_values: Sequence[int] = (4, 8, 16, 32),
                                       frame_size=corr_frame_size, seed=seed),
                     PatternStage("decorrelated", num_slots=num_slots,
                                  tile_size=tile_size, frame_size=corr_frame_size,
-                                 epochs=3, seed=seed),
+                                 epochs=3, seed=seed,
+                                 compute_dtype=compute_dtype),
                 ])
                 correlation = result.artifacts["pattern"]["correlation"]
             else:
@@ -115,6 +121,8 @@ def sweep_exposure_slots(num_slots_values: Sequence[int] = (4, 8, 16, 32),
                                   frame_height=corr_frame_size,
                                   frame_width=corr_frame_size)
                 result = learn_decorrelated_pattern(videos, config, epochs=3,
+                                                    compute_dtype=np.dtype(
+                                                        compute_dtype),
                                                     seed=seed)
                 _, correlation, _ = coded_pixel_correlation(
                     videos, result.tile_pattern, tile_size)

@@ -27,7 +27,8 @@ from .statistics import (
 )
 
 
-def video_batch_to_tiles(videos: np.ndarray, tile_size: int) -> np.ndarray:
+def video_batch_to_tiles(videos: np.ndarray, tile_size: int,
+                         dtype=np.float64) -> np.ndarray:
     """Rearrange uncoded clips into per-tile sample tensors.
 
     Parameters
@@ -36,6 +37,9 @@ def video_batch_to_tiles(videos: np.ndarray, tile_size: int) -> np.ndarray:
         ``(B, T, H, W)`` batch of clips.
     tile_size:
         Tile side length.
+    dtype:
+        Floating dtype of the tile samples (float32 for the fast
+        training path; float64 preserves the seed behaviour).
 
     Returns
     -------
@@ -43,7 +47,7 @@ def video_batch_to_tiles(videos: np.ndarray, tile_size: int) -> np.ndarray:
     ``P = tile_size**2``; suitable for applying a ``(T, P)`` tile pattern
     per sample.
     """
-    videos = np.asarray(videos, dtype=np.float64)
+    videos = np.asarray(videos, dtype=dtype)
     if videos.ndim != 4:
         raise ValueError("videos must have shape (B, T, H, W)")
     batch, slots, height, width = videos.shape
@@ -61,9 +65,10 @@ def straight_through_binarize(probs: Tensor, threshold: float = 0.5) -> Tensor:
     Forward: ``hard = (probs > threshold)``.  Backward: the gradient is
     passed through unchanged to ``probs`` (Bengio et al., 2013), which is
     how the paper propagates gradients through the binary masking
-    operation.
+    operation.  The binarised mask inherits the probability dtype so a
+    float32 pattern-training graph stays float32.
     """
-    hard = (probs.data > threshold).astype(np.float64)
+    hard = (probs.data > threshold).astype(probs.data.dtype)
 
     def backward(grad):
         probs._accumulate(grad)
@@ -87,7 +92,7 @@ def differentiable_correlation_loss(coded_tiles: Tensor, eps: float = 1e-6) -> T
     std = (variance + eps).sqrt()
     denom = std.reshape(num_pixels, 1) * std.reshape(1, num_pixels)
     corr = cov / denom
-    off_mask = 1.0 - np.eye(num_pixels)
+    off_mask = 1.0 - np.eye(num_pixels, dtype=coded_tiles.data.dtype)
     squared = corr * corr * Tensor(off_mask)
     return squared.sum() / float(num_pixels * (num_pixels - 1))
 
@@ -123,18 +128,26 @@ class DecorrelationPatternLearner:
         opening every slot.
     density_weight:
         Strength of the density penalty.
+    compute_dtype:
+        Floating dtype of the pattern logits and the decorrelation
+        gradient graph.  ``None`` keeps float64 (the seed behaviour —
+        the learned binary pattern is threshold-robust, so float32 gives
+        the same masks measurably faster on large pools).
     seed:
         Seed for logits initialisation.
     """
 
     def __init__(self, config: CEConfig, lr: float = 0.05,
                  density_target: Optional[float] = 0.5,
-                 density_weight: float = 0.1, seed: int = 0):
+                 density_weight: float = 0.1, compute_dtype=None,
+                 seed: int = 0):
         self.config = config
         rng = np.random.default_rng(seed)
         shape = (config.num_slots, config.pixels_per_tile)
+        self.compute_dtype = np.dtype(compute_dtype or np.float64)
         # Small symmetric init around zero => initial probabilities near 0.5.
-        self.logits = Parameter(rng.normal(0.0, 0.1, size=shape))
+        self.logits = Parameter(
+            rng.normal(0.0, 0.1, size=shape).astype(self.compute_dtype))
         self.optimizer = AdamW([self.logits], lr=lr, weight_decay=0.0)
         self.density_target = density_target
         self.density_weight = density_weight
@@ -150,7 +163,8 @@ class DecorrelationPatternLearner:
     # ------------------------------------------------------------------
     def training_step(self, videos: np.ndarray) -> float:
         """One gradient step of the decorrelation objective on a video batch."""
-        tiles = video_batch_to_tiles(videos, self.config.tile_size)
+        tiles = video_batch_to_tiles(videos, self.config.tile_size,
+                                     dtype=self.compute_dtype)
         tiles_tensor = Tensor(tiles)
 
         probs = self.logits.sigmoid()
@@ -209,14 +223,19 @@ class DecorrelationPatternLearner:
 
 def learn_decorrelated_pattern(videos: np.ndarray, config: CEConfig,
                                epochs: int = 5, batch_size: int = 16,
-                               lr: float = 0.05, seed: int = 0) -> DecorrelationResult:
+                               lr: float = 0.05, compute_dtype=None,
+                               seed: int = 0) -> DecorrelationResult:
     """Convenience wrapper: learn a decorrelated pattern from a video array.
 
     Splits ``videos`` (``(N, T, H, W)``) into mini-batches and runs
     :class:`DecorrelationPatternLearner` for ``epochs`` passes.
+    ``compute_dtype`` selects the training precision (float32 = fast
+    path, ``None``/float64 = seed behaviour).
     """
     videos = np.asarray(videos)
-    learner = DecorrelationPatternLearner(config, lr=lr, seed=seed)
+    learner = DecorrelationPatternLearner(config, lr=lr,
+                                          compute_dtype=compute_dtype,
+                                          seed=seed)
     batches = [videos[i:i + batch_size] for i in range(0, len(videos), batch_size)]
     batches = [b for b in batches if len(b) >= 2]
     return learner.fit(batches, epochs=epochs)

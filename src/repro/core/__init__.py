@@ -4,8 +4,11 @@ from .bench import (
     benchmark_ce_encode,
     benchmark_model_dtypes,
     benchmark_sensor_capture,
+    benchmark_training_dtypes,
     remeasure_slow_models,
+    remeasure_slow_training,
     run_perf_engine,
+    run_train_engine,
     write_results,
 )
 from .cli import build_parser, main
@@ -37,8 +40,11 @@ __all__ = [
     "benchmark_model_dtypes",
     "benchmark_ce_encode",
     "benchmark_sensor_capture",
+    "benchmark_training_dtypes",
     "run_perf_engine",
+    "run_train_engine",
     "remeasure_slow_models",
+    "remeasure_slow_training",
     "write_results",
     "build_parser",
     "main",

@@ -9,7 +9,7 @@ Exposes the main entry points of the library without writing Python::
     python -m repro hardware  --tile-size 8 --node-nm 22
     python -m repro sweep     slots --csv slots.csv
     python -m repro correlation --num-slots 16
-    python -m repro bench     --quick
+    python -m repro bench     --quick --train
     python -m repro serve     --smoke
 
 Every subcommand prints an aligned text table (or a key/value listing)
@@ -61,8 +61,11 @@ from ..serving import (
 )
 from .bench import (
     DEFAULT_RESULTS_PATH,
+    DEFAULT_TRAIN_RESULTS_PATH,
     remeasure_slow_models,
+    remeasure_slow_training,
     run_perf_engine,
+    run_train_engine,
     write_results,
 )
 from .config import PipelineConfig
@@ -120,7 +123,8 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
                           pattern=args.pattern, model_variant=args.variant,
                           use_pretraining=not args.no_pretrain,
                           pretrain_epochs=args.pretrain_epochs,
-                          finetune_epochs=args.epochs, seed=args.seed)
+                          finetune_epochs=args.epochs,
+                          compute_dtype=args.dtype, seed=args.seed)
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
@@ -216,6 +220,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                    payload["sensor"])
     path = write_results(payload, args.out)
     print(f"perf results written to {path}")
+    if args.train:
+        train_payload = run_train_engine(quick=args.quick, seed=args.seed)
+        train_payload = remeasure_slow_training(train_payload, seed=args.seed)
+        print(format_text_table([
+            {key: row[key] for key in
+             ("model", "image_size", "batch_size", "num_steps",
+              "float64_steps_per_second", "float32_steps_per_second",
+              "speedup", "loss_max_rel_diff", "eval_decisions_match")}
+            for row in train_payload["models"]]))
+        train_path = write_results(train_payload, args.train_out)
+        print(f"training results written to {train_path}")
     return 0
 
 
@@ -346,6 +361,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   "global"))
         sub.add_argument("--variant", choices=("tiny", "s", "b"), default="tiny")
         sub.add_argument("--no-pretrain", action="store_true")
+        sub.add_argument("--dtype", choices=("float64", "float32"),
+                         default="float64",
+                         help="training precision: float32 selects the fast "
+                              "training engine (~2x steps/sec on the ViT "
+                              "models), float64 the seed trajectories")
         sub.add_argument("--epochs", type=int, default=6)
         sub.add_argument("--pretrain-epochs", type=int, default=2)
         sub.add_argument("--cache-dir", type=str, default="",
@@ -400,6 +420,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", type=str, default=str(DEFAULT_RESULTS_PATH),
                        help="output JSON path (default: "
                             "benchmarks/results/perf_engine.json)")
+    bench.add_argument("--train", action="store_true",
+                       help="also time full training steps (forward + "
+                            "backward + AdamW) in float64 vs float32 and "
+                            "write train_engine.json")
+    bench.add_argument("--train-out", type=str,
+                       default=str(DEFAULT_TRAIN_RESULTS_PATH),
+                       help="training results JSON path (default: "
+                            "benchmarks/results/train_engine.json)")
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=_cmd_bench)
 

@@ -69,6 +69,7 @@ class SnapPixResult:
             "pattern": self.config.pattern,
             "model_variant": self.config.model_variant,
             "use_pretraining": self.config.use_pretraining,
+            "compute_dtype": self.config.compute_dtype,
             "pattern_correlation": self.pattern_correlation,
             "pretrain_final_loss": self.pretrain_final_loss,
             "test_accuracy": self.test_accuracy,

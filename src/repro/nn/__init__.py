@@ -32,14 +32,17 @@ from .modules import (
     Parameter,
     ReLU,
     Sequential,
+    residual_add,
 )
 from .attention import (
     MultiHeadAttention,
     PositionalEmbedding,
     TransformerBlock,
+    fused_attention_core,
     sinusoidal_position_encoding,
 )
-from .conv import AvgPool2d, Conv2d, Conv3d, GlobalAveragePool, MaxPool3d
+from .conv import (AvgPool2d, ColumnBufferPool, Conv2d, Conv3d,
+                   GlobalAveragePool, MaxPool3d)
 from .optim import (
     AdamW,
     CosineWithWarmup,
@@ -78,9 +81,12 @@ __all__ = [
     "MultiHeadAttention",
     "TransformerBlock",
     "PositionalEmbedding",
+    "fused_attention_core",
+    "residual_add",
     "sinusoidal_position_encoding",
     "Conv2d",
     "Conv3d",
+    "ColumnBufferPool",
     "AvgPool2d",
     "MaxPool3d",
     "GlobalAveragePool",

@@ -11,8 +11,62 @@ from typing import Optional
 import numpy as np
 
 from . import functional as F
-from .modules import Dropout, LayerNorm, Linear, MLP, Module, Parameter
+from .modules import Dropout, LayerNorm, Linear, MLP, Module, Parameter, residual_add
 from .tensor import Tensor, get_default_dtype, needs_grad
+
+
+def fused_attention_core(qkv: Tensor, num_heads: int, scale: float) -> Tensor:
+    """Fused multi-head attention over a packed ``(B, T, 3*D)`` qkv tensor.
+
+    Forward: split heads, scaled dot-product scores, the single-pass
+    :func:`~repro.nn.functional.fused_softmax` kernel normalising the
+    score buffer in place, context matmul, head merge.  Backward is one
+    hand-written closure covering the whole core, so training retains a
+    single (B, H, T, T) probability buffer instead of the three score
+    copies (shifted / exp'd / normalised) plus per-op closures the
+    composed graph used to hold.  Every scratch array inherits the qkv
+    dtype — float32 training never upcasts.
+
+    The arithmetic mirrors the historical composed path op for op, so
+    logits are bit-identical to both the old training forward and the
+    graph-free inference path.
+    """
+    batch, tokens, three_dim = qkv.shape
+    dim = three_dim // 3
+    head_dim = dim // num_heads
+    split = qkv.data.reshape(batch, tokens, 3, num_heads, head_dim)
+    split = split.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, Dh)
+    q, k, v = split[0], split[1], split[2]
+
+    scores = q @ k.swapaxes(-1, -2)  # (B, H, T, T)
+    scores *= scale
+    probs = F.fused_softmax(scores, axis=-1, out=scores)
+    ctx = probs @ v  # (B, H, T, Dh)
+    out_data = np.ascontiguousarray(ctx.transpose(0, 2, 1, 3)).reshape(
+        batch, tokens, dim)
+    if not needs_grad(qkv):
+        return Tensor(out_data)
+
+    def backward(grad):
+        g_ctx = grad.reshape(batch, tokens, num_heads, head_dim)
+        g_ctx = g_ctx.transpose(0, 2, 1, 3)  # (B, H, T, Dh)
+        g_probs = g_ctx @ v.swapaxes(-1, -2)  # (B, H, T, T)
+        g_v = probs.swapaxes(-1, -2) @ g_ctx
+        # Softmax backward, folded into the g_probs buffer:
+        # g_scores = probs * (g_probs - sum(g_probs * probs)) * scale.
+        inner = (g_probs * probs).sum(axis=-1, keepdims=True)
+        g_probs -= inner
+        g_probs *= probs
+        g_probs *= scale
+        g_q = g_probs @ k
+        g_k = g_probs.swapaxes(-1, -2) @ q
+        g_split = np.empty((3, batch, num_heads, tokens, head_dim),
+                           dtype=grad.dtype)
+        g_split[0], g_split[1], g_split[2] = g_q, g_k, g_v
+        qkv._accumulate(np.ascontiguousarray(
+            g_split.transpose(1, 3, 0, 2, 4)).reshape(batch, tokens, three_dim))
+
+    return qkv._make(out_data, (qkv,), backward)
 
 
 class MultiHeadAttention(Module):
@@ -40,6 +94,13 @@ class MultiHeadAttention(Module):
                                                  self.proj.weight, self.proj.bias):
             return self._forward_inference(x.data, batch, tokens, dim)
         qkv = self.qkv(x)  # (B, T, 3*D)
+        if not dropout_active:
+            # Training hot path: the fused attention core (one backward
+            # closure, one retained probability buffer, fused softmax).
+            out = fused_attention_core(qkv, self.num_heads, self.scale)
+            return self.proj(out)
+        # Attention dropout breaks the softmax->matmul fusion; keep the
+        # composed graph for that (rare at reproduction scale) recipe.
         qkv = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, Dh)
         q, k, v = qkv[0], qkv[1], qkv[2]
@@ -66,9 +127,7 @@ class MultiHeadAttention(Module):
         q, k, v = qkv[0], qkv[1], qkv[2]
 
         scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (B, H, T, T)
-        scores -= scores.max(axis=-1, keepdims=True)
-        np.exp(scores, out=scores)
-        scores /= scores.sum(axis=-1, keepdims=True)
+        F.fused_softmax(scores, axis=-1, out=scores)
         out = scores @ v  # (B, H, T, Dh)
         out = np.ascontiguousarray(out.transpose(0, 2, 1, 3)).reshape(
             batch, tokens, dim)
@@ -92,8 +151,11 @@ class TransformerBlock(Module):
         self.mlp = MLP(dim, int(dim * mlp_ratio), dropout_p, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        x = x + self.attn(self.norm1(x))
-        x = x + self.mlp(self.norm2(x))
+        # Fused LayerNorm (single-closure analytic backward) feeding an
+        # in-place residual add: two fewer activation-sized allocations
+        # per block than the composed x + sublayer(norm(x)) graph.
+        x = residual_add(x, self.attn(self.norm1(x)))
+        x = residual_add(x, self.mlp(self.norm2(x)))
         return x
 
 

@@ -7,13 +7,59 @@ downsampling baseline (average pooling).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import threading
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from . import init
 from .modules import Module, Parameter
 from .tensor import Tensor, needs_grad
+
+
+class ColumnBufferPool:
+    """Recycles im2col column matrices across training steps.
+
+    A convolution layer re-materialises the same-shaped column matrix
+    every step (and its backward closure must keep that step's copy
+    alive until the gradients flow).  The pool implements a checkout
+    protocol: ``acquire`` hands out a free buffer of the exact shape and
+    dtype (or allocates one), and ``release`` returns it once the
+    backward closure — or the graph-free fast path — is done with it.
+    Buffers still checked out (a forward whose backward has not run yet,
+    e.g. gradient accumulation over several forwards) are simply not
+    reused, so correctness never depends on forward/backward ordering.
+
+    The free list is lock-guarded so a serving thread's graph-free
+    forwards can share a module with a training thread.
+    """
+
+    #: Max free buffers retained per pool; beyond this, released buffers
+    #: are dropped to the garbage collector (bounds pool memory when a
+    #: layer sees many one-off geometries).
+    max_free = 4
+
+    def __init__(self):
+        self._free: List[np.ndarray] = []
+        self._lock = threading.Lock()
+
+    def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        size = int(np.prod(shape))
+        with self._lock:
+            for i, buf in enumerate(self._free):
+                if buf.dtype == dtype and buf.size == size:
+                    self._free.pop(i)
+                    return buf.reshape(shape)
+        return np.empty(shape, dtype=dtype)
+
+    def release(self, buffer: np.ndarray) -> None:
+        flat = buffer.reshape(-1)
+        address = flat.__array_interface__["data"][0]
+        with self._lock:
+            if len(self._free) < self.max_free and all(
+                    b.__array_interface__["data"][0] != address
+                    for b in self._free):
+                self._free.append(flat)
 
 
 def _pair(value) -> Tuple[int, int]:
@@ -29,8 +75,16 @@ def _triple(value) -> Tuple[int, int, int]:
 
 
 def _im2col2d(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
-              padding: Tuple[int, int]) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Unfold (B, C, H, W) into columns (B, out_h*out_w, C*kh*kw)."""
+              padding: Tuple[int, int],
+              pool: Optional["ColumnBufferPool"] = None
+              ) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold (B, C, H, W) into columns (B, out_h*out_w, C*kh*kw).
+
+    ``pool``, when given, supplies (and is the place to later release)
+    the column buffer — the hook that lets convolution layers recycle
+    one column matrix across training steps instead of materialising a
+    fresh one per call.  The output geometry is computed here, once.
+    """
     batch, channels, height, width = x.shape
     kh, kw = kernel
     sh, sw = stride
@@ -47,8 +101,12 @@ def _im2col2d(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
                  strides[2], strides[3]),
         writeable=False,
     )
-    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h * out_w, channels * kh * kw)
-    return np.ascontiguousarray(cols), (out_h, out_w)
+    shape = (batch, out_h * out_w, channels * kh * kw)
+    out = pool.acquire(shape, x.dtype) if pool is not None else \
+        np.empty(shape, dtype=x.dtype)
+    np.copyto(out.reshape(batch, out_h, out_w, channels, kh, kw),
+              view.transpose(0, 2, 3, 1, 4, 5))
+    return out, (out_h, out_w)
 
 
 def _col2im2d(cols: np.ndarray, x_shape, kernel, stride, padding) -> np.ndarray:
@@ -75,8 +133,9 @@ def _col2im2d(cols: np.ndarray, x_shape, kernel, stride, padding) -> np.ndarray:
 
 def _im2col3d(x: np.ndarray, kernel: Tuple[int, int, int],
               stride: Tuple[int, int, int],
-              padding: Tuple[int, int, int]) -> Tuple[np.ndarray,
-                                                      Tuple[int, int, int]]:
+              padding: Tuple[int, int, int],
+              pool: Optional["ColumnBufferPool"] = None
+              ) -> Tuple[np.ndarray, Tuple[int, int, int]]:
     """Unfold (B, C, T, H, W) into columns (B, out_t*out_h*out_w, C*kt*kh*kw).
 
     The column axis is ordered ``(C, kt, kh, kw)``, matching the
@@ -103,9 +162,39 @@ def _im2col3d(x: np.ndarray, kernel: Tuple[int, int, int],
                  strides[4] * sw, strides[2], strides[3], strides[4]),
         writeable=False,
     )
-    cols = view.transpose(0, 2, 3, 4, 1, 5, 6, 7).reshape(
-        batch, out_t * out_h * out_w, channels * kt * kh * kw)
-    return np.ascontiguousarray(cols), (out_t, out_h, out_w)
+    shape = (batch, out_t * out_h * out_w, channels * kt * kh * kw)
+    out = pool.acquire(shape, x.dtype) if pool is not None else \
+        np.empty(shape, dtype=x.dtype)
+    np.copyto(out.reshape(batch, out_t, out_h, out_w, channels, kt, kh, kw),
+              view.transpose(0, 2, 3, 4, 1, 5, 6, 7))
+    return out, (out_t, out_h, out_w)
+
+
+def _col2im3d(cols: np.ndarray, x_shape, kernel, stride, padding) -> np.ndarray:
+    """Adjoint of :func:`_im2col3d`; scatters column gradients back.
+
+    Scratch is allocated in the gradient dtype (no float64 upcast of
+    float32 backward passes), mirroring :func:`_col2im2d`.
+    """
+    batch, channels, frames, height, width = x_shape
+    kt, kh, kw = kernel
+    st, sh, sw = stride
+    pt, ph, pw = padding
+    padded = np.zeros((batch, channels, frames + 2 * pt, height + 2 * ph,
+                       width + 2 * pw), dtype=cols.dtype)
+    out_t = (padded.shape[2] - kt) // st + 1
+    out_h = (padded.shape[3] - kh) // sh + 1
+    out_w = (padded.shape[4] - kw) // sw + 1
+    cols = cols.reshape(batch, out_t, out_h, out_w, channels, kt, kh, kw)
+    for t in range(kt):
+        for i in range(kh):
+            for j in range(kw):
+                padded[:, :, t:t + st * out_t:st, i:i + sh * out_h:sh,
+                       j:j + sw * out_w:sw] += \
+                    cols[:, :, :, :, :, t, i, j].transpose(0, 4, 1, 2, 3)
+    if pt or ph or pw:
+        return padded[:, :, pt:pt + frames, ph:ph + height, pw:pw + width]
+    return padded
 
 
 class Conv2d(Module):
@@ -126,23 +215,27 @@ class Conv2d(Module):
             init.kaiming_normal((out_channels, in_channels, kh, kw), rng,
                                 dtype=dtype))
         self.bias = Parameter(init.zeros(out_channels, dtype=dtype)) if bias else None
+        self._col_pool = ColumnBufferPool()
 
     def forward(self, x: Tensor) -> Tensor:
         x_data = x.data
+        batch = x_data.shape[0]
+        pool = self._col_pool
         cols, (out_h, out_w) = _im2col2d(x_data, self.kernel_size, self.stride,
-                                         self.padding)
+                                         self.padding, pool=pool)
         weight = self.weight
         bias = self.bias
         w_mat = weight.data.reshape(self.out_channels, -1)  # (O, C*kh*kw)
         out_data = cols @ w_mat.T  # (B, L, O)
         if bias is not None:
             out_data = out_data + bias.data
-        batch = x_data.shape[0]
         out_data = out_data.transpose(0, 2, 1).reshape(batch, self.out_channels,
                                                        out_h, out_w)
         if not needs_grad(x, weight, bias):
-            # Graph-free fast path: the column buffer dies here instead of
-            # being captured by a backward closure that inference never runs.
+            # Graph-free fast path: the column buffer goes straight back
+            # to the pool instead of being captured by a backward closure
+            # that inference never runs.
+            pool.release(cols)
             return Tensor(out_data)
         x_shape = x_data.shape
         kernel, stride, padding = self.kernel_size, self.stride, self.padding
@@ -158,6 +251,9 @@ class Conv2d(Module):
             if x.requires_grad:
                 grad_cols = grad_mat @ w_mat
                 x._accumulate(_col2im2d(grad_cols, x_shape, kernel, stride, padding))
+            # The column matrix has served the whole backward: recycle it
+            # for the next training step instead of re-materialising.
+            pool.release(cols)
 
         parents = (x, weight) if bias is None else (x, weight, bias)
         return x._make(out_data, parents, backward)
@@ -166,9 +262,10 @@ class Conv2d(Module):
 class Conv3d(Module):
     """3-D convolution over inputs of shape (B, C, T, H, W).
 
-    Implemented by folding the temporal kernel into a loop of 2-D im2col
-    convolutions, which keeps memory bounded on the small video clips used
-    in this reproduction.
+    Both modes run a 3-D im2col + GEMM: training unfolds once (the
+    column matrix must survive for the backward anyway, and is recycled
+    through the buffer pool across steps); the graph-free inference
+    path chunks the unfold over temporal outputs to bound peak memory.
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size,
@@ -186,71 +283,46 @@ class Conv3d(Module):
             init.kaiming_normal((out_channels, in_channels, kt, kh, kw), rng,
                                 dtype=dtype))
         self.bias = Parameter(init.zeros(out_channels, dtype=dtype)) if bias else None
+        self._col_pool = ColumnBufferPool()
 
     def forward(self, x: Tensor) -> Tensor:
-        kt, kh, kw = self.kernel_size
-        st, sh, sw = self.stride
-        pt, ph, pw = self.padding
         x_data = x.data
-        batch, channels, frames, height, width = x_data.shape
+        batch = x_data.shape[0]
         weight, bias = self.weight, self.bias
         if not needs_grad(x, weight, bias):
             return Tensor(self._forward_fast(x_data))
-        if pt:
-            x_pad = np.pad(x_data, ((0, 0), (0, 0), (pt, pt), (0, 0), (0, 0)))
-        else:
-            x_pad = x_data
-        out_t = (x_pad.shape[2] - kt) // st + 1
 
-        # Treat (C, kt) as an expanded channel dimension and run a 2-D conv
-        # per temporal output index; the per-slot column buffers must
-        # stay alive for the backward pass.
-        w_mat = self.weight.data.reshape(self.out_channels, -1)  # (O, C*kt*kh*kw)
-        cols_per_t = []
-        out_data = None
-        for t_out in range(out_t):
-            window = x_pad[:, :, t_out * st:t_out * st + kt]  # (B, C, kt, H, W)
-            stacked = window.reshape(batch, channels * kt, height, width)
-            cols, (out_h, out_w) = _im2col2d(stacked, (kh, kw), (sh, sw), (ph, pw))
-            cols_per_t.append(cols)
-            frame = cols @ w_mat.T
-            if bias is not None:
-                frame = frame + bias.data
-            if out_data is None:
-                out_data = np.empty((batch, self.out_channels, out_t, out_h, out_w),
-                                    dtype=frame.dtype)
-            out_data[:, :, t_out] = frame.transpose(0, 2, 1).reshape(
-                batch, self.out_channels, out_h, out_w)
+        # Training forward: one 3-D im2col (recycled through the column
+        # pool across steps) and a single GEMM over every temporal
+        # output, replacing the historical per-out_t loop that retained
+        # a separate column matrix per temporal slot for the backward.
+        pool = self._col_pool
+        cols, (out_t, out_h, out_w) = _im2col3d(
+            x_data, self.kernel_size, self.stride, self.padding, pool=pool)
+        w_mat = weight.data.reshape(self.out_channels, -1)  # (O, C*kt*kh*kw)
+        out_data = cols @ w_mat.T  # (B, L, O)
+        if bias is not None:
+            out_data += bias.data
+        out_data = out_data.transpose(0, 2, 1).reshape(
+            batch, self.out_channels, out_t, out_h, out_w)
 
         x_shape = x_data.shape
-        stacked_shape = (batch, channels * kt, height, width)
+        kernel, stride, padding = self.kernel_size, self.stride, self.padding
         module = self
 
         def backward(grad):
-            grad_w_total = np.zeros_like(w_mat)
-            grad_x_pad = np.zeros_like(x_pad) if x.requires_grad else None
-            for t_out in range(out_t):
-                grad_frame = grad[:, :, t_out]
-                grad_mat = grad_frame.reshape(batch, module.out_channels, -1)
-                grad_mat = grad_mat.transpose(0, 2, 1)
-                cols = cols_per_t[t_out]
-                if weight.requires_grad:
-                    grad_w_total += np.einsum("blo,blk->ok", grad_mat, cols)
-                if bias is not None and bias.requires_grad:
-                    bias._accumulate(grad_mat.sum(axis=(0, 1)))
-                if grad_x_pad is not None:
-                    grad_cols = grad_mat @ w_mat
-                    grad_stacked = _col2im2d(grad_cols, stacked_shape,
-                                             (kh, kw), (sh, sw), (ph, pw))
-                    grad_x_pad[:, :, t_out * st:t_out * st + kt] += \
-                        grad_stacked.reshape(batch, channels, kt, height, width)
+            grad_mat = grad.reshape(batch, module.out_channels, -1)
+            grad_mat = grad_mat.transpose(0, 2, 1)  # (B, L, O)
             if weight.requires_grad:
-                weight._accumulate(grad_w_total.reshape(weight.shape))
-            if grad_x_pad is not None:
-                if pt:
-                    x._accumulate(grad_x_pad[:, :, pt:pt + frames])
-                else:
-                    x._accumulate(grad_x_pad)
+                grad_w = np.einsum("blo,blk->ok", grad_mat, cols)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad_mat.sum(axis=(0, 1)))
+            if x.requires_grad:
+                grad_cols = grad_mat @ w_mat
+                x._accumulate(_col2im3d(grad_cols, x_shape, kernel, stride,
+                                        padding))
+            pool.release(cols)
 
         parents = (x, weight) if bias is None else (x, weight, bias)
         return x._make(out_data, parents, backward)
@@ -292,8 +364,9 @@ class Conv3d(Module):
             t1 = min(t0 + chunk_t, out_t)
             window = x_pad[:, :, t0 * st:(t1 - 1) * st + kt]
             cols, _ = _im2col3d(window, (kt, kh, kw), (st, sh, sw),
-                                (0, ph, pw))
+                                (0, ph, pw), pool=self._col_pool)
             out = cols @ w_mat_t
+            self._col_pool.release(cols)
             if bias_data is not None:
                 out += bias_data
             if out_data is None:

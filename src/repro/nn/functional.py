@@ -9,25 +9,74 @@ import numpy as np
 from .tensor import Tensor, get_default_dtype, is_grad_enabled, needs_grad
 
 
+def fused_softmax(scores: np.ndarray, axis: int = -1,
+                  out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Single-pass softmax kernel: max-subtract + exp + normalise in one buffer.
+
+    The three stages share one scratch array (``out``), so the kernel
+    performs no allocation beyond the per-row max/sum reductions.  Pass
+    ``out=scores`` to normalise a freshly computed score matrix in place
+    — the idiom of the attention hot paths, where ``scores`` is the
+    (B, H, T, T) logit matrix that would otherwise be materialised three
+    times (shifted, exp'd, normalised).  The arithmetic is identical,
+    op for op, to the historical composed path, so results are
+    bit-for-bit unchanged.
+    """
+    if out is None:
+        out = np.array(scores, copy=True)
+    elif out is not scores:
+        np.copyto(out, scores)
+    out -= out.max(axis=axis, keepdims=True)
+    np.exp(out, out=out)
+    out /= out.sum(axis=axis, keepdims=True)
+    return out
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
+    """Numerically stable softmax along ``axis``.
+
+    Forward runs the fused single-pass kernel in both modes; under
+    autodiff a single analytic backward closure replaces the historical
+    three-node (subtract / exp / divide) graph, so training retains one
+    probability buffer instead of three score-sized intermediates.
+    """
+    probs = fused_softmax(x.data, axis=axis)
     if not needs_grad(x):
-        # Graph-free fast path: in-place exp/normalise, no closures.
-        shifted = x.data - x.data.max(axis=axis, keepdims=True)
-        np.exp(shifted, out=shifted)
-        shifted /= shifted.sum(axis=axis, keepdims=True)
-        return Tensor(shifted)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
-    exp = shifted.exp()
-    return exp / exp.sum(axis=axis, keepdims=True)
+        return Tensor(probs)
+
+    def backward(grad):
+        # d x = probs * (grad - sum(grad * probs)) along the softmax axis.
+        inner = (grad * probs).sum(axis=axis, keepdims=True)
+        gx = grad - inner
+        gx *= probs
+        x._accumulate(gx)
+
+    out = x._make(probs, (x,), backward)
+    out._backward_reads_output = True
+    return out
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
-    max_val = Tensor(x.data.max(axis=axis, keepdims=True))
-    shifted = x - max_val
-    logsumexp = shifted.exp().sum(axis=axis, keepdims=True).log()
-    return shifted - logsumexp
+    """Numerically stable log-softmax along ``axis``.
+
+    Fused analytic node: backward recomputes the probabilities from the
+    output (``exp(out)``) instead of retaining the exp/sum/log chain,
+    keeping the gradient in the input dtype with no float64 upcasts.
+    """
+    data = x.data
+    shifted = data - data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    if not needs_grad(x):
+        return Tensor(out_data)
+
+    def backward(grad):
+        gx = grad - np.exp(out_data) * grad.sum(axis=axis, keepdims=True)
+        x._accumulate(gx)
+
+    out = x._make(out_data, (x,), backward)
+    out._backward_reads_output = True
+    return out
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray,
@@ -79,20 +128,47 @@ def dropout(x: Tensor, p: float, training: bool,
 
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-6) -> Tensor:
-    """Layer normalisation over the last dimension."""
-    if not needs_grad(x, weight, bias):
-        # Graph-free fast path mirroring the autodiff formula op-for-op,
-        # so inference results are bit-identical to the training path.
-        data = x.data
-        centred = data - data.mean(axis=-1, keepdims=True)
-        variance = (centred * centred).mean(axis=-1, keepdims=True)
-        normalised = centred / np.sqrt(variance + eps)
-        return Tensor(normalised * weight.data + bias.data)
-    mean = x.mean(axis=-1, keepdims=True)
-    centred = x - mean
+    """Layer normalisation over the last dimension.
+
+    Both modes share one forward recipe (so inference and training
+    logits stay bit-identical); under autodiff a single fused backward
+    closure applies the analytic LayerNorm gradient, retaining only the
+    normalised activations and the per-row std instead of the historical
+    seven-node mean/var/sqrt graph.  All scratch stays in the input
+    dtype — no NEP-50 float64 upcasts in the backward pass.
+    """
+    data = x.data
+    centred = data - data.mean(axis=-1, keepdims=True)
     variance = (centred * centred).mean(axis=-1, keepdims=True)
-    normalised = centred / (variance + eps).sqrt()
-    return normalised * weight + bias
+    std = np.sqrt(variance + eps)
+    normalised = centred / std
+    out_data = normalised * weight.data + bias.data
+    if not needs_grad(x, weight, bias):
+        return Tensor(out_data)
+    dim = data.shape[-1]
+
+    def backward(grad):
+        if weight.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            weight._accumulate((grad * normalised).sum(axis=axes))
+        if bias.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            bias._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            # dx = (gn - mean(gn) - x_hat * mean(gn * x_hat)) / std, where
+            # gn = grad * weight is the gradient w.r.t. the normalised
+            # activations; the two means run over the feature axis.
+            gn = grad * weight.data
+            inner = (gn * normalised).sum(axis=-1, keepdims=True)
+            inner /= dim
+            mean_gn = gn.sum(axis=-1, keepdims=True)
+            mean_gn /= dim
+            gn -= mean_gn
+            gn -= normalised * inner
+            gn /= std
+            x._accumulate(gn)
+
+    return x._make(out_data, (x, weight, bias), backward)
 
 
 def accuracy(logits: Tensor, targets: np.ndarray) -> float:

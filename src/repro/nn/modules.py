@@ -136,6 +136,34 @@ class Module:
                 param.data[...] = state[name]
 
 
+def residual_add(x: Tensor, fx: Tensor) -> Tensor:
+    """Fused residual connection: ``x + fx``, accumulated into ``fx``'s buffer.
+
+    ``fx`` is an intermediate (sub-layer output) of the same shape as
+    ``x``.  The sum is written in place into ``fx.data``, so each
+    residual connection saves one activation-sized allocation, and the
+    backward is a single pass-through closure (equal shapes need no
+    broadcast reduction).  Mutating ``fx`` is only legal when its own
+    backward closure does not read its output buffer — true for every
+    layer ending in a matmul/add/mul (Linear, Dropout, attention, MLP);
+    ops whose backward reads the output (exp, tanh, sigmoid, sqrt, max,
+    softmax) mark their tensors, and such an ``fx`` falls back to the
+    allocating composed add instead of corrupting the pending closure.
+    """
+    if fx.requires_grad and fx._backward_reads_output:
+        return x + fx
+    out_data = fx.data
+    out_data += x.data
+    if not needs_grad(x, fx):
+        return Tensor(out_data)
+
+    def backward(grad):
+        x._accumulate(grad)
+        fx._accumulate(grad)
+
+    return x._make(out_data, (x, fx), backward)
+
+
 class Sequential(Module):
     """Chain of modules applied in order."""
 

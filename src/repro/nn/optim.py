@@ -7,7 +7,7 @@ experiments and for tests.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -15,17 +15,39 @@ from .tensor import Tensor
 
 
 class Optimizer:
-    """Base optimiser over a list of parameters."""
+    """Base optimiser over a list of parameters.
+
+    Subclasses keep their state (moments, velocities) in the parameter
+    dtype and update in place through a shared per-dtype scratch buffer,
+    so a float32 training run allocates no fresh arrays per step and
+    never round-trips through float64.
+    """
 
     def __init__(self, params: Sequence[Tensor], lr: float):
         self.params: List[Tensor] = list(params)
         if not self.params:
             raise ValueError("optimizer received an empty parameter list")
         self.lr = lr
+        self._scratch: Dict[np.dtype, np.ndarray] = {}
 
     def zero_grad(self) -> None:
         for param in self.params:
             param.zero_grad()
+
+    def _scratch_for(self, param: Tensor) -> np.ndarray:
+        """A reusable scratch view shaped/typed like ``param``.
+
+        Sized lazily to the largest parameter seen per dtype, so one
+        buffer serves every parameter of a model (and survives a later
+        ``Module.to`` dtype switch).
+        """
+        dtype = param.data.dtype
+        size = param.data.size
+        buffer = self._scratch.get(dtype)
+        if buffer is None or buffer.size < size:
+            buffer = np.empty(size, dtype=dtype)
+            self._scratch[dtype] = buffer
+        return buffer[:size].reshape(param.data.shape)
 
     def step(self) -> None:
         raise NotImplementedError
@@ -42,21 +64,37 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
+        lr = float(self.lr)
         for param, velocity in zip(self.params, self._velocity):
             if param.grad is None:
                 continue
             grad = param.grad
+            scratch = self._scratch_for(param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=scratch)
+                scratch += grad
+                grad = scratch
             if self.momentum:
                 velocity *= self.momentum
                 velocity += grad
                 grad = velocity
-            param.data -= self.lr * grad
+            # Scale into the scratch view: the live gradient and the
+            # momentum state must both survive the step unscaled.
+            if grad is scratch:
+                scratch *= lr
+            else:
+                np.multiply(grad, lr, out=scratch)
+            param.data -= scratch
 
 
 class AdamW(Optimizer):
-    """AdamW (decoupled weight decay), the optimiser used for ViT training."""
+    """AdamW (decoupled weight decay), the optimiser used for ViT training.
+
+    The update is computed entirely in place: the moment buffers are
+    advanced with ``out=`` ufuncs and the bias-corrected step is folded
+    through one scratch buffer, so a step performs zero per-parameter
+    allocations and all state stays in the parameter dtype.
+    """
 
     def __init__(self, params: Sequence[Tensor], lr: float = 1e-3,
                  betas: tuple = (0.9, 0.999), eps: float = 1e-8,
@@ -72,30 +110,50 @@ class AdamW(Optimizer):
     def step(self) -> None:
         self._step += 1
         beta1, beta2 = self.betas
-        bias1 = 1.0 - beta1 ** self._step
-        bias2 = 1.0 - beta2 ** self._step
+        inv_bias1 = 1.0 / (1.0 - beta1 ** self._step)
+        inv_bias2 = 1.0 / (1.0 - beta2 ** self._step)
+        lr = float(self.lr)
         for param, m, v in zip(self.params, self._m, self._v):
             if param.grad is None:
                 continue
             grad = param.grad
+            scratch = self._scratch_for(param)
+            # m <- beta1*m + (1-beta1)*grad
             m *= beta1
-            m += (1.0 - beta1) * grad
+            np.multiply(grad, 1.0 - beta1, out=scratch)
+            m += scratch
+            # v <- beta2*v + (1-beta2)*grad^2
             v *= beta2
-            v += (1.0 - beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - beta2
+            v += scratch
+            # update = (m/bias1) / (sqrt(v/bias2) + eps), folded in place.
+            np.multiply(v, inv_bias2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= inv_bias1 * lr
             if self.weight_decay:
-                update = update + self.weight_decay * param.data
-            param.data -= self.lr * update
+                param.data *= 1.0 - lr * self.weight_decay
+            param.data -= scratch
 
 
 def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
-    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm."""
+    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm.
+
+    The per-parameter squared norms come from BLAS dot products (no
+    squared-gradient temporaries); the scalar accumulation runs in
+    Python-float (double) precision while the in-place scaling keeps
+    every gradient in its parameter dtype.
+    """
     params = [p for p in params if p.grad is not None]
     if not params:
         return 0.0
-    total = float(np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in params)))
+    total_sq = 0.0
+    for param in params:
+        flat = param.grad.reshape(-1)
+        total_sq += float(np.dot(flat, flat))
+    total = float(np.sqrt(total_sq))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for param in params:
@@ -137,7 +195,9 @@ class CosineWithWarmup(LRScheduler):
         progress = (epoch - self.warmup_epochs) / max(
             1, self.total_epochs - self.warmup_epochs)
         progress = min(max(progress, 0.0), 1.0)
-        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        # float(): np.cos yields a strong-typed np.float64 scalar which
+        # would upcast every float32 `lr * update` downstream (NEP 50).
+        cosine = 0.5 * (1.0 + float(np.cos(np.pi * progress)))
         return self.min_lr + (self.base_lr - self.min_lr) * cosine
 
 

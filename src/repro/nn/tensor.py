@@ -156,7 +156,8 @@ def needs_grad(*tensors) -> bool:
 class Tensor:
     """A NumPy-backed array with reverse-mode autodiff support."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "_backward_reads_output")
     __array_priority__ = 200  # so ndarray + Tensor dispatches to Tensor
 
     def __init__(
@@ -174,6 +175,10 @@ class Tensor:
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
+        #: True for ops whose backward closure reads this tensor's own
+        #: output buffer (exp, sqrt, tanh, sigmoid, max, softmax): their
+        #: outputs must never be mutated in place by fused consumers.
+        self._backward_reads_output = False
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -430,7 +435,9 @@ class Tensor:
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
             self._accumulate(mask * g)
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        out._backward_reads_output = True
+        return out
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
@@ -441,7 +448,9 @@ class Tensor:
         def backward(grad):
             self._accumulate(grad * out_data)
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        out._backward_reads_output = True
+        return out
 
     def log(self):
         out_data = np.log(self.data)
@@ -457,7 +466,9 @@ class Tensor:
         def backward(grad):
             self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        out._backward_reads_output = True
+        return out
 
     def tanh(self):
         out_data = np.tanh(self.data)
@@ -465,7 +476,9 @@ class Tensor:
         def backward(grad):
             self._accumulate(grad * (1.0 - out_data ** 2))
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        out._backward_reads_output = True
+        return out
 
     def sigmoid(self):
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -473,7 +486,9 @@ class Tensor:
         def backward(grad):
             self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return self._make(out_data, (self,), backward)
+        out = self._make(out_data, (self,), backward)
+        out._backward_reads_output = True
+        return out
 
     def relu(self):
         out_data = np.maximum(self.data, 0.0)
@@ -497,9 +512,21 @@ class Tensor:
         out_data = 0.5 * x * (1.0 + t)
 
         def backward(grad):
-            dinner = c * (1.0 + 3 * 0.044715 * x_sq)
-            dt = (1.0 - np.square(t)) * dinner
-            self._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * x * dt))
+            # Fused, allocation-conscious backward: d = 0.5*(1 + t + x*dt)
+            # with dt = (1 - t^2) * c * (1 + 3*0.044715*x^2), folded into
+            # two scratch buffers via out= ops.  Python-float constants
+            # keep every step in the activation dtype (NEP 50).
+            scratch = x_sq * (3.0 * 0.044715 * c)
+            scratch += c                      # dinner
+            one_minus_tsq = np.multiply(t, t)
+            np.subtract(1.0, one_minus_tsq, out=one_minus_tsq)
+            scratch *= one_minus_tsq          # dt
+            scratch *= x                      # x * dt
+            scratch += t
+            scratch += 1.0
+            scratch *= 0.5
+            scratch *= grad
+            self._accumulate(scratch)
 
         return self._make(out_data, (self,), backward)
 

@@ -60,6 +60,11 @@ class MaskedPretrainer:
         MAE/VideoMAE trick.  Without it the optimal constant prediction is
         the dataset mean, which lets the encoder collapse to a trivial
         representation at reproduction scale.
+    compute_dtype:
+        When given, the autoencoder is cast to this floating dtype and
+        coded inputs / targets / loss masks are built in it, so the
+        whole pre-training gradient loop runs in one precision (the
+        float32 fast training path).  ``None`` keeps the process default.
     """
 
     def __init__(self, config: ViTConfig, sensor: CodedExposureSensor,
@@ -69,7 +74,7 @@ class MaskedPretrainer:
                  lr: float = 3e-3, weight_decay: float = 0.01,
                  epochs: int = 5, batch_size: int = 8, grad_clip: float = 1.0,
                  normalize_targets: bool = True,
-                 seed: int = 0):
+                 compute_dtype=None, seed: int = 0):
         self.config = config
         self.sensor = sensor
         self.num_frames = num_frames
@@ -79,11 +84,15 @@ class MaskedPretrainer:
         self.epochs = epochs
         self.batch_size = batch_size
         self.grad_clip = grad_clip
+        self.compute_dtype = (np.dtype(compute_dtype)
+                              if compute_dtype is not None else None)
         self._rng = np.random.default_rng(seed)
         self.model = MaskedAutoencoder(config, num_output_frames=num_frames,
                                        decoder_dim=decoder_dim,
                                        decoder_depth=decoder_depth,
                                        rng=np.random.default_rng(seed))
+        if self.compute_dtype is not None:
+            self.model.to(self.compute_dtype)
         self.optimizer = AdamW(self.model.parameters(), lr=lr,
                                weight_decay=weight_decay)
         self.scheduler = CosineWithWarmup(self.optimizer, warmup_epochs=1,
@@ -94,6 +103,9 @@ class MaskedPretrainer:
         """One gradient step on a batch of clips; returns the loss."""
         coded = self.sensor.capture(videos)
         targets = video_to_patches(videos, self.config.patch_size)
+        if self.compute_dtype is not None:
+            coded = coded.astype(self.compute_dtype, copy=False)
+            targets = targets.astype(self.compute_dtype, copy=False)
         if self.normalize_targets:
             mean = targets.mean(axis=-1, keepdims=True)
             std = targets.std(axis=-1, keepdims=True)
@@ -108,8 +120,12 @@ class MaskedPretrainer:
 
         # Build the loss mask: only masked tiles and only the selected
         # target frames contribute, as in the paper's dual-masked MSE.
-        weight = np.zeros((1, num_patches, self.num_frames * patch_pixels))
-        frame_mask = np.zeros(self.num_frames)
+        # The mask is built in the prediction dtype — a float64 mask
+        # would silently upcast the whole float32 loss/backward graph.
+        loss_dtype = prediction.dtype
+        weight = np.zeros((1, num_patches, self.num_frames * patch_pixels),
+                          dtype=loss_dtype)
+        frame_mask = np.zeros(self.num_frames, dtype=loss_dtype)
         frame_mask[target_frames] = 1.0
         frame_weights = np.repeat(frame_mask, patch_pixels)
         weight[0, masked, :] = frame_weights

@@ -106,7 +106,8 @@ class PatternStage(Stage):
     def __init__(self, pattern: str, num_slots: int, tile_size: int,
                  frame_size: int, epochs: int = 5, batch_size: int = 16,
                  lr: float = 0.05, seed: int = 0,
-                 normalize_by_exposures: bool = True):
+                 normalize_by_exposures: bool = True,
+                 compute_dtype: str = "float64"):
         self.pattern = pattern
         self.num_slots = num_slots
         self.tile_size = tile_size
@@ -116,13 +117,15 @@ class PatternStage(Stage):
         self.lr = lr
         self.seed = seed
         self.normalize_by_exposures = normalize_by_exposures
+        self.compute_dtype = compute_dtype
 
     def signature(self) -> Dict[str, Any]:
         return {"pattern": self.pattern, "num_slots": self.num_slots,
                 "tile_size": self.tile_size, "frame_size": self.frame_size,
                 "epochs": self.epochs, "batch_size": self.batch_size,
                 "lr": self.lr, "seed": self.seed,
-                "normalize_by_exposures": self.normalize_by_exposures}
+                "normalize_by_exposures": self.normalize_by_exposures,
+                "compute_dtype": self.compute_dtype}
 
     def ce_config(self) -> CEConfig:
         return CEConfig(num_slots=self.num_slots, tile_size=self.tile_size,
@@ -135,7 +138,8 @@ class PatternStage(Stage):
         if self.pattern == "decorrelated":
             result = learn_decorrelated_pattern(
                 pretrain_pool, ce_config, epochs=self.epochs,
-                batch_size=self.batch_size, lr=self.lr, seed=self.seed)
+                batch_size=self.batch_size, lr=self.lr,
+                compute_dtype=np.dtype(self.compute_dtype), seed=self.seed)
             pattern, kind = result.tile_pattern, "tile"
         elif self.pattern == "global":
             pattern = global_random_pattern(self.num_slots, self.frame_size,
@@ -179,7 +183,8 @@ class PretrainStage(Stage):
     def __init__(self, model_variant: str, num_slots: int, tile_size: int,
                  frame_size: int, mask_ratio: float = 0.85, epochs: int = 3,
                  batch_size: int = 8, lr: float = 3e-3, seed: int = 0,
-                 normalize_by_exposures: bool = True):
+                 normalize_by_exposures: bool = True,
+                 compute_dtype: str = "float64"):
         self.model_variant = model_variant
         self.num_slots = num_slots
         self.tile_size = tile_size
@@ -190,13 +195,15 @@ class PretrainStage(Stage):
         self.lr = lr
         self.seed = seed
         self.normalize_by_exposures = normalize_by_exposures
+        self.compute_dtype = compute_dtype
 
     def signature(self) -> Dict[str, Any]:
         return {"model_variant": self.model_variant, "num_slots": self.num_slots,
                 "tile_size": self.tile_size, "frame_size": self.frame_size,
                 "mask_ratio": self.mask_ratio, "epochs": self.epochs,
                 "batch_size": self.batch_size, "lr": self.lr, "seed": self.seed,
-                "normalize_by_exposures": self.normalize_by_exposures}
+                "normalize_by_exposures": self.normalize_by_exposures,
+                "compute_dtype": self.compute_dtype}
 
     def _ce_config(self) -> CEConfig:
         return CEConfig(num_slots=self.num_slots, tile_size=self.tile_size,
@@ -212,9 +219,15 @@ class PretrainStage(Stage):
         pretrainer = MaskedPretrainer(
             vit_config, sensor, num_frames=self.num_slots,
             mask_ratio=self.mask_ratio, epochs=self.epochs,
-            batch_size=self.batch_size, lr=self.lr, seed=self.seed)
+            batch_size=self.batch_size, lr=self.lr,
+            compute_dtype=np.dtype(self.compute_dtype), seed=self.seed)
         history = pretrainer.fit(pretrain_pool)
-        return {"encoder_state": pretrainer.encoder.state_dict(),
+        # The portable artifact stays float64 regardless of the training
+        # precision, so downstream consumers load identically-typed
+        # checkpoints whichever engine produced them.
+        return {"encoder_state": {name: np.asarray(value, dtype=np.float64)
+                                  for name, value
+                                  in pretrainer.encoder.state_dict().items()},
                 "vit_config": vit_config,
                 "final_loss": float(history.final_loss),
                 "losses": list(history.losses)}
@@ -239,7 +252,8 @@ class FinetuneStage(Stage):
                  epochs: int, batch_size: int = 8, lr: float = 3e-3,
                  seed: int = 0, use_pretrained_encoder: bool = False,
                  pretrained_epoch_scale: float = 1.0,
-                 normalize_by_exposures: bool = True):
+                 normalize_by_exposures: bool = True,
+                 compute_dtype: str = "float64"):
         if task not in ("ar", "rec"):
             raise ValueError("task must be 'ar' or 'rec'")
         self.task = task
@@ -257,6 +271,7 @@ class FinetuneStage(Stage):
         self.use_pretrained_encoder = use_pretrained_encoder
         self.pretrained_epoch_scale = pretrained_epoch_scale
         self.normalize_by_exposures = normalize_by_exposures
+        self.compute_dtype = compute_dtype
         self.inputs = (("pattern", "pretrain") if use_pretrained_encoder
                        else ("pattern",))
 
@@ -271,7 +286,8 @@ class FinetuneStage(Stage):
                 "lr": self.lr, "seed": self.seed,
                 "use_pretrained_encoder": self.use_pretrained_encoder,
                 "pretrained_epoch_scale": self.pretrained_epoch_scale,
-                "normalize_by_exposures": self.normalize_by_exposures}
+                "normalize_by_exposures": self.normalize_by_exposures,
+                "compute_dtype": self.compute_dtype}
 
     def _ce_config(self) -> CEConfig:
         return CEConfig(num_slots=self.num_slots, tile_size=self.tile_size,
@@ -306,10 +322,12 @@ class FinetuneStage(Stage):
         if self.use_pretrained_encoder and pretrain is not None:
             model.load_pretrained_encoder(encoder_from_artifact(pretrain))
 
+        dtype = np.dtype(self.compute_dtype)
         if self.task == "ar":
             trainer = ActionRecognitionTrainer(
                 model, dataset, sensor=sensor, lr=self.lr,
-                batch_size=self.batch_size, epochs=epochs, seed=self.seed)
+                batch_size=self.batch_size, epochs=epochs,
+                compute_dtype=dtype, seed=self.seed)
             history = trainer.fit(evaluate_every=0)
             accuracy = trainer.evaluate("test")
             throughput = measure_inference_throughput(
@@ -320,7 +338,8 @@ class FinetuneStage(Stage):
                     "inference_per_second": throughput}
         trainer = ReconstructionTrainer(
             model, dataset, sensor, lr=self.lr,
-            batch_size=self.batch_size, epochs=epochs, seed=self.seed)
+            batch_size=self.batch_size, epochs=epochs,
+            compute_dtype=dtype, seed=self.seed)
         history = trainer.fit(evaluate_every=0)
         return {"test_psnr": trainer.evaluate("test"),
                 "final_loss": history.losses[-1]}
@@ -377,7 +396,8 @@ def pattern_stage_from_config(config) -> PatternStage:
     return PatternStage(pattern=config.pattern, num_slots=config.num_slots,
                         tile_size=config.tile_size, frame_size=config.frame_size,
                         epochs=config.pattern_epochs, batch_size=config.batch_size,
-                        lr=config.pattern_lr, seed=config.seed)
+                        lr=config.pattern_lr, seed=config.seed,
+                        compute_dtype=config.compute_dtype)
 
 
 def pretrain_stage_from_config(config) -> PretrainStage:
@@ -387,7 +407,8 @@ def pretrain_stage_from_config(config) -> PretrainStage:
                          mask_ratio=config.mask_ratio,
                          epochs=config.pretrain_epochs,
                          batch_size=config.batch_size, lr=config.lr,
-                         seed=config.seed)
+                         seed=config.seed,
+                         compute_dtype=config.compute_dtype)
 
 
 def finetune_stage_from_config(config, task: str,
@@ -405,7 +426,8 @@ def finetune_stage_from_config(config, task: str,
                          batch_size=config.batch_size, lr=config.lr,
                          seed=config.seed,
                          use_pretrained_encoder=use_pretrained_encoder,
-                         pretrained_epoch_scale=config.pretrained_epoch_scale)
+                         pretrained_epoch_scale=config.pretrained_epoch_scale,
+                         compute_dtype=config.compute_dtype)
 
 
 def report_stage_from_config(config) -> DeployReportStage:

@@ -43,7 +43,7 @@ class ReconstructionTrainer:
                  sensor: CodedExposureSensor, lr: float = 3e-3,
                  weight_decay: float = 0.01, batch_size: int = 8,
                  epochs: int = 10, warmup_epochs: int = 1,
-                 grad_clip: float = 1.0, seed: int = 0):
+                 grad_clip: float = 1.0, compute_dtype=None, seed: int = 0):
         if model.task != "rec":
             raise ValueError("ReconstructionTrainer requires a model with task='rec'")
         self.model = model
@@ -51,6 +51,10 @@ class ReconstructionTrainer:
         self.sensor = sensor
         self.epochs = epochs
         self.grad_clip = grad_clip
+        self.compute_dtype = (np.dtype(compute_dtype)
+                              if compute_dtype is not None else None)
+        if self.compute_dtype is not None:
+            model.to(self.compute_dtype)
         self.patch_size = model.config.patch_size
         self.num_frames = model.num_output_frames
         if self.num_frames != dataset.num_frames:
@@ -71,6 +75,9 @@ class ReconstructionTrainer:
         for videos in self.loader:
             coded = self.sensor.capture(videos)
             targets = video_to_patches(videos, self.patch_size)
+            if self.compute_dtype is not None:
+                coded = coded.astype(self.compute_dtype, copy=False)
+                targets = targets.astype(self.compute_dtype, copy=False)
             self.optimizer.zero_grad()
             prediction = self.model(coded)
             loss = F.mse_loss(prediction, targets)
@@ -86,6 +93,8 @@ class ReconstructionTrainer:
     def reconstruct(self, videos: np.ndarray) -> np.ndarray:
         """Reconstruct clips from their coded images; returns ``(B, T, H, W)``."""
         coded = self.sensor.capture(videos)
+        if self.compute_dtype is not None:
+            coded = coded.astype(self.compute_dtype, copy=False)
         self.model.eval()
         with no_grad():
             prediction = self.model(coded)

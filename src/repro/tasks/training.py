@@ -58,6 +58,12 @@ class ActionRecognitionTrainer:
         Global-norm gradient clipping threshold.
     label_smoothing:
         Cross-entropy label smoothing.
+    compute_dtype:
+        When given, the model is cast to this floating dtype and every
+        batch (coded or raw) is fed to it in the same dtype, so the
+        whole forward/backward/optimiser loop runs in one precision —
+        the float32 fast training path.  ``None`` keeps the model's
+        current dtype (the seed behaviour).
     seed:
         Shuffling seed.
     """
@@ -67,13 +73,17 @@ class ActionRecognitionTrainer:
                  lr: float = 3e-3, weight_decay: float = 0.02,
                  batch_size: int = 8, epochs: int = 10, warmup_epochs: int = 1,
                  grad_clip: float = 1.0, label_smoothing: float = 0.0,
-                 seed: int = 0):
+                 compute_dtype=None, seed: int = 0):
         self.model = model
         self.dataset = dataset
         self.sensor = sensor
         self.epochs = epochs
         self.grad_clip = grad_clip
         self.label_smoothing = label_smoothing
+        self.compute_dtype = (np.dtype(compute_dtype)
+                              if compute_dtype is not None else None)
+        if self.compute_dtype is not None:
+            model.to(self.compute_dtype)
         self.loader = BatchLoader(dataset.train_videos, dataset.train_labels,
                                   batch_size=batch_size, shuffle=True, seed=seed)
         self.optimizer = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
@@ -82,9 +92,10 @@ class ActionRecognitionTrainer:
 
     # ------------------------------------------------------------------
     def _model_input(self, videos: np.ndarray) -> np.ndarray:
-        if self.sensor is None:
-            return videos
-        return self.sensor.capture(videos)
+        inputs = videos if self.sensor is None else self.sensor.capture(videos)
+        if self.compute_dtype is not None and inputs.dtype != self.compute_dtype:
+            inputs = inputs.astype(self.compute_dtype)
+        return inputs
 
     # ------------------------------------------------------------------
     def train_epoch(self) -> float:
@@ -141,11 +152,17 @@ def measure_inference_throughput(model: Module, example_input: np.ndarray,
     """Inferences per second, the speed metric of Table I.
 
     The example input's leading dimension is tiled to ``batch_size``;
-    throughput is ``batch_size * repeats / total_time``.
+    throughput is ``batch_size * repeats / total_time``.  The batch is
+    cast to the model's parameter dtype so a float32 model is actually
+    timed on its float32 path (a float64 example would silently upcast
+    every matmul).
     """
     example_input = np.asarray(example_input)
     reps = int(np.ceil(batch_size / example_input.shape[0]))
     batch = np.concatenate([example_input] * reps, axis=0)[:batch_size]
+    model_dtype = model.dtype
+    if np.issubdtype(batch.dtype, np.floating) and batch.dtype != model_dtype:
+        batch = batch.astype(model_dtype)
     model.eval()
     with no_grad():
         model(batch)  # warm-up

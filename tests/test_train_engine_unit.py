@@ -1,0 +1,548 @@
+"""Tests for the fast training engine.
+
+Covers the fused kernels (single-pass attention softmax, fused
+log-softmax, fused LayerNorm backward, fused attention core, in-place
+residual add), the im2col column-buffer pool, the allocation-free
+in-place optimisers, the NEP-50 gradient dtype audit, and the
+float32-vs-float64 training equivalence suite (N-step loss curves
+within tolerance, identical eval argmax after short training).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ce import CEConfig, DecorrelationPatternLearner
+from repro.data import build_dataset
+from repro.models import build_model, build_snappix_model
+from repro.nn import (
+    AdamW,
+    ColumnBufferPool,
+    Conv2d,
+    Conv3d,
+    CosineWithWarmup,
+    LayerNorm,
+    MultiHeadAttention,
+    Parameter,
+    SGD,
+    Tensor,
+    clip_grad_norm,
+    fused_attention_core,
+    no_grad,
+    residual_add,
+)
+from repro.nn import functional as F
+from repro.pretrain import MaskedPretrainer
+from repro.tasks import ActionRecognitionTrainer
+
+
+def _numeric_grad(func, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar ``func`` over array ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func()
+        flat[i] = original - eps
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+# ----------------------------------------------------------------------
+# Fused softmax / log-softmax
+# ----------------------------------------------------------------------
+class TestFusedSoftmax:
+    def test_kernel_matches_reference(self, rng):
+        scores = rng.normal(size=(2, 3, 4, 4))
+        expected = np.exp(scores - scores.max(axis=-1, keepdims=True))
+        expected /= expected.sum(axis=-1, keepdims=True)
+        out = F.fused_softmax(scores.copy(), axis=-1)
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_kernel_in_place_shares_buffer(self, rng):
+        scores = rng.normal(size=(3, 5))
+        result = F.fused_softmax(scores, axis=-1, out=scores)
+        assert result is scores
+        np.testing.assert_allclose(result.sum(axis=-1), 1.0)
+
+    def test_single_backward_node(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        out = F.softmax(x)
+        # Fused: one node whose only parent is the input, not an
+        # exp/sum/div chain.
+        assert out._parents == (x,)
+
+    def test_softmax_gradient_numeric(self, rng):
+        data = rng.normal(size=(2, 5))
+        weights = rng.normal(size=(2, 5))
+        x = Tensor(data, requires_grad=True)
+        (F.softmax(x) * Tensor(weights)).sum().backward()
+        numeric = _numeric_grad(
+            lambda: float((F.fused_softmax(data) * weights).sum()), data)
+        np.testing.assert_allclose(x.grad, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_log_softmax_gradient_numeric(self, rng):
+        data = rng.normal(size=(3, 4))
+        weights = rng.normal(size=(3, 4))
+        x = Tensor(data, requires_grad=True)
+        (F.log_softmax(x) * Tensor(weights)).sum().backward()
+
+        def reference():
+            shifted = data - data.max(axis=-1, keepdims=True)
+            lse = np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
+            return float(((shifted - lse) * weights).sum())
+
+        numeric = _numeric_grad(reference, data)
+        np.testing.assert_allclose(x.grad, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_float32_gradients_stay_float32(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)).astype(np.float32),
+                   requires_grad=True)
+        F.softmax(x).sum().backward()
+        assert x.grad.dtype == np.float32
+        x.zero_grad()
+        F.log_softmax(x).sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_no_grad_is_graph_free(self, rng):
+        with no_grad():
+            out = F.softmax(Tensor(rng.normal(size=(2, 4)),
+                                   requires_grad=True))
+        assert out._parents == ()
+        assert out._backward is None
+
+
+# ----------------------------------------------------------------------
+# Fused LayerNorm
+# ----------------------------------------------------------------------
+class TestFusedLayerNorm:
+    def test_forward_matches_no_grad_path_bitwise(self, rng):
+        norm = LayerNorm(8)
+        x = rng.normal(size=(3, 5, 8))
+        train_out = norm(Tensor(x, requires_grad=True)).data
+        with no_grad():
+            eval_out = norm(Tensor(x)).data
+        assert np.array_equal(train_out, eval_out)
+
+    def test_gradient_numeric(self, rng):
+        dim = 6
+        data = rng.normal(size=(4, dim))
+        weight = rng.normal(size=dim)
+        bias = rng.normal(size=dim)
+        x = Tensor(data.copy(), requires_grad=True)
+        w = Parameter(weight.copy())
+        b = Parameter(bias.copy())
+        (F.layer_norm(x, w, b) * F.layer_norm(x, w, b)).sum().backward()
+
+        def reference():
+            centred = data - data.mean(axis=-1, keepdims=True)
+            variance = (centred * centred).mean(axis=-1, keepdims=True)
+            normalised = centred / np.sqrt(variance + 1e-6)
+            out = normalised * weight + bias
+            return float((out * out).sum())
+
+        numeric = _numeric_grad(reference, data)
+        np.testing.assert_allclose(x.grad, numeric, rtol=1e-4, atol=1e-7)
+        numeric_w = _numeric_grad(reference, weight)
+        np.testing.assert_allclose(w.grad, numeric_w, rtol=1e-4, atol=1e-7)
+        numeric_b = _numeric_grad(reference, bias)
+        np.testing.assert_allclose(b.grad, numeric_b, rtol=1e-4, atol=1e-7)
+
+    def test_single_backward_node(self, rng):
+        norm = LayerNorm(4)
+        out = norm(Tensor(rng.normal(size=(2, 4)), requires_grad=True))
+        assert len(out._parents) == 3  # (x, weight, bias) — one fused node
+
+    def test_float32_stays_float32_through_backward(self, rng):
+        norm = LayerNorm(8)
+        norm.to(np.float32)
+        x = Tensor(rng.normal(size=(2, 8)).astype(np.float32),
+                   requires_grad=True)
+        norm(x).sum().backward()
+        assert x.grad.dtype == np.float32
+        assert norm.weight.grad.dtype == np.float32
+        assert norm.bias.grad.dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# Fused attention core
+# ----------------------------------------------------------------------
+class TestFusedAttention:
+    def _composed_reference(self, qkv_data, num_heads, scale):
+        """The historical composed attention graph, for equivalence."""
+        qkv = Tensor(qkv_data.copy(), requires_grad=True)
+        batch, tokens, three_dim = qkv.shape
+        head_dim = three_dim // 3 // num_heads
+        split = qkv.reshape(batch, tokens, 3, num_heads, head_dim)
+        split = split.transpose(2, 0, 3, 1, 4)
+        q, k, v = split[0], split[1], split[2]
+        scores = (q @ k.swapaxes(-1, -2)) * scale
+        attn = F.softmax(scores, axis=-1)
+        out = attn @ v
+        return qkv, out.transpose(0, 2, 1, 3).reshape(batch, tokens,
+                                                      three_dim // 3)
+
+    def test_forward_matches_composed_graph(self, rng):
+        qkv_data = rng.normal(size=(2, 5, 24))
+        fused = fused_attention_core(Tensor(qkv_data), 2, 0.5)
+        _, composed = self._composed_reference(qkv_data, 2, 0.5)
+        np.testing.assert_allclose(fused.data, composed.data, rtol=1e-12)
+
+    def test_backward_matches_composed_graph(self, rng):
+        qkv_data = rng.normal(size=(2, 4, 18))
+        upstream = rng.normal(size=(2, 4, 6))
+        qkv = Tensor(qkv_data.copy(), requires_grad=True)
+        (fused_attention_core(qkv, 3, 0.7) * Tensor(upstream)).sum().backward()
+        ref_qkv, ref_out = self._composed_reference(qkv_data, 3, 0.7)
+        (ref_out * Tensor(upstream)).sum().backward()
+        np.testing.assert_allclose(qkv.grad, ref_qkv.grad, rtol=1e-9,
+                                   atol=1e-12)
+
+    def test_mha_training_forward_unchanged(self, rng):
+        """The fused training path must produce the same logits as the
+        graph-free inference path (bit-identical, per the PR 3 gate)."""
+        mha = MultiHeadAttention(8, 2)
+        x = rng.normal(size=(2, 5, 8))
+        train_out = mha(Tensor(x, requires_grad=True)).data
+        mha.eval()
+        with no_grad():
+            eval_out = mha(Tensor(x)).data
+        assert np.array_equal(train_out, eval_out)
+
+    def test_float32_attention_backward_dtype(self, rng):
+        mha = MultiHeadAttention(8, 2)
+        mha.to(np.float32)
+        x = Tensor(rng.normal(size=(2, 4, 8)).astype(np.float32),
+                   requires_grad=True)
+        mha(x).sum().backward()
+        assert x.grad.dtype == np.float32
+        assert mha.qkv.weight.grad.dtype == np.float32
+        assert mha.proj.weight.grad.dtype == np.float32
+
+    def test_dropout_path_still_differentiable(self, rng):
+        """Attention dropout falls back to the composed graph and still
+        reaches every parameter."""
+        mha = MultiHeadAttention(8, 2, dropout_p=0.2)
+        mha.train()
+        x = Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True)
+        mha(x).sum().backward()
+        assert x.grad is not None
+        assert mha.qkv.weight.grad is not None
+
+
+# ----------------------------------------------------------------------
+# In-place residual add
+# ----------------------------------------------------------------------
+class TestResidualAdd:
+    def test_forward_and_gradients(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        w = Parameter(rng.normal(size=(3, 3)))
+        fx = x @ w
+        expected = x.data + fx.data
+        out = residual_add(x, fx)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-12)
+        out.sum().backward()
+        # d(x + x@W)/dx = 1 + W^T summed over rows.
+        expected_grad = np.ones((2, 3)) + np.ones((2, 3)) @ w.data.T
+        np.testing.assert_allclose(x.grad, expected_grad, rtol=1e-12)
+
+    def test_no_grad_is_graph_free(self, rng):
+        with no_grad():
+            x = Tensor(rng.normal(size=(2, 3)))
+            out = residual_add(x, Tensor(rng.normal(size=(2, 3))))
+        assert out._parents == ()
+
+    def test_output_reading_sublayer_falls_back_to_composed_add(self, rng):
+        """tanh's backward reads its own output buffer; residual_add must
+        not mutate it — the marked tensor routes to the allocating add
+        and the gradient stays correct."""
+        data = rng.normal(size=(2, 3))
+        x = Tensor(data.copy(), requires_grad=True)
+        fx = x.tanh()
+        assert fx._backward_reads_output
+        out = residual_add(x, fx)
+        assert out.data is not fx.data  # fx's buffer was left untouched
+        np.testing.assert_array_equal(fx.data, np.tanh(data))
+        out.sum().backward()
+        expected = 1.0 + (1.0 - np.tanh(data) ** 2)
+        np.testing.assert_allclose(x.grad, expected, rtol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Column buffer pool (Conv2d / Conv3d im2col reuse)
+# ----------------------------------------------------------------------
+class TestColumnBufferPool:
+    def test_acquire_release_recycles(self):
+        pool = ColumnBufferPool()
+        first = pool.acquire((2, 3, 4), np.float32)
+        pool.release(first)
+        second = pool.acquire((2, 3, 4), np.float32)
+        assert second.__array_interface__["data"][0] == \
+            first.__array_interface__["data"][0]
+
+    def test_mismatched_shape_or_dtype_allocates(self):
+        pool = ColumnBufferPool()
+        buffer = pool.acquire((2, 3, 4), np.float32)
+        pool.release(buffer)
+        other = pool.acquire((2, 3, 4), np.float64)
+        assert other.__array_interface__["data"][0] != \
+            buffer.__array_interface__["data"][0]
+
+    def test_double_release_is_deduplicated(self):
+        pool = ColumnBufferPool()
+        buffer = pool.acquire((4, 4), np.float64)
+        pool.release(buffer)
+        pool.release(buffer)
+        a = pool.acquire((4, 4), np.float64)
+        b = pool.acquire((4, 4), np.float64)
+        assert a.__array_interface__["data"][0] != \
+            b.__array_interface__["data"][0]
+
+    @pytest.mark.parametrize("module_factory,shape", [
+        (lambda: Conv2d(2, 3, 3, padding=1), (2, 2, 8, 8)),
+        (lambda: Conv3d(2, 3, 3, padding=1), (2, 2, 4, 8, 8)),
+    ])
+    def test_training_steps_reuse_buffer_and_stay_correct(self, module_factory,
+                                                          shape, rng):
+        """Two consecutive forward/backward cycles recycle the column
+        buffer, and the second step's gradients match a fresh module."""
+        data = rng.normal(size=shape)
+        module = module_factory()
+        module(Tensor(data, requires_grad=True)).sum().backward()
+        assert len(module._col_pool._free) == 1
+        module.zero_grad()
+        x = Tensor(data, requires_grad=True)
+        module(x).sum().backward()
+
+        reference = module_factory()
+        x_ref = Tensor(data, requires_grad=True)
+        reference(x_ref).sum().backward()
+        np.testing.assert_allclose(module.weight.grad, reference.weight.grad,
+                                   rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(x.grad, x_ref.grad, rtol=1e-9, atol=1e-12)
+
+    def test_gradient_accumulation_over_two_forwards(self, rng):
+        """Two forwards before one backward must not share a buffer —
+        the checkout protocol keeps each step's columns alive."""
+        conv = Conv2d(1, 2, 3, padding=1)
+        a = Tensor(rng.normal(size=(1, 1, 6, 6)), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 1, 6, 6)), requires_grad=True)
+        (conv(a).sum() + conv(b).sum()).backward()
+
+        reference = Conv2d(1, 2, 3, padding=1)
+        a_ref = Tensor(a.data, requires_grad=True)
+        b_ref = Tensor(b.data, requires_grad=True)
+        reference(a_ref).sum().backward()
+        grad_first = reference.weight.grad.copy()
+        reference.zero_grad()
+        reference(b_ref).sum().backward()
+        np.testing.assert_allclose(conv.weight.grad,
+                                   grad_first + reference.weight.grad,
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_conv3d_single_gemm_backward_matches_numeric(self, rng):
+        conv = Conv3d(2, 3, (2, 3, 3), stride=(1, 2, 1), padding=(1, 1, 0))
+        data = rng.normal(size=(1, 2, 3, 6, 6))
+        x = Tensor(data.copy(), requires_grad=True)
+        conv(x).sum().backward()
+
+        def reference():
+            with no_grad():
+                return float(conv(Tensor(data)).data.sum())
+
+        numeric = _numeric_grad(reference, data, eps=1e-5)
+        np.testing.assert_allclose(x.grad, numeric, rtol=1e-4, atol=1e-7)
+
+
+# ----------------------------------------------------------------------
+# In-place optimisers / clip_grad_norm
+# ----------------------------------------------------------------------
+class TestInPlaceOptim:
+    def _reference_adamw_step(self, data, grad, m, v, step, lr=1e-3,
+                              betas=(0.9, 0.999), eps=1e-8, wd=0.01):
+        """The historical (allocating) AdamW update."""
+        beta1, beta2 = betas
+        m = beta1 * m + (1 - beta1) * grad
+        v = beta2 * v + (1 - beta2) * grad * grad
+        m_hat = m / (1 - beta1 ** step)
+        v_hat = v / (1 - beta2 ** step)
+        update = m_hat / (np.sqrt(v_hat) + eps) + wd * data
+        return data - lr * update, m, v
+
+    def test_adamw_matches_reference_formula(self, rng):
+        data = rng.normal(size=(4, 3))
+        param = Parameter(data.copy())
+        opt = AdamW([param], lr=1e-3, weight_decay=0.01)
+        expected = data.copy()
+        m = np.zeros_like(data)
+        v = np.zeros_like(data)
+        for step in range(1, 4):
+            grad = rng.normal(size=data.shape)
+            param.grad = grad.copy()
+            opt.step()
+            expected, m, v = self._reference_adamw_step(expected, grad, m, v,
+                                                        step)
+            np.testing.assert_allclose(param.data, expected, rtol=1e-12,
+                                       atol=1e-14)
+
+    def test_adamw_state_and_params_stay_float32(self, rng):
+        param = Parameter(rng.normal(size=(5,)).astype(np.float32))
+        opt = AdamW([param], lr=1e-3)
+        sched = CosineWithWarmup(opt, warmup_epochs=1, total_epochs=4)
+        for _ in range(3):
+            param.grad = rng.normal(size=(5,)).astype(np.float32)
+            opt.step()
+            sched.step()  # np.cos lr must not poison the dtype
+        assert param.data.dtype == np.float32
+        assert opt._m[0].dtype == np.float32
+        assert opt._v[0].dtype == np.float32
+
+    def test_sgd_momentum_weight_decay_matches_reference(self, rng):
+        data = rng.normal(size=(6,))
+        param = Parameter(data.copy())
+        opt = SGD([param], lr=0.1, momentum=0.9, weight_decay=0.01)
+        expected = data.copy()
+        velocity = np.zeros_like(data)
+        for _ in range(3):
+            grad = rng.normal(size=data.shape)
+            param.grad = grad.copy()
+            opt.step()
+            total = grad + 0.01 * expected
+            velocity = 0.9 * velocity + total
+            expected = expected - 0.1 * velocity
+            np.testing.assert_allclose(param.data, expected, rtol=1e-12)
+
+    def test_sgd_does_not_mutate_live_gradient(self, rng):
+        param = Parameter(rng.normal(size=(4,)))
+        grad = rng.normal(size=(4,))
+        param.grad = grad.copy()
+        SGD([param], lr=0.5).step()
+        np.testing.assert_array_equal(param.grad, grad)
+
+    def test_clip_grad_norm_keeps_dtype_and_norm(self, rng):
+        params = [Parameter(np.zeros(3, dtype=np.float32)),
+                  Parameter(np.zeros((2, 2), dtype=np.float32))]
+        params[0].grad = np.array([3.0, 0.0, 0.0], dtype=np.float32)
+        params[1].grad = np.full((2, 2), 2.0, dtype=np.float32)
+        total = clip_grad_norm(params, max_norm=1.0)
+        assert np.isclose(total, 5.0)
+        assert all(p.grad.dtype == np.float32 for p in params)
+        clipped = np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in params))
+        assert np.isclose(clipped, 1.0)
+
+
+# ----------------------------------------------------------------------
+# float32 vs float64 training equivalence (end to end)
+# ----------------------------------------------------------------------
+class TestTrainingEquivalence:
+    def _train(self, dtype, steps=6, seed=0):
+        rng = np.random.default_rng(seed)
+        model = build_model("snappix_tiny", num_classes=4, image_size=16,
+                            seed=seed).to(dtype)
+        x = rng.random((8, 16, 16)).astype(dtype)
+        labels = rng.integers(0, 4, size=8)
+        eval_x = rng.random((8, 16, 16)).astype(dtype)
+        optimizer = AdamW(model.parameters(), lr=2e-3)
+        losses = []
+        for _ in range(steps):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(model(x), labels)
+            loss.backward()
+            clip_grad_norm(model.parameters(), 1.0)
+            optimizer.step()
+            losses.append(float(loss.data))
+        model.eval()
+        with no_grad():
+            predictions = model(eval_x).data.argmax(axis=-1)
+        return np.asarray(losses), predictions
+
+    def test_loss_curves_within_tolerance(self):
+        losses64, pred64 = self._train(np.float64)
+        losses32, pred32 = self._train(np.float32)
+        scale = np.max(np.abs(losses64))
+        assert np.max(np.abs(losses64 - losses32)) / scale < 1e-3
+        assert np.array_equal(pred64, pred32)
+
+    def test_loss_decreases_in_float32(self):
+        losses32, _ = self._train(np.float32, steps=8)
+        assert losses32[-1] < losses32[0]
+
+    def test_all_gradients_stay_float32_in_full_model(self, rng):
+        model = build_model("snappix_s", num_classes=5, image_size=16,
+                            seed=0).to(np.float32)
+        x = rng.random((4, 16, 16)).astype(np.float32)
+        loss = F.cross_entropy(model(x), np.array([0, 1, 2, 3]))
+        assert loss.dtype == np.float32
+        loss.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+            assert param.grad.dtype == np.float32, name
+
+
+# ----------------------------------------------------------------------
+# compute_dtype knobs on the training consumers
+# ----------------------------------------------------------------------
+class TestComputeDtypeKnobs:
+    def test_action_recognition_trainer_float32(self):
+        from repro.ce import CodedExposureSensor, make_pattern
+        dataset = build_dataset("ssv2", num_frames=8, frame_size=16,
+                                train_clips_per_class=2,
+                                test_clips_per_class=1, seed=0)
+        ce_config = CEConfig(num_slots=8, tile_size=8, frame_height=16,
+                             frame_width=16)
+        sensor = CodedExposureSensor(
+            ce_config, make_pattern("random", 8, 8,
+                                    rng=np.random.default_rng(0)))
+        model = build_snappix_model("tiny", task="ar",
+                                    num_classes=dataset.num_classes,
+                                    image_size=16, seed=0)
+        trainer = ActionRecognitionTrainer(model, dataset, sensor=sensor,
+                                           epochs=1, batch_size=4,
+                                           compute_dtype=np.float32, seed=0)
+        loss = trainer.train_epoch()
+        assert np.isfinite(loss)
+        assert model.dtype == np.float32
+        accuracy = trainer.evaluate("test")
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_pretrainer_float32(self, small_video):
+        config = build_snappix_model("tiny", task="ar", image_size=16,
+                                     seed=0).config
+        from repro.ce import CodedExposureSensor, make_pattern
+        ce_config = CEConfig(num_slots=8, tile_size=8, frame_height=16,
+                             frame_width=16)
+        sensor = CodedExposureSensor(
+            ce_config, make_pattern("random", 8, 8,
+                                    rng=np.random.default_rng(0)))
+        pretrainer = MaskedPretrainer(config, sensor, num_frames=8, epochs=1,
+                                      batch_size=2,
+                                      compute_dtype=np.float32, seed=0)
+        loss = pretrainer.pretrain_step(small_video)
+        assert np.isfinite(loss)
+        assert pretrainer.model.dtype == np.float32
+        for name, param in pretrainer.model.named_parameters():
+            if param.grad is not None:
+                assert param.grad.dtype == np.float32, name
+
+    def test_decorrelation_learner_float32(self, small_video):
+        config = CEConfig(num_slots=8, tile_size=4, frame_height=16,
+                          frame_width=16)
+        learner = DecorrelationPatternLearner(config,
+                                              compute_dtype=np.float32,
+                                              seed=0)
+        loss = learner.training_step(small_video)
+        assert np.isfinite(loss)
+        assert learner.logits.dtype == np.float32
+        assert learner.logits.grad.dtype == np.float32
+        pattern = learner.current_pattern()
+        assert set(np.unique(pattern)) <= {0.0, 1.0}
+
+    def test_pipeline_config_validates_dtype(self):
+        from repro.core import PipelineConfig
+        config = PipelineConfig(compute_dtype="float32")
+        assert config.compute_dtype == "float32"
+        with pytest.raises(ValueError):
+            PipelineConfig(compute_dtype="float16")
