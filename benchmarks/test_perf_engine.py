@@ -5,27 +5,37 @@ substrate has to be fast: this benchmark times the canonical hot paths
 (ViT / conv / video-transformer forwards, batched CE encoding, sensor
 capture) in float64 vs float32 and gates on the float32 fast path
 delivering at least a 1.3x inference speedup on Table I models without
-changing a single predicted class.  Results are persisted as
+changing a single predicted class.  The int8 post-training-quantised
+engine is gated on top: >= 1.5x over float32 on at least two Table I
+models, within a 1% argmax-mismatch budget.  Results are persisted as
 ``benchmarks/results/perf_engine.json`` so CI tracks the trajectory.
 """
 
 import pytest
 
-from repro.core import remeasure_slow_models, run_perf_engine
+from repro.core import (remeasure_slow_models, remeasure_slow_quant,
+                        run_perf_engine, run_quant_engine)
 
 SPEEDUP_THRESHOLD = 1.3
 MIN_FAST_MODELS = 2
+QUANT_SPEEDUP_THRESHOLD = 1.5
+MIN_QUANT_FAST_MODELS = 2
+QUANT_MISMATCH_BUDGET = 0.01
 
 
 @pytest.mark.benchmark(group="perf_engine")
 def test_perf_engine(benchmark, record_rows):
-    """float32 inference is >= 1.3x float64 with identical decisions."""
+    """float32 >= 1.3x float64 (same decisions); int8 >= 1.5x float32."""
 
     def run():
         payload = run_perf_engine(quick=True, seed=0)
         # Timing on shared hosts is noisy; give slow-looking models one
         # longer re-measurement before gating on the threshold.
-        return remeasure_slow_models(payload, threshold=SPEEDUP_THRESHOLD)
+        payload = remeasure_slow_models(payload, threshold=SPEEDUP_THRESHOLD)
+        quant = run_quant_engine(quick=True, seed=0)
+        quant = remeasure_slow_quant(quant, threshold=QUANT_SPEEDUP_THRESHOLD)
+        payload["quant"] = quant["models"]
+        return payload
 
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
     record_rows("perf_engine", "Fast inference engine: float32 vs float64",
@@ -51,3 +61,18 @@ def test_perf_engine(benchmark, record_rows):
     assert sensor["readout_exact"]
     assert sensor["stats_exact"]
     assert sensor["speedup"] > 5.0
+
+    # Int8 PTQ gate: >= 1.5x over float32 on >= 2 Table I models, and
+    # every model within the 1% argmax-mismatch accuracy budget.
+    quant = payload["quant"]
+    quant_fast = [row for row in quant
+                  if row["speedup"] >= QUANT_SPEEDUP_THRESHOLD]
+    assert len(quant_fast) >= MIN_QUANT_FAST_MODELS, (
+        f"expected >= {MIN_QUANT_FAST_MODELS} models at >= "
+        f"{QUANT_SPEEDUP_THRESHOLD}x int8 speedup, got "
+        + ", ".join(f"{row['model']}={row['speedup']:.2f}x" for row in quant))
+    for row in quant:
+        assert row["argmax_mismatch_rate"] <= QUANT_MISMATCH_BUDGET, (
+            f"{row['model']} int8 argmax mismatch "
+            f"{row['argmax_mismatch_rate']:.3%} exceeds the "
+            f"{QUANT_MISMATCH_BUDGET:.0%} budget")

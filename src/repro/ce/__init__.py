@@ -17,6 +17,7 @@ from .operator import (
     CodedExposureSensor,
     FrameMaskSensor,
     coded_exposure,
+    coded_exposure_integer,
     compression_ratio,
     expand_tile_pattern,
     exposure_counts,
@@ -67,6 +68,7 @@ __all__ = [
     "CodedExposureSensor",
     "FrameMaskSensor",
     "coded_exposure",
+    "coded_exposure_integer",
     "expand_tile_pattern",
     "exposure_counts",
     "compression_ratio",

@@ -97,6 +97,56 @@ def coded_exposure(video: np.ndarray, mask: np.ndarray,
     return coded[0] if squeeze else coded
 
 
+def coded_exposure_integer(video: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Eqn. 1 on integer video, with no floating-point intermediate.
+
+    The dequantize-free front-end of the int8 inference engine
+    (:mod:`repro.nn.quantized`): raw byte video is gated by the binary
+    mask *as integers* and accumulated into a wide-enough integer dtype —
+    ``uint16`` for uint8 video up to 257 slots (``257 * 255 <= 65535``),
+    ``int64`` otherwise.  The result is the sensor's raw charge sums;
+    exposure-count normalisation is deliberately absent — the quantised
+    serving path folds it into the first layer's weights, so the coded
+    frame never has to be materialised in float at all.
+
+    Parameters
+    ----------
+    video:
+        Integer ``(T, H, W)`` clip or ``(B, T, H, W)`` batch (raw sensor
+        bytes).  Floating video is rejected — use
+        :func:`coded_exposure` for the float path.
+    mask:
+        Binary exposure mask of shape ``(T, H, W)``.
+
+    Returns
+    -------
+    Integer coded image(s) of shape ``(H, W)`` or ``(B, H, W)``.
+    """
+    video = np.asarray(video)
+    if not np.issubdtype(video.dtype, np.integer):
+        raise TypeError(
+            f"coded_exposure_integer needs integer video, got {video.dtype}; "
+            f"use coded_exposure for floating clips")
+    squeeze = False
+    if video.ndim == 3:
+        video = video[None]
+        squeeze = True
+    if video.ndim != 4:
+        raise ValueError("video must have shape (T, H, W) or (B, T, H, W)")
+    mask = np.asarray(mask)
+    if video.shape[1:] != mask.shape:
+        raise ValueError(
+            f"mask shape {mask.shape} does not match video frames {video.shape[1:]}")
+    num_slots = video.shape[1]
+    if video.dtype == np.uint8 and num_slots <= 257:
+        accumulate = np.uint16
+    else:
+        accumulate = np.int64
+    gated = video * mask.astype(video.dtype)
+    coded = gated.sum(axis=1, dtype=accumulate)
+    return coded[0] if squeeze else coded
+
+
 def exposure_counts(mask: np.ndarray) -> np.ndarray:
     """Per-pixel number of open exposure slots, shape ``(H, W)``."""
     return np.asarray(mask).sum(axis=0)

@@ -35,6 +35,7 @@ from .quantization import (
     block_dequantize,
     block_quantize,
     quality_scaled_table,
+    saturate,
     uniform_dequantize,
     uniform_quantize,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "block_dequantize",
     "uniform_quantize",
     "uniform_dequantize",
+    "saturate",
     "zigzag_indices",
     "zigzag_scan",
     "inverse_zigzag",

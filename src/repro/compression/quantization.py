@@ -7,7 +7,14 @@ scalar quantiser used by the learned compressive autoencoder.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
+
+# Shared with the int8 inference engine; defined in repro.nn.numeric (the
+# dependency-free bottom of the import graph) and re-exported here so the
+# codec-facing API keeps its historical home.
+from ..nn.numeric import saturate
 
 #: The Annex-K luminance quantisation table of the JPEG standard [40],
 #: expressed for quality 50.
@@ -64,11 +71,23 @@ def block_dequantize(quantized: np.ndarray, table: np.ndarray) -> np.ndarray:
     return quantized * table
 
 
-def uniform_quantize(values: np.ndarray, step: float) -> np.ndarray:
-    """Uniform scalar quantisation to integer bin indices."""
+def uniform_quantize(values: np.ndarray, step: float,
+                     max_abs_index: Optional[float] = None) -> np.ndarray:
+    """Uniform scalar quantisation to integer bin indices.
+
+    ``step`` must be positive.  By default the indices are unbounded
+    int64 (the learned-autoencoder entropy model handles any range);
+    passing ``max_abs_index`` saturates them into
+    ``[-max_abs_index, max_abs_index]`` — the behaviour of a fixed-width
+    transport format, where out-of-range coefficients clip instead of
+    wrapping.
+    """
     if step <= 0:
         raise ValueError("step must be positive")
-    return np.round(np.asarray(values, dtype=np.float64) / step).astype(np.int64)
+    indices = np.round(np.asarray(values, dtype=np.float64) / step)
+    if max_abs_index is not None:
+        indices = saturate(indices, max_abs_index, out=indices)
+    return indices.astype(np.int64)
 
 
 def uniform_dequantize(indices: np.ndarray, step: float) -> np.ndarray:

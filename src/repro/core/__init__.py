@@ -3,11 +3,14 @@
 from .bench import (
     benchmark_ce_encode,
     benchmark_model_dtypes,
+    benchmark_quantized_model,
     benchmark_sensor_capture,
     benchmark_training_dtypes,
     remeasure_slow_models,
+    remeasure_slow_quant,
     remeasure_slow_training,
     run_perf_engine,
+    run_quant_engine,
     run_train_engine,
     write_results,
 )
@@ -41,9 +44,12 @@ __all__ = [
     "benchmark_ce_encode",
     "benchmark_sensor_capture",
     "benchmark_training_dtypes",
+    "benchmark_quantized_model",
     "run_perf_engine",
+    "run_quant_engine",
     "run_train_engine",
     "remeasure_slow_models",
+    "remeasure_slow_quant",
     "remeasure_slow_training",
     "write_results",
     "build_parser",

@@ -9,8 +9,9 @@ Exposes the main entry points of the library without writing Python::
     python -m repro hardware  --tile-size 8 --node-nm 22
     python -m repro sweep     slots --csv slots.csv
     python -m repro correlation --num-slots 16
-    python -m repro bench     --quick --train
-    python -m repro serve     --smoke
+    python -m repro bench     --quick --train --quant
+    python -m repro serve     --smoke --quant
+    python -m repro quantize  --model snappix_s --out snappix_s_int8.npz
 
 Every subcommand prints an aligned text table (or a key/value listing)
 built by :mod:`repro.analysis.report`, and returns a process exit code of
@@ -57,14 +58,19 @@ from ..serving import (
     ModelRegistry,
     benchmark_bundle,
     benchmark_serving,
+    fresh_bundle,
+    quantize_bundle,
+    save_servable,
     write_serving_results,
 )
 from .bench import (
     DEFAULT_RESULTS_PATH,
     DEFAULT_TRAIN_RESULTS_PATH,
     remeasure_slow_models,
+    remeasure_slow_quant,
     remeasure_slow_training,
     run_perf_engine,
+    run_quant_engine,
     run_train_engine,
     write_results,
 )
@@ -218,6 +224,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     _print_mapping("CE batch encode (float64 vs float32)", payload["ce_encode"])
     _print_mapping("sensor capture (vectorised vs per-pixel objects)",
                    payload["sensor"])
+    if args.quant:
+        quant_payload = run_quant_engine(quick=args.quick, seed=args.seed)
+        quant_payload = remeasure_slow_quant(quant_payload, seed=args.seed)
+        print(format_text_table([
+            {key: row[key] for key in
+             ("model", "image_size", "batch_size", "float32_s_per_batch",
+              "int8_s_per_batch", "speedup", "argmax_mismatch_rate",
+              "max_abs_logit_diff")}
+            for row in quant_payload["models"]]))
+        payload["quant"] = quant_payload["models"]
+        payload["quant_profile"] = quant_payload["profile"]
     path = write_results(payload, args.out)
     print(f"perf results written to {path}")
     if args.train:
@@ -259,12 +276,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry = ModelRegistry()
         registry.register("checkpoint", args.checkpoint)
         bundle = registry.get("checkpoint")
+        if args.quant and not bundle.quantized:
+            bundle = quantize_bundle(bundle, seed=args.seed)
         rows = benchmark_bundle(bundle, batch_sizes, num_requests,
                                 max_delay_s=max_delay_s,
                                 capture_mode=args.capture, seed=args.seed)
         payload = {"geometry": {"checkpoint": args.checkpoint,
                                 "num_requests": num_requests,
-                                "capture_mode": args.capture},
+                                "capture_mode": args.capture,
+                                "quantized": bundle.quantized},
                    "rows": rows}
     else:
         payload = benchmark_serving(
@@ -273,7 +293,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             image_size=args.image_size or profile["image_size"],
             num_frames=args.num_slots or profile["num_frames"],
             max_delay_s=max_delay_s, capture_mode=args.capture,
-            seed=args.seed)
+            seed=args.seed, quantize=args.quant)
     print(format_text_table([
         {key: row[key] for key in
          ("model", "max_batch_size", "inference_per_second",
@@ -288,6 +308,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("ERROR: micro-batched labels diverged from the sequential "
               f"reference for {[row['model'] for row in mismatched]}")
         return 1
+    return 0
+
+
+def _cmd_quantize(args: argparse.Namespace) -> int:
+    """Export an int8 post-training-quantised serving checkpoint.
+
+    Quantises either a float serving checkpoint (``--checkpoint``) or a
+    freshly initialised model (``--model``, for pipeline smoke tests)
+    and writes a quantised bundle that ``repro serve --checkpoint``
+    serves over the dequantize-free integer path.
+    """
+    if bool(args.checkpoint) == bool(args.model):
+        print("ERROR: pass exactly one of --model or --checkpoint")
+        return 2
+    if args.checkpoint:
+        registry = ModelRegistry()
+        registry.register("checkpoint", args.checkpoint)
+        bundle = registry.get("checkpoint")
+        if bundle.quantized:
+            print(f"ERROR: {args.checkpoint} is already quantised")
+            return 2
+    else:
+        bundle = fresh_bundle(args.model, image_size=args.image_size,
+                              num_frames=args.num_slots,
+                              tile_size=args.tile_size, seed=args.seed)
+    quantized = quantize_bundle(bundle,
+                                num_calibration=args.calibration_clips,
+                                seed=args.seed)
+    path = save_servable(args.out, quantized.model, quantized.spec,
+                         sensor=quantized.sensor, name=quantized.name,
+                         metadata=quantized.metadata)
+    layers = sum(1 for module in quantized.model.modules()
+                 if getattr(module, "frozen", False))
+    _print_mapping("int8 quantised servable", {
+        "model": quantized.spec["name"],
+        "quantized_layers": layers,
+        "integer_input": str(quantized.integer_input),
+        "checkpoint": str(path),
+        "size_kib": path.stat().st_size / 1024.0,
+    })
     return 0
 
 
@@ -362,10 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--variant", choices=("tiny", "s", "b"), default="tiny")
         sub.add_argument("--no-pretrain", action="store_true")
         sub.add_argument("--dtype", choices=("float64", "float32"),
-                         default="float64",
-                         help="training precision: float32 selects the fast "
-                              "training engine (~2x steps/sec on the ViT "
-                              "models), float64 the seed trajectories")
+                         default="float32",
+                         help="training precision: float32 (default) is the "
+                              "fast training engine (~2x steps/sec on the "
+                              "ViT models), float64 reproduces the seed "
+                              "trajectories bit for bit")
         sub.add_argument("--epochs", type=int, default=6)
         sub.add_argument("--pretrain-epochs", type=int, default=2)
         sub.add_argument("--cache-dir", type=str, default="",
@@ -428,6 +489,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=str(DEFAULT_TRAIN_RESULTS_PATH),
                        help="training results JSON path (default: "
                             "benchmarks/results/train_engine.json)")
+    bench.add_argument("--quant", action="store_true",
+                       help="also time the int8 PTQ engine against float32 "
+                            "and record the rows under 'quant' in "
+                            "perf_engine.json")
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=_cmd_bench)
 
@@ -463,8 +528,34 @@ def build_parser() -> argparse.ArgumentParser:
                        default=str(DEFAULT_SERVING_RESULTS_PATH),
                        help="output JSON path (default: "
                             "benchmarks/results/serving_bench.json)")
+    serve.add_argument("--quant", action="store_true",
+                       help="serve int8 post-training-quantised bundles; "
+                            "CE-input models then receive raw uint8 traffic "
+                            "over the dequantize-free path")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=_cmd_serve)
+
+    quantize = subparsers.add_parser(
+        "quantize",
+        help="export an int8 post-training-quantised serving checkpoint")
+    quantize.add_argument("--model", type=str, default="",
+                          help="quantise a freshly initialised model of this "
+                               "name (smoke-test path)")
+    quantize.add_argument("--checkpoint", type=str, default="",
+                          help="quantise this exported float .npz bundle")
+    quantize.add_argument("--out", type=str, required=True,
+                          help="output .npz path of the quantised bundle")
+    quantize.add_argument("--calibration-clips", type=_positive_int, default=8,
+                          help="synthetic clips used to calibrate activation "
+                               "scales (default: 8)")
+    quantize.add_argument("--image-size", type=int, default=32,
+                          help="frame side length for --model bundles")
+    quantize.add_argument("--num-slots", type=int, default=16,
+                          help="clip length T for --model bundles")
+    quantize.add_argument("--tile-size", type=int, default=8,
+                          help="CE tile / ViT patch size for --model bundles")
+    quantize.add_argument("--seed", type=int, default=0)
+    quantize.set_defaults(func=_cmd_quantize)
 
     correlation = subparsers.add_parser(
         "correlation", help="compare the Fig. 6 patterns' coded-pixel correlation")

@@ -54,6 +54,22 @@ from .optim import (
 )
 from .serialization import (load_checkpoint, read_checkpoint_metadata,
                             save_checkpoint)
+# Imported last: repro.nn.quantized pulls in repro.compression (for the
+# shared saturation primitive), which re-imports repro.nn — by this point
+# every name it needs is already bound on the partially-initialised module.
+from .quantized import (
+    ActivationObserver,
+    QuantizationError,
+    QuantizedConv2d,
+    QuantizedConv3d,
+    QuantizedLinear,
+    QuantizedMLP,
+    QuantizedMultiHeadAttention,
+    QuantizedPatchEmbed,
+    is_quantized,
+    quantize_model,
+    quantize_weight,
+)
 
 __all__ = [
     "Tensor",
@@ -100,4 +116,15 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "read_checkpoint_metadata",
+    "ActivationObserver",
+    "QuantizationError",
+    "QuantizedLinear",
+    "QuantizedMLP",
+    "QuantizedMultiHeadAttention",
+    "QuantizedPatchEmbed",
+    "QuantizedConv2d",
+    "QuantizedConv3d",
+    "is_quantized",
+    "quantize_model",
+    "quantize_weight",
 ]

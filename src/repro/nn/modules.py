@@ -17,10 +17,16 @@ from .tensor import Tensor, get_default_dtype, needs_grad
 
 
 class Parameter(Tensor):
-    """A tensor registered as trainable state of a :class:`Module`."""
+    """A tensor registered as trainable state of a :class:`Module`.
 
-    def __init__(self, data, name: str = ""):
-        super().__init__(data, requires_grad=True, name=name)
+    ``dtype`` is forwarded to :class:`Tensor`, which matters for the
+    non-floating parameters of the quantised inference modules: without
+    it, int8 weight payloads would be silently coerced to the process
+    default floating dtype.
+    """
+
+    def __init__(self, data, name: str = "", dtype=None):
+        super().__init__(data, requires_grad=True, name=name, dtype=dtype)
 
 
 class Module:
@@ -79,19 +85,25 @@ class Module:
     def dtype(self) -> np.dtype:
         """Compute dtype of the module's parameters.
 
-        Falls back to the process default dtype for parameter-free
-        modules.
+        The first *floating* parameter decides: quantised modules carry
+        int8 weight payloads next to their float32 scales, and the
+        compute dtype (what inputs are cast to, what activations flow
+        in) is the floating one.  Falls back to the process default
+        dtype for parameter-free (or all-integer) modules.
         """
         for _, param in self.named_parameters():
-            return param.data.dtype
+            if np.issubdtype(param.data.dtype, np.floating):
+                return param.data.dtype
         return get_default_dtype()
 
     def to(self, dtype) -> "Module":
-        """Cast every parameter (and non-parameter tensor buffer) in place.
+        """Cast every floating parameter (and tensor buffer) in place.
 
         The idiomatic way to switch an existing model to the float32
-        inference dtype: ``model.to(np.float32)``.  Returns ``self`` so
-        calls can be chained.
+        inference dtype: ``model.to(np.float32)``.  Non-floating tensors
+        (the int8 weight payloads of quantised modules) keep their dtype
+        — their numeric meaning is the integer grid, not a precision.
+        Returns ``self`` so calls can be chained.
         """
         dtype = np.dtype(dtype)
         if not np.issubdtype(dtype, np.floating):
@@ -100,7 +112,8 @@ class Module:
             for attr, value in vars(module).items():
                 if attr in ("_parameters", "_modules"):
                     continue
-                if isinstance(value, Tensor):
+                if isinstance(value, Tensor) and \
+                        np.issubdtype(value.data.dtype, np.floating):
                     value.data = value.data.astype(dtype, copy=False)
                     if value.grad is not None:
                         value.grad = value.grad.astype(dtype, copy=False)
@@ -134,6 +147,14 @@ class Module:
                     raise ValueError(f"shape mismatch for {name}: "
                                      f"{param.data.shape} vs {state[name].shape}")
                 param.data[...] = state[name]
+        # Parameters are restored *in place*, so modules that cache
+        # derived runtime state (e.g. the widened int8 weight copies of
+        # repro.nn.quantized) cannot rely on object identity to notice
+        # the change — give them an explicit invalidation signal.
+        for module in self.modules():
+            hook = getattr(module, "_on_state_loaded", None)
+            if hook is not None:
+                hook()
 
 
 def residual_add(x: Tensor, fx: Tensor) -> Tensor:

@@ -1,0 +1,29 @@
+"""Dependency-free numeric helpers shared across quantisers.
+
+Lives at the bottom of the import graph (imports nothing but NumPy) so
+both :mod:`repro.nn.quantized` and the :mod:`repro.compression` codec
+baselines can share one saturation primitive without creating an import
+cycle between the two packages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def saturate(values: np.ndarray, max_abs: float,
+             out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Clamp quantised indices to the symmetric range ``[-max_abs, max_abs]``.
+
+    The shared saturation primitive of every quantiser in the
+    reproduction: the codec baselines clamp bin indices to their
+    transport range here, and the int8 inference engine
+    (:mod:`repro.nn.quantized`) clamps activation/weight grids to
+    ``[-127, 127]`` through the same helper.  Supports ``out=`` so hot
+    paths can saturate in place without a scratch allocation.
+    """
+    if max_abs <= 0:
+        raise ValueError("max_abs must be positive")
+    return np.clip(values, -max_abs, max_abs, out=out)

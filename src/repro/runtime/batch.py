@@ -19,7 +19,8 @@ from typing import Iterable, Iterator, Optional, Union
 
 import numpy as np
 
-from ..ce import CodedExposureSensor, FrameMaskSensor, coded_exposure
+from ..ce import (CodedExposureSensor, FrameMaskSensor, coded_exposure,
+                  coded_exposure_integer)
 
 Sensor = Union[CodedExposureSensor, FrameMaskSensor]
 
@@ -44,6 +45,14 @@ class BatchEncoder:
         ``None`` keeps the float64 seed behaviour; ``np.float32`` halves
         encode memory traffic (uint8 byte video is then never expanded
         to float64 at all).
+    integer:
+        Dequantize-free mode for the int8 serving path: clips must be
+        integer (raw sensor bytes) and are encoded with
+        :func:`repro.ce.coded_exposure_integer`, so the coded image is
+        an integer charge-sum frame that is never materialised in
+        float.  Incompatible with ``normalize`` and ``dtype`` —
+        exposure-count normalisation is folded into the quantised
+        model's first layer instead.
 
     The encoder is safe to share between threads: the
     ``clips_encoded``/``batches_encoded`` counters are updated under a
@@ -51,11 +60,21 @@ class BatchEncoder:
     """
 
     def __init__(self, sensor: Sensor, batch_size: int = 32,
-                 normalize: Optional[bool] = None, dtype=None):
+                 normalize: Optional[bool] = None, dtype=None,
+                 integer: bool = False):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.sensor = sensor
         self.batch_size = batch_size
+        self.integer = bool(integer)
+        if self.integer:
+            if normalize:
+                raise ValueError(
+                    "integer mode cannot normalize; fold exposure counts "
+                    "into the quantized model instead")
+            if dtype is not None:
+                raise ValueError("integer mode chooses its own accumulation dtype")
+            normalize = False
         if normalize is None:
             normalize = sensor.config.normalize_by_exposures
         self.normalize = bool(normalize)
@@ -66,8 +85,11 @@ class BatchEncoder:
 
     # ------------------------------------------------------------------
     def _encode_batch(self, batch: np.ndarray) -> np.ndarray:
-        coded = coded_exposure(batch, self.sensor.full_mask,
-                               normalize=self.normalize, dtype=self.dtype)
+        if self.integer:
+            coded = coded_exposure_integer(batch, self.sensor.full_mask)
+        else:
+            coded = coded_exposure(batch, self.sensor.full_mask,
+                                   normalize=self.normalize, dtype=self.dtype)
         with self._stats_lock:
             self.clips_encoded += batch.shape[0]
             self.batches_encoded += 1
@@ -91,6 +113,11 @@ class BatchEncoder:
         clip = np.asarray(clip)
         if clip.ndim != 3:
             raise ValueError("clips must have shape (T, H, W)")
+        if self.integer:
+            if not np.issubdtype(clip.dtype, np.integer):
+                raise TypeError(
+                    f"integer-mode encoder needs integer clips, got {clip.dtype}")
+            return clip
         target = self.dtype or np.dtype(np.float64)
         if clip.dtype != target and not np.issubdtype(clip.dtype, np.integer):
             clip = clip.astype(target)
@@ -98,8 +125,11 @@ class BatchEncoder:
 
     def _empty_result(self, clips: np.ndarray) -> np.ndarray:
         """The coded shape of an empty batch, without touching the counters."""
-        return np.zeros((0, clips.shape[2], clips.shape[3]),
-                        dtype=self.dtype or np.float64)
+        if self.integer:
+            empty_dtype = np.uint16
+        else:
+            empty_dtype = self.dtype or np.float64
+        return np.zeros((0, clips.shape[2], clips.shape[3]), dtype=empty_dtype)
 
     def encode(self, clips: np.ndarray) -> np.ndarray:
         """Encode a single clip ``(T, H, W)`` or a batch ``(B, T, H, W)``.

@@ -38,6 +38,7 @@ from .registry import (
     ServableBundle,
     fresh_bundle,
     load_servable,
+    quantize_bundle,
     save_servable,
 )
 from .server import InferenceServer, Prediction
@@ -52,6 +53,7 @@ __all__ = [
     "save_servable",
     "load_servable",
     "fresh_bundle",
+    "quantize_bundle",
     "InferenceServer",
     "Prediction",
     "ServerStats",

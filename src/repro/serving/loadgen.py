@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .registry import ServableBundle, fresh_bundle
+from .registry import ServableBundle, fresh_bundle, quantize_bundle
 from .server import InferenceServer, Prediction
 
 DEFAULT_SERVING_RESULTS_PATH = (Path("benchmarks") / "results"
@@ -37,10 +37,18 @@ FULL_PROFILE = {"models": ("snappix_s", "snappix_b"),
 
 
 def generate_clips(num_requests: int, num_frames: int, image_size: int,
-                   seed: int = 0) -> np.ndarray:
-    """Synthetic raw sensor traffic: ``(N, T, H, W)`` light clips in [0, 1)."""
+                   seed: int = 0, integer: bool = False) -> np.ndarray:
+    """Synthetic raw sensor traffic: ``(N, T, H, W)`` light clips.
+
+    Float clips in [0, 1) by default; ``integer=True`` produces raw
+    uint8 byte video — the traffic of the dequantize-free int8 serving
+    path.
+    """
     rng = np.random.default_rng(seed)
-    return rng.random((num_requests, num_frames, image_size, image_size))
+    shape = (num_requests, num_frames, image_size, image_size)
+    if integer:
+        return rng.integers(0, 256, size=shape, dtype=np.uint8)
+    return rng.random(shape)
 
 
 def _percentile_ms(latencies: Sequence[float], q: float) -> float:
@@ -120,7 +128,8 @@ def benchmark_bundle(bundle: ServableBundle, batch_sizes: Sequence[int],
     gate).
     """
     clips = generate_clips(num_requests, bundle.num_frames,
-                           bundle.image_size, seed=seed)
+                           bundle.image_size, seed=seed,
+                           integer=bundle.integer_input)
     with InferenceServer(bundle, max_batch_size=1,
                          capture_mode=capture_mode) as reference:
         sequential, ref_predictions = _time_sequential(reference, clips)
@@ -134,6 +143,7 @@ def benchmark_bundle(bundle: ServableBundle, batch_sizes: Sequence[int],
         with server:
             row, predictions = run_load_test(server, clips)
         row = {"model": bundle.spec["name"], "max_batch_size": batch_size,
+               "quantized": bundle.quantized,
                **row,
                "sequential_inference_per_second":
                    sequential["inference_per_second"],
@@ -150,13 +160,21 @@ def benchmark_serving(models: Sequence[str] = ("snappix_s",),
                       num_requests: int = 64, image_size: int = 32,
                       num_frames: int = 16, tile_size: int = 8,
                       num_classes: int = 6, max_delay_s: float = 0.02,
-                      capture_mode: str = "operator", seed: int = 0) -> Dict:
-    """Run the serving load benchmark across models and batch limits."""
+                      capture_mode: str = "operator", seed: int = 0,
+                      quantize: bool = False) -> Dict:
+    """Run the serving load benchmark across models and batch limits.
+
+    ``quantize=True`` serves int8 post-training-quantised bundles
+    instead of float ones (CE-input models then receive raw uint8 byte
+    traffic through the dequantize-free path).
+    """
     rows: List[Dict] = []
     for model_name in models:
         bundle = fresh_bundle(model_name, num_classes=num_classes,
                               image_size=image_size, num_frames=num_frames,
                               tile_size=tile_size, seed=seed)
+        if quantize:
+            bundle = quantize_bundle(bundle, seed=seed)
         rows.extend(benchmark_bundle(bundle, batch_sizes, num_requests,
                                      max_delay_s=max_delay_s,
                                      capture_mode=capture_mode, seed=seed))
@@ -170,7 +188,8 @@ def benchmark_serving(models: Sequence[str] = ("snappix_s",),
         "geometry": {"image_size": image_size, "num_frames": num_frames,
                      "tile_size": tile_size, "num_classes": num_classes,
                      "num_requests": num_requests,
-                     "capture_mode": capture_mode},
+                     "capture_mode": capture_mode,
+                     "quantized": quantize},
         "rows": rows,
     }
 

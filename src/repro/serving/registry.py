@@ -27,8 +27,10 @@ import numpy as np
 
 from ..ce import CEConfig, CodedExposureSensor, make_pattern
 from ..models import build_from_spec, build_spec, model_input_kind
-from ..nn import load_checkpoint, read_checkpoint_metadata, save_checkpoint
+from ..nn import (QuantizationError, load_checkpoint, quantize_model,
+                  read_checkpoint_metadata, save_checkpoint)
 from ..nn.modules import Module
+from ..runtime import BatchEncoder
 
 #: Metadata key under which serving bundles store their recipe.
 SERVING_METADATA_KEY = "serving"
@@ -56,6 +58,16 @@ class ServableBundle:
     @property
     def image_size(self) -> int:
         return int(self.spec["image_size"])
+
+    @property
+    def quantized(self) -> bool:
+        """Whether the resident model is an int8 PTQ engine."""
+        return bool(self.metadata.get("quantized"))
+
+    @property
+    def integer_input(self) -> bool:
+        """Whether the serving path feeds raw integer CE sums (no dequantize)."""
+        return bool(self.metadata.get("integer_input"))
 
     def __post_init__(self):
         if self.input_kind == "ce" and self.sensor is None:
@@ -125,7 +137,13 @@ def load_servable(path, dtype=np.float32) -> ServableBundle:
             f"(missing {SERVING_METADATA_KEY!r} metadata); "
             f"write it with repro.serving.save_servable")
     serving = metadata[SERVING_METADATA_KEY]
+    user = dict(serving.get("user", {}))
     model = build_from_spec(serving["spec"])
+    if user.get("quantized"):
+        # Re-create the int8 structure (quantised modules, frozen with
+        # placeholder scales) so the checkpoint's int8 grids and scale
+        # parameters restore in place, bit-identically.
+        quantize_model(model, None)
     load_checkpoint(model, path)
     if dtype is not None:
         model.to(dtype)
@@ -134,7 +152,7 @@ def load_servable(path, dtype=np.float32) -> ServableBundle:
               if "ce" in serving else None)
     return ServableBundle(name=serving["name"], model=model,
                           spec=dict(serving["spec"]), sensor=sensor,
-                          metadata=dict(serving.get("user", {})))
+                          metadata=user)
 
 
 def fresh_bundle(model_name: str, num_classes: int = 6, image_size: int = 32,
@@ -164,6 +182,101 @@ def fresh_bundle(model_name: str, num_classes: int = 6, image_size: int = 32,
         sensor = CodedExposureSensor(config, tile)
     return ServableBundle(name=name or model_name, model=model, spec=spec,
                           sensor=sensor)
+
+
+# ----------------------------------------------------------------------
+# Int8 post-training quantisation
+# ----------------------------------------------------------------------
+def _find_patch_embed(model: Module):
+    """The model's single PatchEmbed front-end, or None."""
+    from ..models.patch import PatchEmbed
+    embeds = [m for m in model.modules() if isinstance(m, PatchEmbed)]
+    return embeds[0] if len(embeds) == 1 else None
+
+
+def _fold_exposure_counts(patch_embed, sensor: CodedExposureSensor) -> None:
+    """Fold 1/exposure-count normalisation into the patch-embedding weights.
+
+    After folding, the float model maps *raw integer charge sums* to the
+    same activations the original model produced from normalised coded
+    images — which is what lets the quantised serving path skip the
+    float normalisation (and any float materialisation of the coded
+    frame) entirely.  Pixels with zero open slots always read zero, so
+    their fold factor is irrelevant; we use 0 to keep their weights
+    exactly representable.
+    """
+    patch = patch_embed.patch_size
+    if patch != sensor.config.tile_size:
+        raise QuantizationError(
+            f"cannot fold exposure counts: patch size {patch} != "
+            f"tile size {sensor.config.tile_size}")
+    counts = sensor.tile_pattern.sum(axis=0)  # (tile, tile), row-major like patches
+    fold = np.where(counts > 0, 1.0 / np.maximum(counts, 1.0), 0.0).ravel()
+    patch_embed.proj.weight.data *= fold[:, None]
+
+
+def quantize_bundle(bundle: ServableBundle,
+                    calibration_clips: Optional[np.ndarray] = None,
+                    num_calibration: int = 8, seed: int = 0) -> ServableBundle:
+    """Clone a float bundle into an int8 post-training-quantised bundle.
+
+    The source bundle is left untouched: its weights are copied into a
+    fresh model, cast to float32, quantised per-channel, and calibrated
+    on ``calibration_clips`` (synthetic traffic at the bundle geometry
+    when not given).  CE-input models whose front-end is a patch
+    embedding additionally get the dequantize-free serving path: the
+    exposure-count normalisation is folded into the first layer and the
+    model calibrates on — and serves — raw integer coded charge sums
+    (``metadata["integer_input"]``).
+
+    Returns a new :class:`ServableBundle` with
+    ``metadata["quantized"] = True``, ready for :class:`InferenceServer`
+    or :func:`save_servable`.
+    """
+    model = build_from_spec(bundle.spec)
+    model.load_state_dict(bundle.model.state_dict())
+    model.to(np.float32)
+    model.eval()
+
+    integer_input = False
+    if bundle.input_kind == "ce":
+        patch_embed = _find_patch_embed(model)
+        if patch_embed is not None:
+            integer_input = True
+            if bundle.sensor.config.normalize_by_exposures:
+                _fold_exposure_counts(patch_embed, bundle.sensor)
+
+    rng = np.random.default_rng(seed)
+    shape = (num_calibration, bundle.num_frames,
+             bundle.image_size, bundle.image_size)
+    if calibration_clips is None:
+        if integer_input:
+            clips = rng.integers(0, 256, size=shape, dtype=np.uint8)
+        else:
+            clips = rng.random(shape, dtype=np.float32)
+    else:
+        clips = np.asarray(calibration_clips)
+        if integer_input and not np.issubdtype(clips.dtype, np.integer):
+            raise QuantizationError(
+                "integer-input quantisation calibrates on raw integer clips")
+        if not integer_input and np.issubdtype(clips.dtype, np.integer):
+            clips = clips.astype(np.float32) / 255.0
+
+    if bundle.input_kind == "ce":
+        if integer_input:
+            calibration = BatchEncoder(bundle.sensor, integer=True).encode(clips)
+        else:
+            calibration = BatchEncoder(
+                bundle.sensor, dtype=np.float32).encode(clips)
+    else:
+        calibration = clips.astype(np.float32, copy=False)
+    quantize_model(model, calibration)
+
+    metadata = dict(bundle.metadata)
+    metadata.update({"quantized": True, "integer_input": integer_input})
+    return ServableBundle(name=bundle.name, model=model,
+                          spec=dict(bundle.spec), sensor=bundle.sensor,
+                          metadata=metadata)
 
 
 # ----------------------------------------------------------------------

@@ -85,12 +85,21 @@ class InferenceServer:
         self.bundle = bundle
         self.capture_mode = capture_mode
         self.dtype = np.dtype(bundle.model.dtype)
+        #: Dequantize-free path of int8 bundles: raw integer clips stay
+        #: integer through CE encode and into the first quantised layer.
+        self.integer_input = bool(bundle.input_kind == "ce"
+                                  and bundle.integer_input)
         self._encoder = None
         self._hw_sensor = None
         if bundle.input_kind == "ce":
-            self._encoder = BatchEncoder(bundle.sensor,
-                                         batch_size=max(max_batch_size, 1),
-                                         dtype=self.dtype)
+            if self.integer_input:
+                self._encoder = BatchEncoder(bundle.sensor,
+                                             batch_size=max(max_batch_size, 1),
+                                             integer=True)
+            else:
+                self._encoder = BatchEncoder(bundle.sensor,
+                                             batch_size=max(max_batch_size, 1),
+                                             dtype=self.dtype)
             if capture_mode == "hardware":
                 self._hw_sensor = StackedCESensor(bundle.sensor.config,
                                                   bundle.sensor.tile_pattern)
@@ -167,6 +176,12 @@ class InferenceServer:
         if self._hw_sensor is not None:
             with self._hw_lock:
                 coded = self._hw_sensor.capture_batch(batch)
+            if self.integer_input:
+                # The quantised model consumes raw charge sums (the
+                # exposure-count fold lives in its first layer); the
+                # simulator accumulates integer charges exactly in
+                # float, so rounding back to integer is lossless.
+                return np.rint(coded).astype(np.int64)
             if self.bundle.sensor.config.normalize_by_exposures:
                 counts = self._exposure_counts
                 coded = np.divide(coded, counts, out=np.zeros_like(coded),
@@ -175,7 +190,8 @@ class InferenceServer:
         return self._encoder.encode(batch)
 
     def _forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = inputs.astype(self.dtype, copy=False)
+        if not (self.integer_input and np.issubdtype(inputs.dtype, np.integer)):
+            inputs = inputs.astype(self.dtype, copy=False)
         with no_grad():
             return self.bundle.model(inputs).data
 

@@ -107,6 +107,35 @@ class TestSnapPixSystem:
         assert high["long_range_saving"] > low["long_range_saving"]
 
 
+class TestFloat32DefaultParity:
+    """The pipeline's default precision is the fast float32 engine.
+
+    Guards the default flip: at an epoch budget above the smoke tests',
+    a float32 run must reach the same outcomes as the float64 seed
+    behaviour, so flipping the default cannot silently change results.
+    """
+
+    BUDGET = dict(frame_size=16, num_slots=8, tile_size=8,
+                  model_variant="tiny", pattern_epochs=2, pretrain_epochs=3,
+                  finetune_epochs=12, pretrain_clips=24,
+                  train_clips_per_class=6, test_clips_per_class=4,
+                  batch_size=6, use_pretraining=True)
+
+    def test_default_compute_dtype_is_float32(self):
+        assert PipelineConfig().compute_dtype == "float32"
+
+    def test_float32_matches_float64_at_larger_epoch_budget(self):
+        result32 = SnapPixSystem(
+            PipelineConfig(compute_dtype="float32", **self.BUDGET)).run(task="ar")
+        result64 = SnapPixSystem(
+            PipelineConfig(compute_dtype="float64", **self.BUDGET)).run(task="ar")
+        assert result32.test_accuracy == pytest.approx(result64.test_accuracy)
+        assert result32.pretrain_final_loss == pytest.approx(
+            result64.pretrain_final_loss, rel=1e-4)
+        assert result32.pattern_correlation == pytest.approx(
+            result64.pattern_correlation, rel=1e-3)
+
+
 class TestExperimentRunners:
     def test_correlation_comparison_covers_all_patterns(self):
         rows = run_correlation_comparison(num_slots=8, tile_size=4, frame_size=16,

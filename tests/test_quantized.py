@@ -1,0 +1,382 @@
+"""Tests for the int8 post-training-quantised inference engine.
+
+Covers the quantisation primitives (per-channel weight grids, activation
+observers, edge cases: zero-range channels, all-zero calibration,
+NaN/inf rejection), the quantised layer semantics (inference-only guard,
+integer passthrough, ``input_fold``, Sequential conversion), the
+dequantize-free integer CE front-end (``coded_exposure_integer``,
+``BatchEncoder(integer=True)``, and the dtype audit proving a uint8 clip
+reaches the first quantised GEMM without any float materialisation), and
+the quantised-checkpoint round-trip for every Table I model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ce import coded_exposure, coded_exposure_integer
+from repro.nn import (
+    ActivationObserver,
+    Linear,
+    QuantizationError,
+    QuantizedLinear,
+    QuantizedPatchEmbed,
+    Tensor,
+    is_quantized,
+    no_grad,
+    quantize_model,
+    quantize_weight,
+)
+from repro.nn.modules import Sequential
+from repro.runtime import BatchEncoder
+from repro.serving import (
+    InferenceServer,
+    fresh_bundle,
+    load_servable,
+    quantize_bundle,
+    save_servable,
+)
+
+TABLE1_MODELS = ["snappix_tiny", "snappix_s", "snappix_b", "svc2d", "c3d",
+                 "videomae_st", "downsample"]
+
+
+def serving_inputs(bundle, count, seed):
+    """Model-ready inputs matching the bundle's serving path."""
+    rng = np.random.default_rng(seed)
+    shape = (count, bundle.num_frames, bundle.image_size, bundle.image_size)
+    if bundle.input_kind == "ce":
+        if bundle.integer_input:
+            clips = rng.integers(0, 256, size=shape, dtype=np.uint8)
+            return BatchEncoder(bundle.sensor, integer=True).encode(clips)
+        clips = rng.random(shape, dtype=np.float32)
+        return BatchEncoder(bundle.sensor, dtype=np.float32).encode(clips)
+    return rng.random(shape, dtype=np.float32)
+
+
+# ----------------------------------------------------------------------
+# Quantisation primitives
+# ----------------------------------------------------------------------
+class TestQuantizeWeight:
+    def test_round_trip_within_half_step(self, rng):
+        weight = rng.standard_normal((6, 5))
+        grid, scale = quantize_weight(weight, channel_axis=1)
+        assert grid.dtype == np.int8
+        assert np.abs(grid).max() <= 127
+        recon = grid.astype(np.float64) * scale[None, :]
+        assert np.max(np.abs(recon - weight)) <= 0.5 * scale.max() + 1e-12
+
+    def test_zero_range_channel_gets_unit_scale_and_exact_zeros(self, rng):
+        weight = rng.standard_normal((4, 3))
+        weight[:, 1] = 0.0
+        grid, scale = quantize_weight(weight, channel_axis=1)
+        assert scale[1] == 1.0
+        assert np.all(grid[:, 1] == 0)
+        # Unit scale reconstructs the dead channel exactly.
+        assert np.all(grid[:, 1].astype(np.float64) * scale[1] == 0.0)
+
+    def test_all_zero_weight(self):
+        grid, scale = quantize_weight(np.zeros((3, 2)), channel_axis=0)
+        assert np.all(grid == 0)
+        assert np.all(scale == 1.0)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_weight_rejected(self, bad, rng):
+        weight = rng.standard_normal((4, 4))
+        weight[2, 1] = bad
+        with pytest.raises(QuantizationError):
+            quantize_weight(weight, channel_axis=0)
+
+
+class TestActivationObserver:
+    def test_all_zero_calibration_freezes_to_unit_scale(self):
+        observer = ActivationObserver()
+        observer.update(np.zeros((4, 8), dtype=np.float32))
+        assert observer.scale() == 1.0
+
+    def test_integer_activations_freeze_to_unit_scale(self):
+        observer = ActivationObserver()
+        observer.update(np.arange(12, dtype=np.uint16).reshape(3, 4))
+        assert observer.integer_seen
+        assert observer.scale() == 1.0
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf])
+    def test_non_finite_activation_rejected(self, bad):
+        observer = ActivationObserver()
+        batch = np.ones((2, 3), dtype=np.float32)
+        batch[1, 2] = bad
+        with pytest.raises(QuantizationError):
+            observer.update(batch)
+
+    def test_scale_tracks_absmax(self):
+        observer = ActivationObserver()
+        observer.update(np.array([0.5, -2.0], dtype=np.float32))
+        observer.update(np.array([1.0], dtype=np.float32))
+        assert observer.scale() == pytest.approx(2.0 / 127.0)
+
+
+# ----------------------------------------------------------------------
+# Quantised layer semantics
+# ----------------------------------------------------------------------
+class TestQuantizedLinear:
+    def _calibrated(self, rng, in_features=16, out_features=8, fold=None):
+        source = Linear(in_features, out_features,
+                        rng=np.random.default_rng(0))
+        layer = QuantizedLinear(source)
+        if fold is not None:
+            layer.input_fold = fold
+        calibration = rng.standard_normal((32, in_features)).astype(np.float32)
+        with no_grad():
+            layer(calibration)
+        layer.freeze()
+        return source, layer
+
+    def test_matches_float_layer_closely(self, rng):
+        source = Linear(16, 8, rng=np.random.default_rng(0))
+        _, layer = self._calibrated(rng)
+        x = rng.standard_normal((10, 16)).astype(np.float32)
+        with no_grad():
+            ref = source(Tensor(x)).data
+            out = layer(x).data
+        assert out.shape == ref.shape
+        scale = np.abs(ref).max()
+        assert np.max(np.abs(out - ref)) <= 0.05 * scale
+
+    def test_inference_only_guard(self, rng):
+        _, layer = self._calibrated(rng)
+        x = Tensor(rng.standard_normal((2, 16)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            layer(x)
+        with no_grad():
+            layer(x)  # fine under no_grad
+
+    def test_source_dropped_from_state_dict(self, rng):
+        _, layer = self._calibrated(rng)
+        assert layer.frozen
+        assert not any("_source" in name for name in layer.state_dict())
+
+    def test_integer_input_passthrough(self, rng):
+        source = Linear(16, 8, rng=np.random.default_rng(0))
+        layer = QuantizedLinear(source)
+        ints = rng.integers(0, 50, size=(6, 16)).astype(np.int64)
+        with no_grad():
+            layer(ints)
+        layer.freeze()
+        # Integer calibration leaves the activation scale at 1: integer
+        # inputs are exact grid values.
+        assert float(layer.input_scale.data[0]) == 1.0
+        with no_grad():
+            out = layer(ints).data
+        expected = (ints.astype(np.float64)
+                    @ (layer.weight_q.data.astype(np.float64)
+                       * layer.weight_scale.data[None, :].astype(np.float64)))
+        expected += layer.bias.data
+        assert np.max(np.abs(out - expected)) <= 1e-3 * max(
+            1.0, np.abs(expected).max())
+
+    def test_input_fold_equivalent_to_prescaled_input(self, rng):
+        fold = rng.uniform(0.25, 1.0, size=16)
+        source, folded = self._calibrated(rng, fold=fold)
+        x = rng.standard_normal((8, 16)).astype(np.float32)
+        with no_grad():
+            out = folded(x).data
+            ref = source(Tensor(x * fold[None, :].astype(np.float32))).data
+        assert np.max(np.abs(out - ref)) <= 0.05 * np.abs(ref).max()
+
+    def test_input_fold_shape_validated(self, rng):
+        source = Linear(16, 8, rng=np.random.default_rng(0))
+        layer = QuantizedLinear(source)
+        layer.input_fold = np.ones(4)
+        with pytest.raises(QuantizationError):
+            layer.freeze()
+
+
+class TestModelConversion:
+    def test_sequential_layers_rebound(self, rng):
+        model = Sequential(Linear(12, 12, rng=np.random.default_rng(0)),
+                           Linear(12, 4, rng=np.random.default_rng(1)))
+        calibration = rng.standard_normal((16, 12)).astype(np.float32)
+        quantize_model(model, calibration)
+        assert is_quantized(model)
+        # The ordered layer list must point at the swapped modules, not
+        # the stale float originals.
+        assert all(isinstance(layer, QuantizedLinear)
+                   for layer in model.layers)
+        with no_grad():
+            out = model(calibration).data
+        assert out.shape == (16, 4)
+
+    def test_model_without_quantisable_layers_rejected(self):
+        from repro.nn.modules import LayerNorm
+        model = Sequential(LayerNorm(8))
+        with pytest.raises(QuantizationError):
+            quantize_model(model, np.zeros((2, 8), dtype=np.float32))
+
+    def test_nan_calibration_rejected(self, rng):
+        model = Sequential(Linear(8, 4, rng=np.random.default_rng(0)))
+        calibration = rng.standard_normal((4, 8)).astype(np.float32)
+        calibration[0, 0] = np.nan
+        with pytest.raises(QuantizationError):
+            quantize_model(model, calibration)
+
+
+# ----------------------------------------------------------------------
+# Dequantize-free integer CE front-end
+# ----------------------------------------------------------------------
+class TestCodedExposureInteger:
+    def _mask(self, rng, slots=8, size=16):
+        return (rng.random((slots, size, size)) < 0.5).astype(np.uint8)
+
+    def test_uint8_video_accumulates_in_uint16(self, rng):
+        video = rng.integers(0, 256, size=(3, 8, 16, 16), dtype=np.uint8)
+        mask = self._mask(rng)
+        coded = coded_exposure_integer(video, mask)
+        assert coded.dtype == np.uint16
+        reference = coded_exposure(video.astype(np.float64), mask,
+                                   normalize=False)
+        assert np.array_equal(coded.astype(np.float64), reference)
+
+    def test_wide_integer_video_accumulates_in_int64(self, rng):
+        video = rng.integers(0, 1 << 20, size=(2, 8, 8, 8), dtype=np.int64)
+        mask = self._mask(rng, size=8)
+        coded = coded_exposure_integer(video, mask)
+        assert coded.dtype == np.int64
+
+    def test_single_clip_squeeze(self, rng):
+        video = rng.integers(0, 256, size=(8, 16, 16), dtype=np.uint8)
+        mask = self._mask(rng)
+        coded = coded_exposure_integer(video, mask)
+        assert coded.shape == (16, 16)
+        batched = coded_exposure_integer(video[None], mask)
+        assert np.array_equal(coded, batched[0])
+
+    def test_float_video_rejected(self, rng):
+        mask = self._mask(rng)
+        with pytest.raises(TypeError):
+            coded_exposure_integer(rng.random((2, 8, 16, 16)), mask)
+
+
+class TestBatchEncoderIntegerMode:
+    def _sensor(self, seed=0):
+        bundle = fresh_bundle("snappix_tiny", image_size=16, num_frames=8,
+                              tile_size=8, seed=seed)
+        return bundle.sensor
+
+    def test_integer_mode_matches_unnormalized_float_encode(self, rng):
+        sensor = self._sensor()
+        clips = rng.integers(0, 256, size=(5, 8, 16, 16), dtype=np.uint8)
+        coded = BatchEncoder(sensor, integer=True).encode(clips)
+        assert coded.dtype == np.uint16
+        reference = BatchEncoder(sensor, normalize=False).encode(
+            clips.astype(np.float64))
+        assert np.array_equal(coded.astype(np.float64), reference)
+
+    def test_integer_mode_rejects_normalize_and_dtype(self):
+        sensor = self._sensor()
+        with pytest.raises(ValueError):
+            BatchEncoder(sensor, integer=True, normalize=True)
+        with pytest.raises(ValueError):
+            BatchEncoder(sensor, integer=True, dtype=np.float32)
+
+    def test_integer_mode_rejects_float_clips(self, rng):
+        encoder = BatchEncoder(self._sensor(), integer=True)
+        with pytest.raises(TypeError):
+            encoder.encode(rng.random((8, 16, 16)))
+
+    def test_empty_batch_is_integer(self, rng):
+        encoder = BatchEncoder(self._sensor(), integer=True)
+        coded = encoder.encode(np.zeros((0, 8, 16, 16), dtype=np.uint8))
+        assert coded.shape == (0, 16, 16)
+        assert coded.dtype == np.uint16
+        assert encoder.stats["clips_encoded"] == 0
+
+
+class TestDequantizeFreePath:
+    """Acceptance audit: uint8 clips reach the first quantised GEMM as
+    integers — no float64/float32 full-frame materialisation between the
+    sensor and the model."""
+
+    def test_uint8_clip_reaches_first_gemm_as_integer(self):
+        bundle = fresh_bundle("snappix_tiny", image_size=16, num_frames=8,
+                              tile_size=8, seed=1)
+        qbundle = quantize_bundle(bundle, num_calibration=4, seed=1)
+        assert qbundle.integer_input
+        embed = next(m for m in qbundle.model.modules()
+                     if isinstance(m, QuantizedPatchEmbed))
+        seen = []
+        original = embed.proj._gemm
+
+        def spy(x2):
+            seen.append(x2.dtype)
+            return original(x2)
+
+        embed.proj._gemm = spy
+        rng = np.random.default_rng(5)
+        clips = rng.integers(0, 256, size=(4, 8, 16, 16), dtype=np.uint8)
+        with InferenceServer(qbundle) as server:
+            predictions = [f.result(timeout=30)
+                           for f in server.submit_many(list(clips))]
+        assert len(predictions) == 4
+        assert seen and all(np.issubdtype(d, np.integer) for d in seen)
+
+    def test_quantized_patchify_preserves_integer_dtype(self):
+        bundle = fresh_bundle("snappix_tiny", image_size=16, num_frames=8,
+                              tile_size=8, seed=1)
+        qbundle = quantize_bundle(bundle, num_calibration=4, seed=1)
+        embed = next(m for m in qbundle.model.modules()
+                     if isinstance(m, QuantizedPatchEmbed))
+        coded = serving_inputs(qbundle, count=2, seed=2)
+        assert coded.dtype == np.uint16
+        p = embed.patch_size
+        grid = coded.reshape(2, 16 // p, p, 16 // p, p)
+        patches = grid.transpose(0, 1, 3, 2, 4).reshape(2, -1, p * p)
+        assert patches.dtype == np.uint16  # the rearrange never casts
+
+    def test_integer_path_matches_float_serving_labels(self):
+        bundle = fresh_bundle("snappix_s", image_size=16, num_frames=8,
+                              tile_size=8, seed=2)
+        qbundle = quantize_bundle(bundle, num_calibration=8, seed=2)
+        rng = np.random.default_rng(9)
+        clips = rng.integers(0, 256, size=(64, 8, 16, 16), dtype=np.uint8)
+        with InferenceServer(bundle) as float_server, \
+                InferenceServer(qbundle) as quant_server:
+            float_labels = [p.label for p in
+                            float_server.predict_sequential(list(clips))]
+            quant_labels = [p.label for p in
+                            quant_server.predict_sequential(list(clips))]
+        mismatches = sum(a != b for a, b in zip(float_labels, quant_labels))
+        # The engine's accuracy budget: <= 1% argmax mismatches.
+        assert mismatches <= max(1, int(0.01 * len(clips)))
+
+
+# ----------------------------------------------------------------------
+# Checkpoint round-trip, every Table I model
+# ----------------------------------------------------------------------
+class TestQuantizedCheckpointRoundTrip:
+    @pytest.mark.parametrize("name", TABLE1_MODELS)
+    def test_round_trip_bit_identical(self, name, tmp_path):
+        bundle = fresh_bundle(name, image_size=16, num_frames=8,
+                              tile_size=8, seed=3)
+        qbundle = quantize_bundle(bundle, num_calibration=4, seed=3)
+        assert qbundle.quantized
+        assert is_quantized(qbundle.model)
+        inputs = serving_inputs(qbundle, count=3, seed=11)
+        with no_grad():
+            reference = qbundle.model(inputs).data
+
+        path = save_servable(tmp_path / f"{name}_int8", qbundle.model,
+                             qbundle.spec, sensor=qbundle.sensor,
+                             metadata=qbundle.metadata)
+        loaded = load_servable(path)
+        assert loaded.quantized
+        assert loaded.integer_input == qbundle.integer_input
+
+        saved_state = qbundle.model.state_dict()
+        loaded_state = loaded.model.state_dict()
+        assert set(saved_state) == set(loaded_state)
+        for key, value in saved_state.items():
+            assert loaded_state[key].dtype == value.dtype, key
+            assert np.array_equal(loaded_state[key], value), key
+
+        with no_grad():
+            restored = loaded.model(inputs).data
+        assert np.array_equal(restored, reference)
