@@ -2,13 +2,16 @@
 
 from .bench import (
     benchmark_ce_encode,
+    benchmark_model_backends,
     benchmark_model_dtypes,
     benchmark_quantized_model,
     benchmark_sensor_capture,
     benchmark_training_dtypes,
+    remeasure_slow_backends,
     remeasure_slow_models,
     remeasure_slow_quant,
     remeasure_slow_training,
+    run_backend_engine,
     run_perf_engine,
     run_quant_engine,
     run_train_engine,
@@ -41,13 +44,16 @@ __all__ = [
     "run_downsample_comparison",
     "run_ablation",
     "benchmark_model_dtypes",
+    "benchmark_model_backends",
     "benchmark_ce_encode",
     "benchmark_sensor_capture",
     "benchmark_training_dtypes",
     "benchmark_quantized_model",
+    "run_backend_engine",
     "run_perf_engine",
     "run_quant_engine",
     "run_train_engine",
+    "remeasure_slow_backends",
     "remeasure_slow_models",
     "remeasure_slow_quant",
     "remeasure_slow_training",

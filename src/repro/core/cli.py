@@ -50,6 +50,7 @@ from ..hardware import (
     ReadoutTiming,
     pixel_area_report,
 )
+from ..nn.backend import BACKEND_ENV_VAR, available_backends, use_backend
 from ..runtime import ArtifactStore, resolve_workers
 from ..serving import (
     DEFAULT_SERVING_RESULTS_PATH,
@@ -64,11 +65,14 @@ from ..serving import (
     write_serving_results,
 )
 from .bench import (
+    DEFAULT_BACKEND_RESULTS_PATH,
     DEFAULT_RESULTS_PATH,
     DEFAULT_TRAIN_RESULTS_PATH,
+    remeasure_slow_backends,
     remeasure_slow_models,
     remeasure_slow_quant,
     remeasure_slow_training,
+    run_backend_engine,
     run_perf_engine,
     run_quant_engine,
     run_train_engine,
@@ -87,6 +91,15 @@ SWEEPS = {
 
 #: Sweeps that accept a ``store`` for staged-runtime artifact caching.
 SWEEPS_WITH_STORE = frozenset({"slots", "density"})
+
+
+def _resolve_backend(flag: str) -> str:
+    """Compute-backend selection: CLI flag > ``REPRO_BACKEND`` env > numpy."""
+    if flag:
+        return flag
+    import os
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    return env if env in available_backends() else "numpy"
 
 
 def _print_mapping(title: str, mapping: Dict[str, float]) -> None:
@@ -130,7 +143,9 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
                           use_pretraining=not args.no_pretrain,
                           pretrain_epochs=args.pretrain_epochs,
                           finetune_epochs=args.epochs,
-                          compute_dtype=args.dtype, seed=args.seed)
+                          compute_dtype=args.dtype,
+                          backend=_resolve_backend(args.backend),
+                          seed=args.seed)
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
@@ -216,6 +231,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Time the engine's hot paths and persist the perf-regression JSON."""
+    if args.backend:
+        backend_payload = run_backend_engine(
+            backend=args.backend, quick=args.quick, seed=args.seed)
+        backend_payload = remeasure_slow_backends(backend_payload,
+                                                  seed=args.seed)
+        print(format_text_table([
+            {key: row[key] for key in
+             ("model", "image_size", "batch_size", "numpy_s_per_batch",
+              "backend_s_per_batch", "speedup", "decisions_match",
+              "max_abs_logit_diff")}
+            for row in backend_payload["models"]]))
+        backend_path = write_results(backend_payload, args.backend_out)
+        print(f"backend results written to {backend_path}")
     payload = run_perf_engine(quick=args.quick, seed=args.seed)
     # Same noise-tolerant re-measurement the regression gate applies, so
     # the persisted JSON (the CI artifact) reflects the gated numbers.
@@ -272,28 +300,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                    if args.batch_sizes else list(profile["batch_sizes"]))
     num_requests = args.requests or profile["num_requests"]
     max_delay_s = args.max_delay_ms * 1e-3
-    if args.checkpoint:
-        registry = ModelRegistry()
-        registry.register("checkpoint", args.checkpoint)
-        bundle = registry.get("checkpoint")
-        if args.quant and not bundle.quantized:
-            bundle = quantize_bundle(bundle, seed=args.seed)
-        rows = benchmark_bundle(bundle, batch_sizes, num_requests,
-                                max_delay_s=max_delay_s,
-                                capture_mode=args.capture, seed=args.seed)
-        payload = {"geometry": {"checkpoint": args.checkpoint,
-                                "num_requests": num_requests,
-                                "capture_mode": args.capture,
-                                "quantized": bundle.quantized},
-                   "rows": rows}
-    else:
-        payload = benchmark_serving(
-            models=models, batch_sizes=batch_sizes,
-            num_requests=num_requests,
-            image_size=args.image_size or profile["image_size"],
-            num_frames=args.num_slots or profile["num_frames"],
-            max_delay_s=max_delay_s, capture_mode=args.capture,
-            seed=args.seed, quantize=args.quant)
+    with use_backend(_resolve_backend(args.backend)):
+        if args.checkpoint:
+            registry = ModelRegistry()
+            registry.register("checkpoint", args.checkpoint)
+            bundle = registry.get("checkpoint")
+            if args.quant and not bundle.quantized:
+                bundle = quantize_bundle(bundle, seed=args.seed)
+            rows = benchmark_bundle(bundle, batch_sizes, num_requests,
+                                    max_delay_s=max_delay_s,
+                                    capture_mode=args.capture, seed=args.seed)
+            payload = {"geometry": {"checkpoint": args.checkpoint,
+                                    "num_requests": num_requests,
+                                    "capture_mode": args.capture,
+                                    "quantized": bundle.quantized},
+                       "rows": rows}
+        else:
+            payload = benchmark_serving(
+                models=models, batch_sizes=batch_sizes,
+                num_requests=num_requests,
+                image_size=args.image_size or profile["image_size"],
+                num_frames=args.num_slots or profile["num_frames"],
+                max_delay_s=max_delay_s, capture_mode=args.capture,
+                seed=args.seed, quantize=args.quant)
     print(format_text_table([
         {key: row[key] for key in
          ("model", "max_batch_size", "inference_per_second",
@@ -385,6 +414,13 @@ def _add_workers_option(sub) -> None:
                           "0 means one per CPU core (default: 1, serial)")
 
 
+def _add_backend_option(sub) -> None:
+    sub.add_argument("--backend", choices=available_backends(), default="",
+                     help="compute backend for the nn substrate's hot ops "
+                          "(default: the REPRO_BACKEND environment "
+                          "variable, else numpy)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -433,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist stage artifacts to this directory "
                               "(repeat runs become cache hits)")
         _add_workers_option(sub)
+        _add_backend_option(sub)
 
     pipeline = subparsers.add_parser("pipeline",
                                      help="run the end-to-end SnapPix pipeline")
@@ -493,6 +530,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also time the int8 PTQ engine against float32 "
                             "and record the rows under 'quant' in "
                             "perf_engine.json")
+    _add_backend_option(bench)
+    bench.add_argument("--backend-out", type=str,
+                       default=str(DEFAULT_BACKEND_RESULTS_PATH),
+                       help="backend-comparison results JSON path (default: "
+                            "benchmarks/results/backend_engine.json); "
+                            "written only when --backend is given")
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=_cmd_bench)
 
@@ -532,6 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve int8 post-training-quantised bundles; "
                             "CE-input models then receive raw uint8 traffic "
                             "over the dequantize-free path")
+    _add_backend_option(serve)
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=_cmd_serve)
 

@@ -61,6 +61,13 @@ class PipelineConfig:
         steps/sec on the ViT models, loss/accuracy-equivalent at the
         pipeline's epoch budgets) or ``"float64"`` (the seed
         behaviour, for bit-exact trajectory comparisons).
+    backend:
+        Compute backend routing the nn substrate's hot ops (see
+        :mod:`repro.nn.backend`): ``"numpy"`` (alias ``"numpy_ref"``,
+        the bit-identical reference), ``"threaded"`` (batch/row-chunked
+        kernels on a shared thread pool), or ``"numexpr"`` (fused
+        elementwise chains; falls back to the reference kernels when
+        the optional dependency is missing).
     seed:
         Global seed for pattern init, model init, and data generation.
     """
@@ -84,6 +91,7 @@ class PipelineConfig:
     batch_size: int = 8
     lr: float = 3e-3
     compute_dtype: str = "float32"
+    backend: str = "numpy"
     seed: int = 0
 
     def ce_config(self) -> CEConfig:
@@ -104,3 +112,9 @@ class PipelineConfig:
             raise ValueError("pretrained_epoch_scale must be in (0, 1]")
         if self.compute_dtype not in {"float32", "float64"}:
             raise ValueError("compute_dtype must be 'float32' or 'float64'")
+        # Lazy import: repro.core.config must stay importable without
+        # pulling the whole nn substrate in at module load.
+        from ..nn.backend import available_backends
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"backend must be one of {available_backends()}")

@@ -70,6 +70,7 @@ class SnapPixResult:
             "model_variant": self.config.model_variant,
             "use_pretraining": self.config.use_pretraining,
             "compute_dtype": self.config.compute_dtype,
+            "backend": self.config.backend,
             "pattern_correlation": self.pattern_correlation,
             "pretrain_final_loss": self.pretrain_final_loss,
             "test_accuracy": self.test_accuracy,

@@ -7,6 +7,14 @@ reproduction: the CE-optimized ViT, the learnable coded-exposure
 pattern, and the SVC2D / C3D / VideoMAE-ST baselines.
 """
 
+from .backend import (
+    Backend,
+    available_backends,
+    create_backend,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from .tensor import (
     Tensor,
     concatenate,
@@ -82,6 +90,12 @@ __all__ = [
     "set_default_dtype",
     "get_default_dtype",
     "default_dtype",
+    "Backend",
+    "available_backends",
+    "create_backend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "functional",
     "Module",
     "Parameter",

@@ -11,6 +11,7 @@ from typing import Optional
 import numpy as np
 
 from . import functional as F
+from .backend import get_backend
 from .modules import Dropout, LayerNorm, Linear, MLP, Module, Parameter, residual_add
 from .tensor import Tensor, get_default_dtype, needs_grad
 
@@ -34,14 +35,15 @@ def fused_attention_core(qkv: Tensor, num_heads: int, scale: float) -> Tensor:
     batch, tokens, three_dim = qkv.shape
     dim = three_dim // 3
     head_dim = dim // num_heads
+    backend = get_backend()
     split = qkv.data.reshape(batch, tokens, 3, num_heads, head_dim)
     split = split.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, Dh)
     q, k, v = split[0], split[1], split[2]
 
-    scores = q @ k.swapaxes(-1, -2)  # (B, H, T, T)
+    scores = backend.matmul(q, k.swapaxes(-1, -2))  # (B, H, T, T)
     scores *= scale
-    probs = F.fused_softmax(scores, axis=-1, out=scores)
-    ctx = probs @ v  # (B, H, T, Dh)
+    probs = backend.fused_softmax(scores, axis=-1, out=scores)
+    ctx = backend.matmul(probs, v)  # (B, H, T, Dh)
     out_data = np.ascontiguousarray(ctx.transpose(0, 2, 1, 3)).reshape(
         batch, tokens, dim)
     if not needs_grad(qkv):
@@ -50,21 +52,25 @@ def fused_attention_core(qkv: Tensor, num_heads: int, scale: float) -> Tensor:
     def backward(grad):
         g_ctx = grad.reshape(batch, tokens, num_heads, head_dim)
         g_ctx = g_ctx.transpose(0, 2, 1, 3)  # (B, H, T, Dh)
-        g_probs = g_ctx @ v.swapaxes(-1, -2)  # (B, H, T, T)
-        g_v = probs.swapaxes(-1, -2) @ g_ctx
+        g_probs = backend.matmul(g_ctx, v.swapaxes(-1, -2))  # (B, H, T, T)
+        g_v = backend.matmul(probs.swapaxes(-1, -2), g_ctx)
         # Softmax backward, folded into the g_probs buffer:
         # g_scores = probs * (g_probs - sum(g_probs * probs)) * scale.
         inner = (g_probs * probs).sum(axis=-1, keepdims=True)
         g_probs -= inner
         g_probs *= probs
         g_probs *= scale
-        g_q = g_probs @ k
-        g_k = g_probs.swapaxes(-1, -2) @ q
-        g_split = np.empty((3, batch, num_heads, tokens, head_dim),
-                           dtype=grad.dtype)
+        g_q = backend.matmul(g_probs, k)
+        g_k = backend.matmul(g_probs.swapaxes(-1, -2), q)
+        # The packed-gradient buffer comes from the backend's scratch
+        # pool; it is copied into the contiguous accumulate below, so it
+        # can be recycled across steps.
+        g_split = backend.acquire((3, batch, num_heads, tokens, head_dim),
+                                  grad.dtype)
         g_split[0], g_split[1], g_split[2] = g_q, g_k, g_v
         qkv._accumulate(np.ascontiguousarray(
             g_split.transpose(1, 3, 0, 2, 4)).reshape(batch, tokens, three_dim))
+        backend.release(g_split)
 
     return qkv._make(out_data, (qkv,), backward)
 
@@ -119,19 +125,21 @@ class MultiHeadAttention(Module):
         Mirrors the autodiff path op-for-op (same associativity), so the
         logits match the training-path forward bit-for-bit.
         """
-        qkv = x_data @ self.qkv.weight.data
+        backend = get_backend()
+        qkv = backend.matmul(x_data, self.qkv.weight.data)
         if self.qkv.bias is not None:
             qkv += self.qkv.bias.data
         qkv = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, Dh)
         q, k, v = qkv[0], qkv[1], qkv[2]
 
-        scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (B, H, T, T)
-        F.fused_softmax(scores, axis=-1, out=scores)
-        out = scores @ v  # (B, H, T, Dh)
+        scores = backend.matmul(q, k.swapaxes(-1, -2))  # (B, H, T, T)
+        scores *= self.scale
+        backend.fused_softmax(scores, axis=-1, out=scores)
+        out = backend.matmul(scores, v)  # (B, H, T, Dh)
         out = np.ascontiguousarray(out.transpose(0, 2, 1, 3)).reshape(
             batch, tokens, dim)
-        out = out @ self.proj.weight.data
+        out = backend.matmul(out, self.proj.weight.data)
         if self.proj.bias is not None:
             out += self.proj.bias.data
         return Tensor(out)

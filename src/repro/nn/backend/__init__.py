@@ -1,0 +1,125 @@
+"""Pluggable compute-backend layer: array-API-style op dispatch.
+
+The nn substrate routes its ~20 hot ops (GEMM, im2col/col2im,
+fused_softmax, LayerNorm core, GELU, the out=-aware elementwise ufunc
+family, reductions, and buffer-pool allocation) through a process-wide
+active :class:`Backend`, selected in the ``set_default_dtype`` idiom:
+
+- :func:`set_backend` / :func:`get_backend` — process-wide active
+  backend (first resolved from the ``REPRO_BACKEND`` env var, default
+  ``numpy``);
+- :class:`use_backend` — context manager scoping a temporary switch.
+
+Selection precedence is CLI flag > ``REPRO_BACKEND`` env > default.
+
+Implementations: ``numpy`` (alias ``numpy_ref``) is the pre-refactor
+code moved verbatim — the bit-identical reference; ``threaded`` chunks
+kernels over batch/row slices on a shared thread pool; ``numexpr``
+fuses elementwise chains when the optional dependency is installed and
+degrades to the reference kernels when it is not.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import Dict, List, Optional, Type, Union
+
+from .base import Backend
+from .numexpr_backend import NUMEXPR_AVAILABLE, NumexprBackend
+from .pool import ColumnBufferPool
+from .threaded import ThreadedBackend
+
+__all__ = [
+    "Backend",
+    "ColumnBufferPool",
+    "NumexprBackend",
+    "ThreadedBackend",
+    "NUMEXPR_AVAILABLE",
+    "available_backends",
+    "create_backend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+_BACKENDS: Dict[str, Type[Backend]] = {
+    "numpy": Backend,
+    "numpy_ref": Backend,  # explicit alias used by equivalence gates
+    "threaded": ThreadedBackend,
+    "numexpr": NumexprBackend,
+}
+
+#: Env var consulted the first time the active backend is resolved.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_active_backend: Optional[Backend] = None
+_resolve_lock = threading.Lock()
+
+
+def available_backends() -> List[str]:
+    """Names accepted by :func:`create_backend` / ``--backend``."""
+    return sorted(_BACKENDS)
+
+
+def create_backend(name: str) -> Backend:
+    """Instantiate a backend by name (no process-wide state change)."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(available_backends())}") from None
+    if cls is NumexprBackend and not NUMEXPR_AVAILABLE:
+        warnings.warn(
+            "numexpr is not installed; the 'numexpr' backend falls back to "
+            "the NumPy reference kernels (install numexpr to enable fused "
+            "elementwise chains)", RuntimeWarning, stacklevel=2)
+    return cls()
+
+
+def get_backend() -> Backend:
+    """The process-wide active backend (resolving ``REPRO_BACKEND`` once)."""
+    global _active_backend
+    backend = _active_backend
+    if backend is None:
+        with _resolve_lock:
+            if _active_backend is None:
+                _active_backend = create_backend(
+                    os.environ.get(BACKEND_ENV_VAR, "numpy"))
+            backend = _active_backend
+    return backend
+
+
+def set_backend(backend: Union[str, Backend]) -> Backend:
+    """Install the process-wide backend; returns the previous one.
+
+    Accepts a registered name or a :class:`Backend` instance (the hook
+    for pre-configured pools, e.g. ``ThreadedBackend(workers=4)``).
+    """
+    global _active_backend
+    previous = get_backend()
+    _active_backend = backend if isinstance(backend, Backend) else \
+        create_backend(backend)
+    return previous
+
+
+class use_backend:
+    """Context manager scoping the active backend (``default_dtype`` idiom).
+
+    >>> with use_backend("threaded"):
+    ...     model(example)           # hot ops run on the threaded backend
+    """
+
+    def __init__(self, backend: Union[str, Backend]):
+        self._target = backend
+        self._previous: Optional[Backend] = None
+
+    def __enter__(self) -> Backend:
+        self._previous = set_backend(self._target)
+        return get_backend()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_backend(self._previous)
+        return False

@@ -1,0 +1,94 @@
+"""Optional numexpr backend: fused elementwise chains via ``ne.evaluate``.
+
+numexpr is an optional dependency.  When it is not importable this
+backend degrades gracefully to the NumPy reference kernels (every
+``_fused`` guard returns False), so constructing it is always safe —
+the registry warns once at creation instead of failing.
+
+numexpr evaluates transcendental chains with its own vector math (and
+may promote float32 subexpressions internally), so this backend is
+equivalence-gated at tolerance + identical argmax against ``numpy``,
+never bit-identity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import _GELU_C, Backend
+
+try:  # pragma: no cover - exercised only where numexpr is installed
+    import numexpr as _ne
+except ImportError:  # pragma: no cover
+    _ne = None
+
+#: True when the optional numexpr dependency is importable.
+NUMEXPR_AVAILABLE = _ne is not None
+
+
+class NumexprBackend(Backend):
+    name = "numexpr"
+
+    #: Below this size ne.evaluate's parse/dispatch overhead dominates.
+    min_elements = 1 << 14
+
+    def _fused(self, x) -> bool:
+        return _ne is not None and getattr(x, "size", 0) >= self.min_elements
+
+    def exp(self, x, out=None):
+        if not self._fused(x):
+            return super().exp(x, out=out)
+        if out is None:
+            out = np.empty_like(x)
+        _ne.evaluate("exp(x)", local_dict={"x": x}, out=out,
+                     casting="same_kind")
+        return out
+
+    def tanh(self, x, out=None):
+        if not self._fused(x):
+            return super().tanh(x, out=out)
+        if out is None:
+            out = np.empty_like(x)
+        _ne.evaluate("tanh(x)", local_dict={"x": x}, out=out,
+                     casting="same_kind")
+        return out
+
+    def fused_softmax(self, scores: np.ndarray, axis: int = -1,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+        if not self._fused(scores):
+            return super().fused_softmax(scores, axis=axis, out=out)
+        if out is None:
+            out = np.array(scores, copy=True)
+        elif out is not scores:
+            np.copyto(out, scores)
+        out -= out.max(axis=axis, keepdims=True)
+        _ne.evaluate("exp(o)", local_dict={"o": out}, out=out,
+                     casting="same_kind")
+        out /= out.sum(axis=axis, keepdims=True)
+        return out
+
+    def gelu_forward(self, x):
+        if not self._fused(x):
+            return super().gelu_forward(x)
+        x_sq = np.square(x)
+        t = np.empty_like(x)
+        _ne.evaluate("tanh(c * (x + 0.044715 * (x_sq * x)))",
+                     local_dict={"x": x, "x_sq": x_sq, "c": _GELU_C},
+                     out=t, casting="same_kind")
+        out = np.empty_like(x)
+        _ne.evaluate("0.5 * x * (1.0 + t)", local_dict={"x": x, "t": t},
+                     out=out, casting="same_kind")
+        return out, t, x_sq
+
+    def gelu_backward(self, grad, x, t, x_sq):
+        if not self._fused(grad):
+            return super().gelu_backward(grad, x, t, x_sq)
+        gx = np.empty_like(grad)
+        _ne.evaluate(
+            "grad * 0.5 * (1.0 + t + x * ((1.0 - t * t) * (c + k * x_sq)))",
+            local_dict={"grad": grad, "x": x, "t": t, "x_sq": x_sq,
+                        "c": _GELU_C, "k": 3.0 * 0.044715 * _GELU_C},
+            out=gx, casting="same_kind")
+        return gx

@@ -1,0 +1,59 @@
+"""Buffer-pool allocation shared by every compute backend.
+
+Moved here from ``repro.nn.conv`` so the backend layer owns allocation
+(the LinBox framing: allocation and parallel building blocks behind one
+interface); ``repro.nn.conv`` re-exports :class:`ColumnBufferPool` for
+back-compat.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Tuple
+
+import numpy as np
+
+
+class ColumnBufferPool:
+    """Recycles im2col column matrices across training steps.
+
+    A convolution layer re-materialises the same-shaped column matrix
+    every step (and its backward closure must keep that step's copy
+    alive until the gradients flow).  The pool implements a checkout
+    protocol: ``acquire`` hands out a free buffer of the exact shape and
+    dtype (or allocates one), and ``release`` returns it once the
+    backward closure — or the graph-free fast path — is done with it.
+    Buffers still checked out (a forward whose backward has not run yet,
+    e.g. gradient accumulation over several forwards) are simply not
+    reused, so correctness never depends on forward/backward ordering.
+
+    The free list is lock-guarded so a serving thread's graph-free
+    forwards can share a module with a training thread.
+    """
+
+    #: Max free buffers retained per pool; beyond this, released buffers
+    #: are dropped to the garbage collector (bounds pool memory when a
+    #: layer sees many one-off geometries).
+    max_free = 4
+
+    def __init__(self):
+        self._free: List[np.ndarray] = []
+        self._lock = threading.Lock()
+
+    def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        size = int(np.prod(shape))
+        with self._lock:
+            for i, buf in enumerate(self._free):
+                if buf.dtype == dtype and buf.size == size:
+                    self._free.pop(i)
+                    return buf.reshape(shape)
+        return np.empty(shape, dtype=dtype)
+
+    def release(self, buffer: np.ndarray) -> None:
+        flat = buffer.reshape(-1)
+        address = flat.__array_interface__["data"][0]
+        with self._lock:
+            if len(self._free) < self.max_free and all(
+                    b.__array_interface__["data"][0] != address
+                    for b in self._free):
+                self._free.append(flat)

@@ -7,59 +7,18 @@ downsampling baseline (average pooling).
 
 from __future__ import annotations
 
-import threading
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from . import init
+from .backend import get_backend
+# ColumnBufferPool lives with the backend layer now (allocation is a
+# backend concern); re-exported here for back-compat with existing
+# imports (repro.nn, quantized, tests).
+from .backend.pool import ColumnBufferPool
 from .modules import Module, Parameter
 from .tensor import Tensor, needs_grad
-
-
-class ColumnBufferPool:
-    """Recycles im2col column matrices across training steps.
-
-    A convolution layer re-materialises the same-shaped column matrix
-    every step (and its backward closure must keep that step's copy
-    alive until the gradients flow).  The pool implements a checkout
-    protocol: ``acquire`` hands out a free buffer of the exact shape and
-    dtype (or allocates one), and ``release`` returns it once the
-    backward closure — or the graph-free fast path — is done with it.
-    Buffers still checked out (a forward whose backward has not run yet,
-    e.g. gradient accumulation over several forwards) are simply not
-    reused, so correctness never depends on forward/backward ordering.
-
-    The free list is lock-guarded so a serving thread's graph-free
-    forwards can share a module with a training thread.
-    """
-
-    #: Max free buffers retained per pool; beyond this, released buffers
-    #: are dropped to the garbage collector (bounds pool memory when a
-    #: layer sees many one-off geometries).
-    max_free = 4
-
-    def __init__(self):
-        self._free: List[np.ndarray] = []
-        self._lock = threading.Lock()
-
-    def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
-        size = int(np.prod(shape))
-        with self._lock:
-            for i, buf in enumerate(self._free):
-                if buf.dtype == dtype and buf.size == size:
-                    self._free.pop(i)
-                    return buf.reshape(shape)
-        return np.empty(shape, dtype=dtype)
-
-    def release(self, buffer: np.ndarray) -> None:
-        flat = buffer.reshape(-1)
-        address = flat.__array_interface__["data"][0]
-        with self._lock:
-            if len(self._free) < self.max_free and all(
-                    b.__array_interface__["data"][0] != address
-                    for b in self._free):
-                self._free.append(flat)
 
 
 def _pair(value) -> Tuple[int, int]:
@@ -80,55 +39,18 @@ def _im2col2d(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
               ) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Unfold (B, C, H, W) into columns (B, out_h*out_w, C*kh*kw).
 
-    ``pool``, when given, supplies (and is the place to later release)
-    the column buffer — the hook that lets convolution layers recycle
-    one column matrix across training steps instead of materialising a
-    fresh one per call.  The output geometry is computed here, once.
+    Dispatches to the active compute backend (the kernel body lives in
+    :class:`repro.nn.backend.Backend`).  ``pool``, when given, supplies
+    (and is the place to later release) the column buffer — the hook
+    that lets convolution layers recycle one column matrix across
+    training steps instead of materialising a fresh one per call.
     """
-    batch, channels, height, width = x.shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
-    if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-    out_h = (x.shape[2] - kh) // sh + 1
-    out_w = (x.shape[3] - kw) // sw + 1
-    strides = x.strides
-    view = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(batch, channels, out_h, out_w, kh, kw),
-        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw,
-                 strides[2], strides[3]),
-        writeable=False,
-    )
-    shape = (batch, out_h * out_w, channels * kh * kw)
-    out = pool.acquire(shape, x.dtype) if pool is not None else \
-        np.empty(shape, dtype=x.dtype)
-    np.copyto(out.reshape(batch, out_h, out_w, channels, kh, kw),
-              view.transpose(0, 2, 3, 1, 4, 5))
-    return out, (out_h, out_w)
+    return get_backend().im2col2d(x, kernel, stride, padding, pool=pool)
 
 
 def _col2im2d(cols: np.ndarray, x_shape, kernel, stride, padding) -> np.ndarray:
     """Adjoint of :func:`_im2col2d`; scatters column gradients back."""
-    batch, channels, height, width = x_shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
-    # Scratch must match the gradient dtype — an untyped np.zeros would
-    # silently upcast float32 backward passes to float64.
-    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw),
-                      dtype=cols.dtype)
-    out_h = (padded.shape[2] - kh) // sh + 1
-    out_w = (padded.shape[3] - kw) // sw + 1
-    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
-    for i in range(kh):
-        for j in range(kw):
-            padded[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw] += \
-                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
-    if ph or pw:
-        return padded[:, :, ph:ph + height, pw:pw + width]
-    return padded
+    return get_backend().col2im2d(cols, x_shape, kernel, stride, padding)
 
 
 def _im2col3d(x: np.ndarray, kernel: Tuple[int, int, int],
@@ -143,58 +65,14 @@ def _im2col3d(x: np.ndarray, kernel: Tuple[int, int, int],
     single GEMM against the reshaped weight computes every temporal
     output at once — the inference fast path that replaces the
     per-``out_t`` Python loop (and its per-window copies) of the
-    autodiff forward.
+    autodiff forward.  Dispatches to the active compute backend.
     """
-    batch, channels, frames, height, width = x.shape
-    kt, kh, kw = kernel
-    st, sh, sw = stride
-    pt, ph, pw = padding
-    if pt or ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (pt, pt), (ph, ph), (pw, pw)))
-    out_t = (x.shape[2] - kt) // st + 1
-    out_h = (x.shape[3] - kh) // sh + 1
-    out_w = (x.shape[4] - kw) // sw + 1
-    strides = x.strides
-    view = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(batch, channels, out_t, out_h, out_w, kt, kh, kw),
-        strides=(strides[0], strides[1], strides[2] * st, strides[3] * sh,
-                 strides[4] * sw, strides[2], strides[3], strides[4]),
-        writeable=False,
-    )
-    shape = (batch, out_t * out_h * out_w, channels * kt * kh * kw)
-    out = pool.acquire(shape, x.dtype) if pool is not None else \
-        np.empty(shape, dtype=x.dtype)
-    np.copyto(out.reshape(batch, out_t, out_h, out_w, channels, kt, kh, kw),
-              view.transpose(0, 2, 3, 4, 1, 5, 6, 7))
-    return out, (out_t, out_h, out_w)
+    return get_backend().im2col3d(x, kernel, stride, padding, pool=pool)
 
 
 def _col2im3d(cols: np.ndarray, x_shape, kernel, stride, padding) -> np.ndarray:
-    """Adjoint of :func:`_im2col3d`; scatters column gradients back.
-
-    Scratch is allocated in the gradient dtype (no float64 upcast of
-    float32 backward passes), mirroring :func:`_col2im2d`.
-    """
-    batch, channels, frames, height, width = x_shape
-    kt, kh, kw = kernel
-    st, sh, sw = stride
-    pt, ph, pw = padding
-    padded = np.zeros((batch, channels, frames + 2 * pt, height + 2 * ph,
-                       width + 2 * pw), dtype=cols.dtype)
-    out_t = (padded.shape[2] - kt) // st + 1
-    out_h = (padded.shape[3] - kh) // sh + 1
-    out_w = (padded.shape[4] - kw) // sw + 1
-    cols = cols.reshape(batch, out_t, out_h, out_w, channels, kt, kh, kw)
-    for t in range(kt):
-        for i in range(kh):
-            for j in range(kw):
-                padded[:, :, t:t + st * out_t:st, i:i + sh * out_h:sh,
-                       j:j + sw * out_w:sw] += \
-                    cols[:, :, :, :, :, t, i, j].transpose(0, 4, 1, 2, 3)
-    if pt or ph or pw:
-        return padded[:, :, pt:pt + frames, ph:ph + height, pw:pw + width]
-    return padded
+    """Adjoint of :func:`_im2col3d`; scatters column gradients back."""
+    return get_backend().col2im3d(cols, x_shape, kernel, stride, padding)
 
 
 class Conv2d(Module):
@@ -221,12 +99,13 @@ class Conv2d(Module):
         x_data = x.data
         batch = x_data.shape[0]
         pool = self._col_pool
-        cols, (out_h, out_w) = _im2col2d(x_data, self.kernel_size, self.stride,
-                                         self.padding, pool=pool)
+        backend = get_backend()
+        cols, (out_h, out_w) = backend.im2col2d(
+            x_data, self.kernel_size, self.stride, self.padding, pool=pool)
         weight = self.weight
         bias = self.bias
         w_mat = weight.data.reshape(self.out_channels, -1)  # (O, C*kh*kw)
-        out_data = cols @ w_mat.T  # (B, L, O)
+        out_data = backend.matmul(cols, w_mat.T)  # (B, L, O)
         if bias is not None:
             out_data = out_data + bias.data
         out_data = out_data.transpose(0, 2, 1).reshape(batch, self.out_channels,
@@ -249,8 +128,9 @@ class Conv2d(Module):
             if bias is not None and bias.requires_grad:
                 bias._accumulate(grad_mat.sum(axis=(0, 1)))
             if x.requires_grad:
-                grad_cols = grad_mat @ w_mat
-                x._accumulate(_col2im2d(grad_cols, x_shape, kernel, stride, padding))
+                grad_cols = backend.matmul(grad_mat, w_mat)
+                x._accumulate(backend.col2im2d(grad_cols, x_shape, kernel,
+                                               stride, padding))
             # The column matrix has served the whole backward: recycle it
             # for the next training step instead of re-materialising.
             pool.release(cols)
@@ -297,10 +177,11 @@ class Conv3d(Module):
         # output, replacing the historical per-out_t loop that retained
         # a separate column matrix per temporal slot for the backward.
         pool = self._col_pool
-        cols, (out_t, out_h, out_w) = _im2col3d(
+        backend = get_backend()
+        cols, (out_t, out_h, out_w) = backend.im2col3d(
             x_data, self.kernel_size, self.stride, self.padding, pool=pool)
         w_mat = weight.data.reshape(self.out_channels, -1)  # (O, C*kt*kh*kw)
-        out_data = cols @ w_mat.T  # (B, L, O)
+        out_data = backend.matmul(cols, w_mat.T)  # (B, L, O)
         if bias is not None:
             out_data += bias.data
         out_data = out_data.transpose(0, 2, 1).reshape(
@@ -319,9 +200,9 @@ class Conv3d(Module):
             if bias is not None and bias.requires_grad:
                 bias._accumulate(grad_mat.sum(axis=(0, 1)))
             if x.requires_grad:
-                grad_cols = grad_mat @ w_mat
-                x._accumulate(_col2im3d(grad_cols, x_shape, kernel, stride,
-                                        padding))
+                grad_cols = backend.matmul(grad_mat, w_mat)
+                x._accumulate(backend.col2im3d(grad_cols, x_shape, kernel,
+                                               stride, padding))
             pool.release(cols)
 
         parents = (x, weight) if bias is None else (x, weight, bias)
@@ -359,13 +240,14 @@ class Conv3d(Module):
         chunk_t = max(1, min(out_t, self._FAST_COLS_BUDGET // max(per_t, 1)))
         w_mat_t = self.weight.data.reshape(self.out_channels, -1).T
         bias_data = self.bias.data if self.bias is not None else None
+        backend = get_backend()
         out_data = None
         for t0 in range(0, out_t, chunk_t):
             t1 = min(t0 + chunk_t, out_t)
             window = x_pad[:, :, t0 * st:(t1 - 1) * st + kt]
-            cols, _ = _im2col3d(window, (kt, kh, kw), (st, sh, sw),
-                                (0, ph, pw), pool=self._col_pool)
-            out = cols @ w_mat_t
+            cols, _ = backend.im2col3d(window, (kt, kh, kw), (st, sh, sw),
+                                       (0, ph, pw), pool=self._col_pool)
+            out = backend.matmul(cols, w_mat_t)
             self._col_pool.release(cols)
             if bias_data is not None:
                 out += bias_data

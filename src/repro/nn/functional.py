@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from .backend import get_backend
 from .tensor import Tensor, get_default_dtype, is_grad_enabled, needs_grad
 
 
@@ -18,18 +19,11 @@ def fused_softmax(scores: np.ndarray, axis: int = -1,
     ``out=scores`` to normalise a freshly computed score matrix in place
     — the idiom of the attention hot paths, where ``scores`` is the
     (B, H, T, T) logit matrix that would otherwise be materialised three
-    times (shifted, exp'd, normalised).  The arithmetic is identical,
-    op for op, to the historical composed path, so results are
-    bit-for-bit unchanged.
+    times (shifted, exp'd, normalised).  Dispatches to the active
+    compute backend; the ``numpy`` backend is the historical composed
+    path op for op, so its results are bit-for-bit unchanged.
     """
-    if out is None:
-        out = np.array(scores, copy=True)
-    elif out is not scores:
-        np.copyto(out, scores)
-    out -= out.max(axis=axis, keepdims=True)
-    np.exp(out, out=out)
-    out /= out.sum(axis=axis, keepdims=True)
-    return out
+    return get_backend().fused_softmax(scores, axis=axis, out=out)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -138,10 +132,7 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-6) -> Te
     dtype — no NEP-50 float64 upcasts in the backward pass.
     """
     data = x.data
-    centred = data - data.mean(axis=-1, keepdims=True)
-    variance = (centred * centred).mean(axis=-1, keepdims=True)
-    std = np.sqrt(variance + eps)
-    normalised = centred / std
+    normalised, std = get_backend().layer_norm_core(data, eps)
     out_data = normalised * weight.data + bias.data
     if not needs_grad(x, weight, bias):
         return Tensor(out_data)

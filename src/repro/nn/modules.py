@@ -13,6 +13,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from .backend import get_backend
 from .tensor import Tensor, get_default_dtype, needs_grad
 
 
@@ -222,8 +223,9 @@ class Linear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         if not needs_grad(x, self.weight, self.bias):
-            # Graph-free fast path: one BLAS matmul, no closures/parents.
-            out = x.data @ self.weight.data
+            # Graph-free fast path: one GEMM on the active backend, no
+            # closures/parents.
+            out = get_backend().matmul(x.data, self.weight.data)
             if self.bias is not None:
                 out += self.bias.data
             return Tensor(out)

@@ -11,6 +11,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from .backend import get_backend
 from .tensor import Tensor
 
 
@@ -65,26 +66,27 @@ class SGD(Optimizer):
 
     def step(self) -> None:
         lr = float(self.lr)
+        backend = get_backend()
         for param, velocity in zip(self.params, self._velocity):
             if param.grad is None:
                 continue
             grad = param.grad
             scratch = self._scratch_for(param)
             if self.weight_decay:
-                np.multiply(param.data, self.weight_decay, out=scratch)
-                scratch += grad
+                backend.multiply(param.data, self.weight_decay, out=scratch)
+                backend.add(scratch, grad, out=scratch)
                 grad = scratch
             if self.momentum:
-                velocity *= self.momentum
-                velocity += grad
+                backend.multiply(velocity, self.momentum, out=velocity)
+                backend.add(velocity, grad, out=velocity)
                 grad = velocity
             # Scale into the scratch view: the live gradient and the
             # momentum state must both survive the step unscaled.
             if grad is scratch:
-                scratch *= lr
+                backend.multiply(scratch, lr, out=scratch)
             else:
-                np.multiply(grad, lr, out=scratch)
-            param.data -= scratch
+                backend.multiply(grad, lr, out=scratch)
+            backend.subtract(param.data, scratch, out=param.data)
 
 
 class AdamW(Optimizer):
@@ -113,29 +115,31 @@ class AdamW(Optimizer):
         inv_bias1 = 1.0 / (1.0 - beta1 ** self._step)
         inv_bias2 = 1.0 / (1.0 - beta2 ** self._step)
         lr = float(self.lr)
+        backend = get_backend()
         for param, m, v in zip(self.params, self._m, self._v):
             if param.grad is None:
                 continue
             grad = param.grad
             scratch = self._scratch_for(param)
             # m <- beta1*m + (1-beta1)*grad
-            m *= beta1
-            np.multiply(grad, 1.0 - beta1, out=scratch)
-            m += scratch
+            backend.multiply(m, beta1, out=m)
+            backend.multiply(grad, 1.0 - beta1, out=scratch)
+            backend.add(m, scratch, out=m)
             # v <- beta2*v + (1-beta2)*grad^2
-            v *= beta2
-            np.multiply(grad, grad, out=scratch)
-            scratch *= 1.0 - beta2
-            v += scratch
+            backend.multiply(v, beta2, out=v)
+            backend.multiply(grad, grad, out=scratch)
+            backend.multiply(scratch, 1.0 - beta2, out=scratch)
+            backend.add(v, scratch, out=v)
             # update = (m/bias1) / (sqrt(v/bias2) + eps), folded in place.
-            np.multiply(v, inv_bias2, out=scratch)
-            np.sqrt(scratch, out=scratch)
-            scratch += self.eps
-            np.divide(m, scratch, out=scratch)
-            scratch *= inv_bias1 * lr
+            backend.multiply(v, inv_bias2, out=scratch)
+            backend.sqrt(scratch, out=scratch)
+            backend.add(scratch, self.eps, out=scratch)
+            backend.divide(m, scratch, out=scratch)
+            backend.multiply(scratch, inv_bias1 * lr, out=scratch)
             if self.weight_decay:
-                param.data *= 1.0 - lr * self.weight_decay
-            param.data -= scratch
+                backend.multiply(param.data, 1.0 - lr * self.weight_decay,
+                                 out=param.data)
+            backend.subtract(param.data, scratch, out=param.data)
 
 
 def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:

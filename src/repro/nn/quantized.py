@@ -48,6 +48,7 @@ from typing import Optional
 import numpy as np
 
 from .numeric import saturate
+from .backend import get_backend
 from .conv import ColumnBufferPool, Conv2d, Conv3d, _im2col2d, _im2col3d
 from .modules import LayerNorm, Linear, MLP, Module, Parameter
 from .attention import MultiHeadAttention, TransformerBlock
@@ -236,17 +237,18 @@ class QuantizedLinear(_QuantizedModule):
         LayerNorm fold of :func:`_fold_norm_scales` — skips the
         multiply pass entirely.
         """
+        backend = get_backend()
         grid = self._pool.acquire(x2.shape, np.float32)
         if premul is not None:
-            np.multiply(x2, premul, out=grid)
-            np.rint(grid, out=grid)
+            backend.multiply(x2, premul, out=grid)
+            backend.rint(grid, out=grid)
         else:
             scale = float(self.input_scale.data[0])
             if scale == 1.0:
-                np.rint(x2, out=grid)
+                backend.rint(x2, out=grid)
             else:
-                np.multiply(x2, 1.0 / scale, out=grid)
-                np.rint(grid, out=grid)
+                backend.multiply(x2, 1.0 / scale, out=grid)
+                backend.rint(grid, out=grid)
         saturate(grid, INT8_MAX, out=grid)
         return grid
 
@@ -274,18 +276,13 @@ class QuantizedLinear(_QuantizedModule):
         fresh allocation; ``premul`` is forwarded to
         :meth:`_quantize_input`.
         """
+        backend = get_backend()
         weight = self._runtime()[0]
         if np.issubdtype(x2.dtype, np.integer):
             x2 = x2.astype(np.float32)
-            if out is None:
-                return x2 @ weight
-            np.matmul(x2, weight, out=out)
-            return out
+            return backend.matmul(x2, weight, out=out)
         grid = self._quantize_input(x2, premul)
-        if out is None:
-            out = grid @ weight
-        else:
-            np.matmul(grid, weight, out=out)
+        out = backend.matmul(grid, weight, out=out)
         self._pool.release(grid)
         return out
 
@@ -441,13 +438,14 @@ class QuantizedMLP(_QuantizedModule):
         x2 = data.reshape(-1, self.dim)
         hidden = self._pool.acquire((x2.shape[0], self.hidden_dim), np.float32)
         self.fc1._gemm(x2, out=hidden)  # (M, hidden), undequantised
+        backend = get_backend()
         gelu_in_scale, mult, offset = self._fold_constants()
         # Fold dequant, GELU-input requant, the LUT index offset, and
         # the +0.5 of round-to-nearest into one multiplier/bias pair
         # over the raw accumulator; the float->uint8 cast below then
         # floors, so no separate rint pass is needed.
-        hidden *= mult
-        hidden += offset
+        backend.multiply(hidden, mult, out=hidden)
+        backend.add(hidden, offset, out=hidden)
         np.clip(hidden, 0.0, 2.0 * INT8_MAX, out=hidden)
         index = self._pool.acquire(hidden.shape, np.uint8)
         np.copyto(index, hidden, casting="unsafe")
@@ -456,7 +454,7 @@ class QuantizedMLP(_QuantizedModule):
         act = self._pool.acquire(index.shape, np.float32)
         np.take(table, index.reshape(-1), out=act.reshape(-1), mode="clip")
         self._pool.release(index)
-        out = act @ self.fc2._runtime()[0]
+        out = backend.matmul(act, self.fc2._runtime()[0])
         self._pool.release(act)
         self.fc2._dequant(out)
         return Tensor(out.reshape(data.shape[:-1] + (self.dim,)))
@@ -572,11 +570,12 @@ class QuantizedMultiHeadAttention(_QuantizedModule):
         qkv5 = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
         qkv5 = qkv5.transpose(2, 0, 3, 1, 4)
         q, k, v = qkv5[0], qkv5[1], qkv5[2]
+        backend = get_backend()
         scores = self._pool.acquire(
             (batch, self.num_heads, tokens, tokens), np.float32)
-        np.matmul(q, k.swapaxes(-1, -2), out=scores)  # scale pre-folded
+        backend.matmul(q, k.swapaxes(-1, -2), out=scores)  # scale pre-folded
         with np.errstate(over="ignore"):
-            np.exp(scores, out=scores)
+            backend.exp(scores, out=scores)
         # Normalise by a reciprocal-multiply: one row-sized divide plus a
         # matrix multiply beats a matrix-sized divide.
         denom = scores.sum(axis=-1, keepdims=True)
@@ -589,10 +588,10 @@ class QuantizedMultiHeadAttention(_QuantizedModule):
             np.clip(scores, 0.0, self._EXP_CLIP, out=scores)
             denom = scores.sum(axis=-1, keepdims=True)
         np.divide(1.0, denom, out=denom)
-        scores *= denom
+        backend.multiply(scores, denom, out=scores)
         ctx = self._pool.acquire(
             (batch, self.num_heads, tokens, self.head_dim), np.float32)
-        np.matmul(scores, v, out=ctx)
+        backend.matmul(scores, v, out=ctx)
         self._pool.release(scores)
         self._pool.release(qkv)
         ctx2 = self._pool.acquire((batch * tokens, dim), np.float32)
@@ -670,7 +669,7 @@ class QuantizedConv2d(_QuantizedModule):
                                          self.padding, pool=self._pool)
         self._pool.release(grid)
         w_mat_t, dequant = self._runtime()
-        out = cols @ w_mat_t  # (B, L, O)
+        out = get_backend().matmul(cols, w_mat_t)  # (B, L, O)
         self._pool.release(cols)
         out *= dequant
         if self.bias is not None:
@@ -738,7 +737,7 @@ class QuantizedConv3d(_QuantizedModule):
             window = x_pad[:, :, t0 * st:(t1 - 1) * st + kt]
             cols, _ = _im2col3d(window, (kt, kh, kw), (st, sh, sw),
                                 (0, ph, pw), pool=self._pool)
-            out = cols @ w_mat_t  # (B, L, O)
+            out = get_backend().matmul(cols, w_mat_t)  # (B, L, O)
             self._pool.release(cols)
             out *= dequant
             if bias_data is not None:

@@ -20,6 +20,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .backend import get_backend
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 
@@ -370,14 +372,15 @@ class Tensor:
     # ------------------------------------------------------------------
     def __matmul__(self, other):
         other = self._lift(other, self.data.dtype)
-        out_data = self.data @ other.data
+        backend = get_backend()
+        out_data = backend.matmul(self.data, other.data)
 
         def backward(grad):
             if self.requires_grad:
-                grad_a = grad @ np.swapaxes(other.data, -1, -2)
+                grad_a = backend.matmul(grad, np.swapaxes(other.data, -1, -2))
                 self._accumulate(_unbroadcast(grad_a, self.shape))
             if other.requires_grad:
-                grad_b = np.swapaxes(self.data, -1, -2) @ grad
+                grad_b = backend.matmul(np.swapaxes(self.data, -1, -2), grad)
                 other._accumulate(_unbroadcast(grad_b, other.shape))
 
         return self._make(out_data, (self, other), backward)
@@ -443,7 +446,7 @@ class Tensor:
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self):
-        out_data = np.exp(self.data)
+        out_data = get_backend().exp(self.data)
 
         def backward(grad):
             self._accumulate(grad * out_data)
@@ -471,7 +474,7 @@ class Tensor:
         return out
 
     def tanh(self):
-        out_data = np.tanh(self.data)
+        out_data = get_backend().tanh(self.data)
 
         def backward(grad):
             self._accumulate(grad * (1.0 - out_data ** 2))
@@ -499,34 +502,18 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def gelu(self):
-        """Gaussian error linear unit (tanh approximation)."""
-        # Python float, not a NumPy scalar: NEP 50 makes np.float64 scalars
-        # strong-typed, which would silently upcast float32 activations.
-        c = float(np.sqrt(2.0 / np.pi))
+        """Gaussian error linear unit (tanh approximation).
+
+        Forward and the fused backward both dispatch to the active
+        compute backend; the backward retains only the tanh and x^2
+        buffers the backend kernel hands back.
+        """
+        backend = get_backend()
         x = self.data
-        # x*x*x instead of x**3: libm pow is ~7x slower than two multiplies
-        # on mixed-sign activations, and gelu sits on the ViT hot path.
-        x_sq = np.square(x)
-        inner = c * (x + 0.044715 * (x_sq * x))
-        t = np.tanh(inner)
-        out_data = 0.5 * x * (1.0 + t)
+        out_data, t, x_sq = backend.gelu_forward(x)
 
         def backward(grad):
-            # Fused, allocation-conscious backward: d = 0.5*(1 + t + x*dt)
-            # with dt = (1 - t^2) * c * (1 + 3*0.044715*x^2), folded into
-            # two scratch buffers via out= ops.  Python-float constants
-            # keep every step in the activation dtype (NEP 50).
-            scratch = x_sq * (3.0 * 0.044715 * c)
-            scratch += c                      # dinner
-            one_minus_tsq = np.multiply(t, t)
-            np.subtract(1.0, one_minus_tsq, out=one_minus_tsq)
-            scratch *= one_minus_tsq          # dt
-            scratch *= x                      # x * dt
-            scratch += t
-            scratch += 1.0
-            scratch *= 0.5
-            scratch *= grad
-            self._accumulate(scratch)
+            self._accumulate(backend.gelu_backward(grad, x, t, x_sq))
 
         return self._make(out_data, (self,), backward)
 

@@ -18,7 +18,9 @@ hosts without any pickling of clip pools across process boundaries.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
 _Item = TypeVar("_Item")
@@ -32,6 +34,63 @@ def resolve_workers(workers: Optional[int]) -> int:
     if workers < 1:
         raise ValueError("workers must be >= 1 (or 0/None for one per CPU)")
     return int(workers)
+
+
+# ----------------------------------------------------------------------
+# Nested-parallelism accounting
+# ----------------------------------------------------------------------
+# Two levels can be parallel at once: outer DAG/sweep workers (this
+# module and PipelineRunner) and the compute backend's kernel threads
+# (repro.nn.backend.threaded).  The two must cap at the host, not
+# multiply: W outer workers each fanning out to N backend threads would
+# oversubscribe the machine W-fold.  Outer pools mark their worker
+# threads via ``worker_scope``; the backend asks
+# ``backend_thread_budget`` for its per-call width, which divides the
+# resolved thread count by the number of active outer siblings.
+
+_worker_state = threading.local()
+
+
+def active_worker_count() -> int:
+    """How many outer sibling workers the current thread is one of.
+
+    ``1`` means the thread is not inside any parallel region (the main
+    thread, or a serial pipeline), so a compute backend may use its full
+    thread budget.
+    """
+    return getattr(_worker_state, "workers", 1)
+
+
+@contextmanager
+def worker_scope(workers: int):
+    """Mark the current thread as one of ``workers`` cooperating workers.
+
+    Entered by DAG/sweep worker threads for the duration of one task so
+    nested compute-backend kernels scale themselves down.  Scopes nest
+    multiplicatively (a sweep worker running a parallel DAG compounds),
+    which keeps the invariant: outer workers x backend threads <= host
+    threads.
+    """
+    previous = getattr(_worker_state, "workers", 1)
+    _worker_state.workers = max(1, previous * int(workers))
+    try:
+        yield
+    finally:
+        _worker_state.workers = previous
+
+
+def backend_thread_budget(requested: Optional[int] = 0) -> int:
+    """Per-call thread width for a compute-backend kernel.
+
+    ``requested`` follows the ``--workers`` convention of
+    :func:`resolve_workers` (``0``/``None`` = one per CPU) — the backend
+    layer deliberately reuses it instead of growing a second env-var
+    convention.  The resolved count is divided by
+    :func:`active_worker_count`, so with W outer DAG/sweep workers each
+    backend call gets ``resolved // W`` threads (min 1): capped, never
+    multiplied.
+    """
+    return max(1, resolve_workers(requested) // active_worker_count())
 
 
 class ParallelSweepExecutor:
@@ -60,9 +119,16 @@ class ParallelSweepExecutor:
         items = list(items)
         if self.workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        with ThreadPoolExecutor(
-                max_workers=min(self.workers, len(items))) as pool:
-            return list(pool.map(fn, items))
+        width = min(self.workers, len(items))
+
+        def call_in_scope(item: _Item) -> _Row:
+            # Mark this worker thread so nested compute-backend kernels
+            # divide their thread budget by `width` (cap, not multiply).
+            with worker_scope(width):
+                return fn(item)
+
+        with ThreadPoolExecutor(max_workers=width) as pool:
+            return list(pool.map(call_in_scope, items))
 
     def starmap(self, fn: Callable[..., _Row],
                 items: Iterable[Sequence[Any]]) -> List[_Row]:

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from .artifacts import ArtifactStore
 from .hashing import fingerprint
+from .parallel import worker_scope
 from .stage import Stage
 
 _SENTINEL = object()
@@ -203,7 +204,16 @@ class PipelineRunner:
                          if dep not in result.artifacts}
             for stage in ordered}
         executions: Dict[str, StageExecution] = {}
-        with ThreadPoolExecutor(max_workers=min(workers, len(ordered))) as pool:
+        width = min(workers, len(ordered))
+
+        def execute_in_scope(stage: Stage, key: str,
+                             inputs: Dict[str, Any]) -> Tuple[Any, bool, float]:
+            # Mark this DAG worker so nested compute-backend kernels
+            # divide their thread budget by `width` (cap, not multiply).
+            with worker_scope(width):
+                return self._execute(stage, key, inputs)
+
+        with ThreadPoolExecutor(max_workers=width) as pool:
             futures: Dict[Any, Stage] = {}
 
             def submit_ready() -> None:
@@ -213,7 +223,7 @@ class PipelineRunner:
                             and stage not in futures.values()):
                         inputs = {dep: result.artifacts[dep]
                                   for dep in stage.inputs}
-                        future = pool.submit(self._execute, stage,
+                        future = pool.submit(execute_in_scope, stage,
                                              result.keys[stage.name], inputs)
                         futures[future] = stage
 

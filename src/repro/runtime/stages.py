@@ -36,6 +36,7 @@ from ..data import build_dataset, build_pretrain_dataset
 from ..energy import EdgeSensingScenario
 from ..hardware import pixel_area_report
 from ..models import ViTEncoder, build_snappix_model
+from ..nn.backend import use_backend
 from ..pretrain import MaskedPretrainer
 from ..tasks import (
     ActionRecognitionTrainer,
@@ -107,7 +108,7 @@ class PatternStage(Stage):
                  frame_size: int, epochs: int = 5, batch_size: int = 16,
                  lr: float = 0.05, seed: int = 0,
                  normalize_by_exposures: bool = True,
-                 compute_dtype: str = "float64"):
+                 compute_dtype: str = "float64", backend: str = "numpy"):
         self.pattern = pattern
         self.num_slots = num_slots
         self.tile_size = tile_size
@@ -118,6 +119,7 @@ class PatternStage(Stage):
         self.seed = seed
         self.normalize_by_exposures = normalize_by_exposures
         self.compute_dtype = compute_dtype
+        self.backend = backend
 
     def signature(self) -> Dict[str, Any]:
         return {"pattern": self.pattern, "num_slots": self.num_slots,
@@ -125,7 +127,8 @@ class PatternStage(Stage):
                 "epochs": self.epochs, "batch_size": self.batch_size,
                 "lr": self.lr, "seed": self.seed,
                 "normalize_by_exposures": self.normalize_by_exposures,
-                "compute_dtype": self.compute_dtype}
+                "compute_dtype": self.compute_dtype,
+                "backend": self.backend}
 
     def ce_config(self) -> CEConfig:
         return CEConfig(num_slots=self.num_slots, tile_size=self.tile_size,
@@ -136,10 +139,11 @@ class PatternStage(Stage):
         rng = np.random.default_rng(self.seed)
         ce_config = self.ce_config()
         if self.pattern == "decorrelated":
-            result = learn_decorrelated_pattern(
-                pretrain_pool, ce_config, epochs=self.epochs,
-                batch_size=self.batch_size, lr=self.lr,
-                compute_dtype=np.dtype(self.compute_dtype), seed=self.seed)
+            with use_backend(self.backend):
+                result = learn_decorrelated_pattern(
+                    pretrain_pool, ce_config, epochs=self.epochs,
+                    batch_size=self.batch_size, lr=self.lr,
+                    compute_dtype=np.dtype(self.compute_dtype), seed=self.seed)
             pattern, kind = result.tile_pattern, "tile"
         elif self.pattern == "global":
             pattern = global_random_pattern(self.num_slots, self.frame_size,
@@ -184,7 +188,7 @@ class PretrainStage(Stage):
                  frame_size: int, mask_ratio: float = 0.85, epochs: int = 3,
                  batch_size: int = 8, lr: float = 3e-3, seed: int = 0,
                  normalize_by_exposures: bool = True,
-                 compute_dtype: str = "float64"):
+                 compute_dtype: str = "float64", backend: str = "numpy"):
         self.model_variant = model_variant
         self.num_slots = num_slots
         self.tile_size = tile_size
@@ -196,6 +200,7 @@ class PretrainStage(Stage):
         self.seed = seed
         self.normalize_by_exposures = normalize_by_exposures
         self.compute_dtype = compute_dtype
+        self.backend = backend
 
     def signature(self) -> Dict[str, Any]:
         return {"model_variant": self.model_variant, "num_slots": self.num_slots,
@@ -203,7 +208,8 @@ class PretrainStage(Stage):
                 "mask_ratio": self.mask_ratio, "epochs": self.epochs,
                 "batch_size": self.batch_size, "lr": self.lr, "seed": self.seed,
                 "normalize_by_exposures": self.normalize_by_exposures,
-                "compute_dtype": self.compute_dtype}
+                "compute_dtype": self.compute_dtype,
+                "backend": self.backend}
 
     def _ce_config(self) -> CEConfig:
         return CEConfig(num_slots=self.num_slots, tile_size=self.tile_size,
@@ -221,7 +227,8 @@ class PretrainStage(Stage):
             mask_ratio=self.mask_ratio, epochs=self.epochs,
             batch_size=self.batch_size, lr=self.lr,
             compute_dtype=np.dtype(self.compute_dtype), seed=self.seed)
-        history = pretrainer.fit(pretrain_pool)
+        with use_backend(self.backend):
+            history = pretrainer.fit(pretrain_pool)
         # The portable artifact stays float64 regardless of the training
         # precision, so downstream consumers load identically-typed
         # checkpoints whichever engine produced them.
@@ -253,7 +260,7 @@ class FinetuneStage(Stage):
                  seed: int = 0, use_pretrained_encoder: bool = False,
                  pretrained_epoch_scale: float = 1.0,
                  normalize_by_exposures: bool = True,
-                 compute_dtype: str = "float64"):
+                 compute_dtype: str = "float64", backend: str = "numpy"):
         if task not in ("ar", "rec"):
             raise ValueError("task must be 'ar' or 'rec'")
         self.task = task
@@ -272,6 +279,7 @@ class FinetuneStage(Stage):
         self.pretrained_epoch_scale = pretrained_epoch_scale
         self.normalize_by_exposures = normalize_by_exposures
         self.compute_dtype = compute_dtype
+        self.backend = backend
         self.inputs = (("pattern", "pretrain") if use_pretrained_encoder
                        else ("pattern",))
 
@@ -287,7 +295,8 @@ class FinetuneStage(Stage):
                 "use_pretrained_encoder": self.use_pretrained_encoder,
                 "pretrained_epoch_scale": self.pretrained_epoch_scale,
                 "normalize_by_exposures": self.normalize_by_exposures,
-                "compute_dtype": self.compute_dtype}
+                "compute_dtype": self.compute_dtype,
+                "backend": self.backend}
 
     def _ce_config(self) -> CEConfig:
         return CEConfig(num_slots=self.num_slots, tile_size=self.tile_size,
@@ -328,11 +337,12 @@ class FinetuneStage(Stage):
                 model, dataset, sensor=sensor, lr=self.lr,
                 batch_size=self.batch_size, epochs=epochs,
                 compute_dtype=dtype, seed=self.seed)
-            history = trainer.fit(evaluate_every=0)
-            accuracy = trainer.evaluate("test")
-            throughput = measure_inference_throughput(
-                model, sensor.capture(dataset.test_videos[:1]),
-                batch_size=min(8, len(dataset.test_videos)), repeats=2)
+            with use_backend(self.backend):
+                history = trainer.fit(evaluate_every=0)
+                accuracy = trainer.evaluate("test")
+                throughput = measure_inference_throughput(
+                    model, sensor.capture(dataset.test_videos[:1]),
+                    batch_size=min(8, len(dataset.test_videos)), repeats=2)
             return {"test_accuracy": accuracy,
                     "final_loss": history.losses[-1],
                     "inference_per_second": throughput}
@@ -340,8 +350,10 @@ class FinetuneStage(Stage):
             model, dataset, sensor, lr=self.lr,
             batch_size=self.batch_size, epochs=epochs,
             compute_dtype=dtype, seed=self.seed)
-        history = trainer.fit(evaluate_every=0)
-        return {"test_psnr": trainer.evaluate("test"),
+        with use_backend(self.backend):
+            history = trainer.fit(evaluate_every=0)
+            psnr = trainer.evaluate("test")
+        return {"test_psnr": psnr,
                 "final_loss": history.losses[-1]}
 
 
@@ -397,7 +409,8 @@ def pattern_stage_from_config(config) -> PatternStage:
                         tile_size=config.tile_size, frame_size=config.frame_size,
                         epochs=config.pattern_epochs, batch_size=config.batch_size,
                         lr=config.pattern_lr, seed=config.seed,
-                        compute_dtype=config.compute_dtype)
+                        compute_dtype=config.compute_dtype,
+                        backend=getattr(config, "backend", "numpy"))
 
 
 def pretrain_stage_from_config(config) -> PretrainStage:
@@ -408,7 +421,8 @@ def pretrain_stage_from_config(config) -> PretrainStage:
                          epochs=config.pretrain_epochs,
                          batch_size=config.batch_size, lr=config.lr,
                          seed=config.seed,
-                         compute_dtype=config.compute_dtype)
+                         compute_dtype=config.compute_dtype,
+                         backend=getattr(config, "backend", "numpy"))
 
 
 def finetune_stage_from_config(config, task: str,
@@ -427,7 +441,8 @@ def finetune_stage_from_config(config, task: str,
                          seed=config.seed,
                          use_pretrained_encoder=use_pretrained_encoder,
                          pretrained_epoch_scale=config.pretrained_epoch_scale,
-                         compute_dtype=config.compute_dtype)
+                         compute_dtype=config.compute_dtype,
+                         backend=getattr(config, "backend", "numpy"))
 
 
 def report_stage_from_config(config) -> DeployReportStage:
