@@ -1,0 +1,127 @@
+"""Scenario matrix — degradation report gate for the quick suite.
+
+Runs the full quick suite (the same grid CI executes via
+``repro scenarios --suite quick``) and gates the robustness contract:
+
+- the report schema is complete and every row is classified;
+- the quick grid has at least 20 rows spanning every category;
+- the clean reference anchor reproduces the published Table I
+  ``snappix_s``/``ucf101`` accuracy (``table1_accuracy.json``);
+- the quick suite contains **no** ``fail`` rows — quick severities are
+  calibrated to degrade gracefully, so a fail here is a regression in
+  the capture path, the model, or the serving fault isolation;
+- the matrix is identical across ``--workers 1`` and ``--workers N``
+  (per-row seeds derive from scenario identity, not scheduling).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import ArtifactStore
+from repro.scenarios import (
+    CATEGORIES,
+    CLASSIFICATIONS,
+    format_scenario_table,
+    run_scenario_matrix,
+    suite,
+    write_scenario_matrix,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+ROW_KEYS = {"scenario", "category", "param", "severity", "seed",
+            "accuracy", "retention", "capture_snr_db", "description",
+            "classification"}
+
+
+@pytest.fixture(scope="module")
+def shared_store(tmp_path_factory):
+    """One disk store for the module: the 2.7s reference trains once."""
+    return ArtifactStore(tmp_path_factory.mktemp("scenario-bench") / "cache")
+
+
+@pytest.fixture(scope="module")
+def quick_payload(shared_store):
+    return run_scenario_matrix(suite_name="quick", workers=1,
+                               store=shared_store, seed=0)
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_scenario_matrix_quick_suite(benchmark, quick_payload, shared_store):
+    """Regenerate scenario_matrix.json and gate the degradation report."""
+
+    def rerun():
+        # Second pass over the shared store: pure cache hits, which is
+        # exactly what the CLI re-run path costs.
+        return run_scenario_matrix(suite_name="quick", workers=1,
+                                   store=shared_store, seed=0)
+
+    payload = benchmark.pedantic(rerun, rounds=1, iterations=1)
+    assert payload == quick_payload
+    print("\n" + format_scenario_table(payload))
+    write_scenario_matrix(payload, RESULTS_DIR / "scenario_matrix.json")
+
+    # -- schema ---------------------------------------------------------
+    assert payload["suite"] == "quick"
+    assert set(payload["thresholds"]) == {"pass_retention",
+                                          "degrade_retention"}
+    reference = payload["reference"]
+    assert reference["model"] == "snappix_s"
+    assert reference["dataset"] == "ucf101"
+    rows = payload["rows"]
+    summary = payload["summary"]
+    assert summary["num_rows"] == len(rows)
+    assert sum(summary["counts"].values()) == len(rows)
+    for row in rows:
+        assert ROW_KEYS <= set(row)
+        assert row["classification"] in CLASSIFICATIONS
+    assert set(summary["worst_case_by_category"]) == set(CATEGORIES)
+
+    # -- grid size and coverage ----------------------------------------
+    assert len(rows) >= 20
+    assert len(rows) == len(suite("quick"))
+    assert {row["category"] for row in rows} == set(CATEGORIES)
+
+    # -- clean reference matches the published Table I cell ------------
+    with open(RESULTS_DIR / "table1_accuracy.json") as handle:
+        table1 = {r["model"]: r for r in json.load(handle)}
+    assert reference["clean_accuracy"] == \
+        table1["snappix_s"]["accuracy_ucf101"]
+
+    # -- the quick suite must not collapse ------------------------------
+    fails = [(row["scenario"], row["severity"]) for row in rows
+             if row["classification"] == "fail"]
+    assert not fails, f"quick-suite rows collapsed: {fails}"
+
+    # -- serving rows hold every fault-isolation invariant --------------
+    serving_rows = [row for row in rows if row["category"] == "serving"]
+    assert serving_rows
+    for row in serving_rows:
+        assert row["invariants_ok"], row["scenario"]
+        assert row["serving"]["untyped_errors"] == 0
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_scenario_matrix_worker_count_invariance(quick_payload, tmp_path):
+    """workers=N must reproduce the workers=1 report exactly (same seeds).
+
+    A fresh store would retrain the reference (~3s); instead the rows
+    recompute against a store seeded only with the reference artifact.
+    """
+    import shutil
+
+    from repro.runtime import PipelineRunner
+    from repro.scenarios import ScenarioReferenceStage
+
+    seed_store = ArtifactStore(tmp_path / "seeded")
+    PipelineRunner(seed_store).run([ScenarioReferenceStage(seed=0)])
+    shutil.rmtree(tmp_path / "copy", ignore_errors=True)
+    shutil.copytree(tmp_path / "seeded", tmp_path / "copy")
+
+    parallel = run_scenario_matrix(suite_name="quick", workers=4,
+                                   store=ArtifactStore(tmp_path / "copy"),
+                                   seed=0)
+    assert json.dumps(parallel, sort_keys=True) == \
+        json.dumps(quick_payload, sort_keys=True)

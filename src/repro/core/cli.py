@@ -12,6 +12,7 @@ Exposes the main entry points of the library without writing Python::
     python -m repro bench     --quick --train --quant
     python -m repro serve     --smoke --quant
     python -m repro quantize  --model snappix_s --out snappix_s_int8.npz
+    python -m repro scenarios --suite quick --workers 0
 
 Every subcommand prints an aligned text table (or a key/value listing)
 built by :mod:`repro.analysis.report`, and returns a process exit code of
@@ -77,6 +78,13 @@ from .bench import (
     run_quant_engine,
     run_train_engine,
     write_results,
+)
+from ..scenarios import (
+    CATEGORIES,
+    DEFAULT_SCENARIO_RESULTS_PATH,
+    format_scenario_table,
+    run_scenario_matrix,
+    write_scenario_matrix,
 )
 from .config import PipelineConfig
 from .experiments import run_correlation_comparison
@@ -380,6 +388,33 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """Run the fault-injection scenario matrix and write the report.
+
+    Fans the suite's ``(scenario, severity)`` grid over the parallel
+    runtime, prints the degradation table, persists
+    ``benchmarks/results/scenario_matrix.json``, and exits non-zero when
+    any row is classified ``fail`` — so CI can gate on graceful
+    degradation the same way it gates on perf regressions.
+    """
+    categories = args.category or None
+    store = ArtifactStore(args.cache_dir or None)
+    payload = run_scenario_matrix(
+        suite_name=args.suite, categories=categories,
+        workers=resolve_workers(args.workers),
+        backend=_resolve_backend(args.backend), store=store, seed=args.seed)
+    print(format_scenario_table(payload))
+    path = write_scenario_matrix(payload, args.out)
+    print(f"scenario matrix written to {path}")
+    fail_rows = [row for row in payload["rows"]
+                 if row["classification"] == "fail"]
+    if fail_rows:
+        print("ERROR: scenario rows classified as fail: "
+              f"{[(row['scenario'], row['severity']) for row in fail_rows]}")
+        return 1
+    return 0
+
+
 def _cmd_correlation(args: argparse.Namespace) -> int:
     rows = run_correlation_comparison(num_slots=args.num_slots,
                                       tile_size=args.tile_size,
@@ -600,6 +635,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="CE tile / ViT patch size for --model bundles")
     quantize.add_argument("--seed", type=int, default=0)
     quantize.set_defaults(func=_cmd_quantize)
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="fault-injection scenario matrix: sensor defects, exposure "
+             "faults, noise sweeps, serving storms; writes "
+             "scenario_matrix.json, exits non-zero on fail rows")
+    scenarios.add_argument("--suite", choices=("quick", "full"),
+                           default="quick",
+                           help="severity grid: quick (CI, no expected "
+                                "fails) or full (harsher severities)")
+    scenarios.add_argument("--category", action="append",
+                           choices=list(CATEGORIES), default=[],
+                           help="restrict to one or more categories "
+                                "(repeatable; default: all)")
+    scenarios.add_argument("--cache-dir", type=str, default="",
+                           help="persist scenario-stage artifacts to this "
+                                "directory (repeat runs become cache hits)")
+    scenarios.add_argument("--out", type=str,
+                           default=str(DEFAULT_SCENARIO_RESULTS_PATH),
+                           help="output JSON path (default: "
+                                "benchmarks/results/scenario_matrix.json)")
+    _add_workers_option(scenarios)
+    _add_backend_option(scenarios)
+    scenarios.add_argument("--seed", type=int, default=0)
+    scenarios.set_defaults(func=_cmd_scenarios)
 
     correlation = subparsers.add_parser(
         "correlation", help="compare the Fig. 6 patterns' coded-pixel correlation")

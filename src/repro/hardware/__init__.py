@@ -24,6 +24,12 @@ from .timing import (
     pattern_streaming_energy_per_pixel,
 )
 from .noise import NoisyCodedExposureSensor, SensorNoiseModel, capture_snr_db
+from .defects import (
+    DefectiveSensor,
+    SensorDefectModel,
+    healthy_defects,
+    with_severity,
+)
 
 __all__ = [
     "CEPixel",
@@ -52,4 +58,8 @@ __all__ = [
     "SensorNoiseModel",
     "NoisyCodedExposureSensor",
     "capture_snr_db",
+    "SensorDefectModel",
+    "DefectiveSensor",
+    "healthy_defects",
+    "with_severity",
 ]

@@ -61,6 +61,18 @@ class SensorNoiseModel:
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(self.seed)
 
+    def stream(self) -> np.random.Generator:
+        """A fresh generator stream seeded by this model.
+
+        Callers performing *several* captures in one session must draw
+        them all from one stream (as a sensor session would), not hit
+        the default ``_rng()`` path repeatedly — that would replay the
+        identical noise realisation every capture.  The first draw from
+        ``stream()`` matches the single-shot ``apply`` default, so
+        one-capture behaviour is unchanged.
+        """
+        return np.random.default_rng(self.seed)
+
     def apply(self, signal: np.ndarray, exposures_per_pixel: np.ndarray,
               rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Add noise to an accumulated (un-normalised) coded signal.
@@ -127,6 +139,10 @@ class NoisyCodedExposureSensor:
         self._clean_sensor = CodedExposureSensor(config, tile_pattern)
         self.config = config
         self.tile_pattern = self._clean_sensor.tile_pattern
+        # One generator stream per sensor session: repeated captures
+        # draw successive noise realisations instead of replaying the
+        # seed's first draw every time (the first capture is unchanged).
+        self._session_rng = noise.stream()
 
     # ------------------------------------------------------------------
     @property
@@ -139,7 +155,8 @@ class NoisyCodedExposureSensor:
         """Capture coded images with noise; same interface as the clean sensor."""
         accumulated = self._clean_sensor.capture_raw(videos)
         counts = self.exposure_counts_map
-        noisy = self.noise.apply(accumulated, counts, rng=rng)
+        noisy = self.noise.apply(accumulated, counts,
+                                 rng=rng if rng is not None else self._session_rng)
         if self.config.normalize_by_exposures:
             safe_counts = np.maximum(counts, 1.0)
             return noisy / safe_counts

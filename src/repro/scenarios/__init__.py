@@ -1,0 +1,93 @@
+"""``repro.scenarios`` — fault-injection engine and degradation matrix.
+
+The production question behind the paper's clean-sensor evaluation:
+*what breaks first, and how gracefully?*  This package sweeps injected
+faults across three layers of the system —
+
+- the **sensor** (:mod:`repro.hardware.defects`): dead/hot pixels, tile
+  gain drift, column FPN;
+- the **CE exposure path**: dropped/jittered slots, frame-rate
+  mismatch, plus the :mod:`repro.hardware.noise` operating points;
+- the **serving path** (:mod:`repro.serving.loadgen`): corrupt/NaN
+  payloads, bursty arrivals, slow clients —
+
+and classifies each ``(scenario, severity)`` cell pass/degrade/fail
+against the clean Table I anchor.  Rows are cached runtime stages
+(severity and seed in the signature) fanned out over the parallel
+runtime; the report is byte-identical across runs and worker counts.
+
+Entry points: :func:`run_scenario_matrix` (grid + report in one call,
+behind the ``repro scenarios`` CLI), :func:`suite` /
+:data:`SCENARIOS` (the registry), and
+:func:`~repro.scenarios.report.write_scenario_matrix` (the
+``benchmarks/results/scenario_matrix.json`` writer).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from ..runtime import ArtifactStore
+from .engine import (
+    EVAL_BATCH_SIZE,
+    REFERENCE_CONFIG,
+    SERVING_REQUESTS,
+    ScenarioCaptureStage,
+    ScenarioReferenceStage,
+    ScenarioServingStage,
+    make_row_stage,
+    row_seed,
+    run_scenario_grid,
+)
+from .registry import CATEGORIES, SCENARIOS, SUITES, Scenario, get_scenario, suite
+from .report import (
+    CLASSIFICATIONS,
+    DEFAULT_SCENARIO_RESULTS_PATH,
+    DEFAULT_THRESHOLDS,
+    build_report,
+    classify_row,
+    format_scenario_table,
+    write_scenario_matrix,
+)
+
+
+def run_scenario_matrix(suite_name: str = "quick",
+                        categories: Optional[Sequence[str]] = None,
+                        workers: int = 1, backend: str = "numpy",
+                        store: Optional[ArtifactStore] = None,
+                        seed: int = 0,
+                        thresholds: Optional[Dict[str, float]] = None) -> Dict[str, Any]:
+    """Run one suite end-to-end and return the classified report payload."""
+    outcome = run_scenario_grid(suite_name=suite_name, categories=categories,
+                                workers=workers, backend=backend,
+                                store=store, seed=seed)
+    return build_report(outcome["reference"], outcome["rows"],
+                        suite=suite_name, seed=seed, backend=backend,
+                        thresholds=thresholds)
+
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "CATEGORIES",
+    "SUITES",
+    "get_scenario",
+    "suite",
+    "ScenarioReferenceStage",
+    "ScenarioCaptureStage",
+    "ScenarioServingStage",
+    "make_row_stage",
+    "row_seed",
+    "run_scenario_grid",
+    "run_scenario_matrix",
+    "REFERENCE_CONFIG",
+    "EVAL_BATCH_SIZE",
+    "SERVING_REQUESTS",
+    "CLASSIFICATIONS",
+    "DEFAULT_THRESHOLDS",
+    "DEFAULT_SCENARIO_RESULTS_PATH",
+    "classify_row",
+    "build_report",
+    "format_scenario_table",
+    "write_scenario_matrix",
+]

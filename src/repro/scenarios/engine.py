@@ -1,0 +1,330 @@
+"""Scenario-matrix execution engine over the staged parallel runtime.
+
+Every matrix cell is a cached :class:`~repro.runtime.stage.Stage`:
+
+- :class:`ScenarioReferenceStage` trains the clean anchor — the exact
+  Table I ``snappix_s``/``ucf101`` cell (same geometry, budgets, and
+  seed as :func:`repro.core.experiments.run_systems_comparison`), so
+  its clean accuracy matches ``benchmarks/results/table1_accuracy.json``
+  and the degradation matrix is measured against a published number,
+  not a private baseline.
+- :class:`ScenarioCaptureStage` replays the reference test set through
+  a perturbed sensor (defects and/or noise at one severity) and
+  re-scores the trained model — accuracy retention + capture SNR.
+- :class:`ScenarioServingStage` serves the trained reference model
+  through an :class:`~repro.serving.server.InferenceServer` under
+  adversarial traffic and records the fault-isolation invariants.
+
+Severity and seed sit in each stage's cache signature, chained to the
+reference stage's key, so a matrix re-run is pure cache hits and a
+reference-config change invalidates every row.  The grid fans out over
+:class:`~repro.runtime.parallel.ParallelSweepExecutor`; per-row seeds
+derive from the scenario name and severity index alone, so results are
+bit-identical across ``--workers 1`` and ``--workers N``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..ce import CEConfig, CodedExposureSensor, learn_decorrelated_pattern
+from ..data import build_dataset, build_pretrain_dataset
+from ..hardware.defects import DefectiveSensor
+from ..hardware.noise import NoisyCodedExposureSensor, capture_snr_db
+from ..models import build_from_spec, build_spec
+from ..nn.backend import use_backend
+from ..runtime import (ArtifactStore, ParallelSweepExecutor, PipelineRunner,
+                       resolve_workers)
+from ..runtime.stage import Stage
+from ..serving.loadgen import generate_clips, run_fault_injection
+from ..serving.registry import ServableBundle
+from ..serving.server import InferenceServer
+from ..tasks import ActionRecognitionTrainer
+from ..tasks.metrics import top1_accuracy
+from ..tasks.robustness import predict_logits
+from .registry import Scenario, Severity, get_scenario, suite
+
+#: Geometry/budget of the clean anchor — one cell of the Table I run
+#: (``benchmarks/test_table1_systems.py``); every field must mirror
+#: :func:`repro.core.experiments.run_systems_comparison`'s defaults for
+#: that benchmark so the clean accuracies agree.
+REFERENCE_CONFIG: Dict[str, Any] = {
+    "model": "snappix_s",
+    "dataset": "ucf101",
+    "frame_size": 32,
+    "num_slots": 8,
+    "tile_size": 8,
+    "train_clips_per_class": 10,
+    "test_clips_per_class": 5,
+    "epochs": 25,
+    "pattern_epochs": 6,
+    "batch_size": 6,
+    "pool_clips": 24,
+}
+
+#: Micro-batch size of the chunked scenario forward passes.
+EVAL_BATCH_SIZE = 16
+
+#: Traffic size of one serving scenario row.
+SERVING_REQUESTS = 16
+
+
+def _reference_ce_config() -> CEConfig:
+    return CEConfig(num_slots=REFERENCE_CONFIG["num_slots"],
+                    tile_size=REFERENCE_CONFIG["tile_size"],
+                    frame_height=REFERENCE_CONFIG["frame_size"],
+                    frame_width=REFERENCE_CONFIG["frame_size"])
+
+
+def _reference_dataset():
+    return build_dataset(
+        REFERENCE_CONFIG["dataset"],
+        num_frames=REFERENCE_CONFIG["num_slots"],
+        frame_size=REFERENCE_CONFIG["frame_size"],
+        train_clips_per_class=REFERENCE_CONFIG["train_clips_per_class"],
+        test_clips_per_class=REFERENCE_CONFIG["test_clips_per_class"],
+        seed=0)
+
+
+def row_seed(base_seed: int, scenario: Scenario, severity: Severity) -> int:
+    """Stable per-row seed: independent of registry order, suite, workers."""
+    severity_index = scenario.severities.index(severity)
+    return (base_seed * 7_919 + scenario.seed_offset() * 31
+            + severity_index) % (2 ** 31)
+
+
+class ScenarioReferenceStage(Stage):
+    """Train the clean Table I anchor cell; artifact carries the model.
+
+    The artifact stores the trained weights as portable float64 arrays
+    plus the learnt tile pattern and the clean test accuracy — enough
+    for any row stage to rebuild the exact model and sensor without
+    retraining.
+    """
+
+    name = "scenario_reference"
+    inputs = ()
+
+    def __init__(self, seed: int = 0, backend: str = "numpy"):
+        self.seed = seed
+        self.backend = backend
+
+    def signature(self) -> Dict[str, Any]:
+        return {**REFERENCE_CONFIG, "seed": self.seed,
+                "backend": self.backend}
+
+    def run(self) -> Dict[str, Any]:
+        cfg = REFERENCE_CONFIG
+        ce_config = _reference_ce_config()
+        with use_backend(self.backend):
+            pool = build_pretrain_dataset(num_clips=cfg["pool_clips"],
+                                          num_frames=cfg["num_slots"],
+                                          frame_size=cfg["frame_size"],
+                                          seed=self.seed + 100)
+            pattern = learn_decorrelated_pattern(
+                pool, ce_config, epochs=cfg["pattern_epochs"],
+                seed=self.seed).tile_pattern
+            sensor = CodedExposureSensor(ce_config, pattern)
+            dataset = build_dataset(cfg["dataset"],
+                                    num_frames=cfg["num_slots"],
+                                    frame_size=cfg["frame_size"],
+                                    train_clips_per_class=cfg["train_clips_per_class"],
+                                    test_clips_per_class=cfg["test_clips_per_class"],
+                                    seed=self.seed)
+            spec = build_spec(cfg["model"], num_classes=dataset.num_classes,
+                              image_size=cfg["frame_size"],
+                              num_frames=cfg["num_slots"],
+                              tile_size=cfg["tile_size"], seed=self.seed)
+            model = build_from_spec(spec)
+            trainer = ActionRecognitionTrainer(model, dataset, sensor=sensor,
+                                               epochs=cfg["epochs"],
+                                               batch_size=cfg["batch_size"],
+                                               seed=self.seed)
+            trainer.fit(evaluate_every=0)
+            clean_accuracy = trainer.evaluate("test")
+        return {
+            "spec": spec,
+            "state": {key: np.asarray(value, dtype=np.float64)
+                      for key, value in model.state_dict().items()},
+            "tile_pattern": np.asarray(pattern, dtype=np.float64),
+            "clean_accuracy": float(clean_accuracy),
+            "config": dict(cfg),
+        }
+
+
+def _rebuild_model(reference: Dict[str, Any]):
+    model = build_from_spec(reference["spec"])
+    model.load_state_dict(reference["state"])
+    model.eval()
+    return model
+
+
+class ScenarioCaptureStage(Stage):
+    """Score the reference model on one perturbed capture of the test set."""
+
+    name = "scenario_row"
+    inputs = ("scenario_reference",)
+
+    def __init__(self, scenario_name: str, severity: Severity,
+                 seed: int = 0, backend: str = "numpy"):
+        self.scenario_name = scenario_name
+        self.severity = severity
+        self.seed = seed
+        self.backend = backend
+
+    def signature(self) -> Dict[str, Any]:
+        scenario = get_scenario(self.scenario_name)
+        return {"scenario": scenario.name, "category": scenario.category,
+                "kind": scenario.kind, "param": scenario.param,
+                "severity": self.severity, "seed": self.seed,
+                "backend": self.backend,
+                "eval_batch_size": EVAL_BATCH_SIZE}
+
+    def run(self, scenario_reference: Dict[str, Any]) -> Dict[str, Any]:
+        scenario = get_scenario(self.scenario_name)
+        seed = row_seed(self.seed, scenario, self.severity)
+        ce_config = _reference_ce_config()
+        pattern = scenario_reference["tile_pattern"]
+        dataset = _reference_dataset()
+        videos = np.asarray(dataset.test_videos, dtype=np.float64)
+        labels = dataset.test_labels
+
+        if scenario.kind == "defect":
+            sensor = DefectiveSensor(ce_config, pattern,
+                                     scenario.build_defects(self.severity, seed))
+        elif scenario.kind == "noise":
+            sensor = NoisyCodedExposureSensor(
+                ce_config, pattern, scenario.build_noise(self.severity, seed))
+        else:
+            raise ValueError(
+                f"scenario {scenario.name!r} is a serving scenario; "
+                f"use ScenarioServingStage")
+
+        with use_backend(self.backend):
+            perturbed = sensor.capture(videos)
+            clean = sensor.capture_clean(videos)
+            model = _rebuild_model(scenario_reference)
+            logits = predict_logits(model, perturbed,
+                                    batch_size=EVAL_BATCH_SIZE)
+        accuracy = float(top1_accuracy(logits, labels))
+        clean_accuracy = float(scenario_reference["clean_accuracy"])
+        # Rounded so ratios of exact accuracy fractions (e.g. 0.3/0.4)
+        # classify by their mathematical value, not a 1-ulp artefact.
+        retention = (round(accuracy / clean_accuracy, 9)
+                     if clean_accuracy > 0 else float("nan"))
+        snr = capture_snr_db(perturbed, clean)
+        return {
+            "scenario": scenario.name,
+            "category": scenario.category,
+            "param": scenario.param,
+            "severity": self.severity,
+            "seed": seed,
+            "accuracy": accuracy,
+            "retention": retention,
+            "capture_snr_db": None if not np.isfinite(snr) else float(snr),
+            "description": scenario.description,
+        }
+
+
+class ScenarioServingStage(Stage):
+    """Serve the reference model under adversarial traffic; check invariants."""
+
+    name = "scenario_row"
+    inputs = ("scenario_reference",)
+
+    def __init__(self, scenario_name: str, severity: Severity,
+                 seed: int = 0, backend: str = "numpy"):
+        self.scenario_name = scenario_name
+        self.severity = severity
+        self.seed = seed
+        self.backend = backend
+
+    def signature(self) -> Dict[str, Any]:
+        scenario = get_scenario(self.scenario_name)
+        return {"scenario": scenario.name, "category": scenario.category,
+                "kind": scenario.kind, "param": scenario.param,
+                "severity": self.severity, "seed": self.seed,
+                "backend": self.backend,
+                "num_requests": SERVING_REQUESTS}
+
+    def run(self, scenario_reference: Dict[str, Any]) -> Dict[str, Any]:
+        scenario = get_scenario(self.scenario_name)
+        seed = row_seed(self.seed, scenario, self.severity)
+        ce_config = _reference_ce_config()
+        sensor = CodedExposureSensor(ce_config,
+                                     scenario_reference["tile_pattern"])
+        model = _rebuild_model(scenario_reference)
+        bundle = ServableBundle(name=f"scenario-{scenario.name}",
+                                model=model,
+                                spec=scenario_reference["spec"],
+                                sensor=sensor)
+        clips = generate_clips(SERVING_REQUESTS,
+                               REFERENCE_CONFIG["num_slots"],
+                               REFERENCE_CONFIG["frame_size"], seed=seed)
+        faults = scenario.build_faults(self.severity, seed)
+        with use_backend(self.backend):
+            with InferenceServer(bundle, max_batch_size=8,
+                                 max_delay_s=0.01) as server:
+                outcome = run_fault_injection(server, clips, faults)
+        invariants_ok = bool(outcome["errors_all_typed"]
+                             and outcome["valid_labels_match"]
+                             and outcome["served_after_faults"]
+                             and outcome["untyped_errors"] == 0)
+        # elapsed_s is wall-clock — excluded so the row (and the cached
+        # artifact, and the report bytes) is deterministic.
+        deterministic = {key: value for key, value in outcome.items()
+                         if key != "elapsed_s"}
+        return {
+            "scenario": scenario.name,
+            "category": scenario.category,
+            "param": scenario.param,
+            "severity": self.severity,
+            "seed": seed,
+            "accuracy": None,
+            "retention": None,
+            "capture_snr_db": None,
+            "serving": deterministic,
+            "invariants_ok": invariants_ok,
+            "description": scenario.description,
+        }
+
+
+def make_row_stage(scenario: Scenario, severity: Severity, seed: int = 0,
+                   backend: str = "numpy") -> Stage:
+    if scenario.kind == "serving":
+        return ScenarioServingStage(scenario.name, severity, seed=seed,
+                                    backend=backend)
+    return ScenarioCaptureStage(scenario.name, severity, seed=seed,
+                                backend=backend)
+
+
+def run_scenario_grid(suite_name: str = "quick",
+                      categories: Optional[Sequence[str]] = None,
+                      workers: int = 1, backend: str = "numpy",
+                      store: Optional[ArtifactStore] = None,
+                      seed: int = 0) -> Dict[str, Any]:
+    """Execute one suite's grid; returns the reference and its rows.
+
+    The reference anchor is computed (or cache-hit) once up front, then
+    the grid fans out over :class:`ParallelSweepExecutor` — each point
+    runs a two-stage mini-DAG against the shared store, so the anchor
+    is a cache hit everywhere and rows land in registry order
+    regardless of worker scheduling.
+    """
+    store = store if store is not None else ArtifactStore()
+    grid = suite(suite_name, categories)
+    reference_stage = ScenarioReferenceStage(seed=seed, backend=backend)
+    reference = PipelineRunner(store).run(
+        [reference_stage]).artifacts["scenario_reference"]
+
+    def eval_point(point) -> Dict[str, Any]:
+        scenario, severity = point
+        stages = [ScenarioReferenceStage(seed=seed, backend=backend),
+                  make_row_stage(scenario, severity, seed=seed,
+                                 backend=backend)]
+        return PipelineRunner(store).run(stages).artifacts["scenario_row"]
+
+    rows = ParallelSweepExecutor(resolve_workers(workers)).map(eval_point, grid)
+    return {"reference": reference, "rows": rows}

@@ -1,0 +1,198 @@
+"""The scenario registry: named fault-injection cases with severity grids.
+
+A :class:`Scenario` is one *kind* of fault (dead pixels, dropped slots,
+corrupt payloads, ...) together with the severity grid to sweep.  The
+perturbation hook is declarative — a ``(kind, param)`` pair naming the
+field of :class:`~repro.hardware.defects.SensorDefectModel`,
+:class:`~repro.hardware.noise.SensorNoiseModel`, or
+:class:`~repro.serving.loadgen.TrafficFaults` the severity drives — so a
+scenario row's cache signature is plain data and the grid stays
+content-addressable.
+
+Categories group the matrix by subsystem:
+
+- ``sensor_defect`` — structural read-out faults of the pixel array;
+- ``exposure`` — temporal faults of the CE slot clocking;
+- ``noise`` — stochastic operating-point sweeps of a healthy sensor;
+- ``serving`` — adversarial traffic against the inference server.
+
+``suite("quick")`` is the CI grid (a severity pair per scenario, sized
+to finish in seconds and expected to contain no ``fail`` rows);
+``suite("full")`` extends each grid to harsher severities where visible
+degradation is the expected result.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..hardware.defects import SensorDefectModel
+from ..hardware.noise import SensorNoiseModel
+from ..serving.loadgen import TrafficFaults
+
+Severity = Union[int, float]
+
+CATEGORIES = ("sensor_defect", "exposure", "noise", "serving")
+SUITES = ("quick", "full")
+
+#: Perturbation kinds a severity can drive and the object they build.
+KINDS = ("defect", "noise", "serving")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fault kind with its severity grid.
+
+    Attributes
+    ----------
+    name:
+        Registry identity; also the row label in the report.
+    category:
+        One of :data:`CATEGORIES`.
+    kind:
+        ``"defect"``/``"noise"``/``"serving"`` — which perturbation
+        object the severity parameterises.
+    param:
+        The field of that object the severity is assigned to.
+    severities:
+        Full-suite severity grid, mildest first.
+    quick_severities:
+        The quick-suite subset (must be drawn from ``severities``).
+    description:
+        One-line operator-facing description of the physical fault.
+    """
+
+    name: str
+    category: str
+    kind: str
+    param: str
+    severities: Tuple[Severity, ...]
+    quick_severities: Tuple[Severity, ...]
+    description: str
+
+    def __post_init__(self):
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown category {self.category!r}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown kind {self.kind!r}")
+        if not self.severities or not self.quick_severities:
+            raise ValueError(f"scenario {self.name!r} has an empty grid")
+        if not set(self.quick_severities) <= set(self.severities):
+            raise ValueError(
+                f"scenario {self.name!r}: quick severities must be a "
+                f"subset of the full grid")
+
+    # ------------------------------------------------------------------
+    def grid(self, suite: str) -> Tuple[Severity, ...]:
+        if suite not in SUITES:
+            raise ValueError(f"suite must be one of {SUITES}, got {suite!r}")
+        return self.quick_severities if suite == "quick" else self.severities
+
+    def seed_offset(self) -> int:
+        """Stable per-scenario seed component (independent of registry order)."""
+        return zlib.crc32(self.name.encode("utf-8")) % 100_000
+
+    # ------------------------------------------------------------------
+    # Perturbation hooks
+    # ------------------------------------------------------------------
+    def build_defects(self, severity: Severity,
+                      seed: int) -> SensorDefectModel:
+        if self.kind != "defect":
+            raise ValueError(f"scenario {self.name!r} is not a defect scenario")
+        value = int(severity) if self.param == "dropped_slots" else float(severity)
+        return replace(SensorDefectModel(seed=seed), **{self.param: value})
+
+    def build_noise(self, severity: Severity, seed: int) -> SensorNoiseModel:
+        if self.kind != "noise":
+            raise ValueError(f"scenario {self.name!r} is not a noise scenario")
+        value = int(severity) if self.param == "adc_bits" else float(severity)
+        return replace(SensorNoiseModel(seed=seed), **{self.param: value})
+
+    def build_faults(self, severity: Severity, seed: int) -> TrafficFaults:
+        if self.kind != "serving":
+            raise ValueError(f"scenario {self.name!r} is not a serving scenario")
+        base = TrafficFaults(seed=seed)
+        if self.param == "burst_size":
+            return replace(base, burst_size=int(severity), burst_pause_s=0.005)
+        if self.param == "slow_client_fraction":
+            return replace(base, slow_client_fraction=float(severity),
+                           slow_client_delay_s=0.002)
+        return replace(base, **{self.param: float(severity)})
+
+
+SCENARIOS: Tuple[Scenario, ...] = (
+    # -- structural read-out faults ------------------------------------
+    Scenario("dead_pixels", "sensor_defect", "defect", "dead_pixel_fraction",
+             (0.005, 0.01, 0.05, 0.15), (0.01, 0.05),
+             "pixels stuck at zero output"),
+    Scenario("hot_pixels", "sensor_defect", "defect", "hot_pixel_fraction",
+             (0.005, 0.01, 0.05, 0.15), (0.01, 0.05),
+             "pixels stuck at full scale"),
+    Scenario("tile_gain_drift", "sensor_defect", "defect", "tile_gain_sigma",
+             (0.02, 0.05, 0.2, 0.5), (0.05, 0.2),
+             "per-tile multiplicative gain mismatch"),
+    Scenario("column_fpn", "sensor_defect", "defect", "column_offset_sigma",
+             (0.01, 0.02, 0.1, 0.3), (0.02, 0.1),
+             "additive per-column fixed-pattern offset"),
+    # -- temporal exposure faults --------------------------------------
+    Scenario("dropped_slots", "exposure", "defect", "dropped_slots",
+             (1, 2, 4), (1, 2),
+             "exposure slots whose strobe is lost"),
+    Scenario("slot_jitter", "exposure", "defect", "slot_jitter",
+             (0.25, 0.5, 1.0), (0.25, 0.5),
+             "slots latching the adjacent scene frame"),
+    Scenario("frame_rate_mismatch", "exposure", "defect", "frame_rate_factor",
+             (0.5, 0.75, 1.5, 2.0), (0.75, 1.5),
+             "scene rate vs slot clock mismatch"),
+    # -- noise operating points ----------------------------------------
+    Scenario("full_well", "noise", "noise", "full_well_electrons",
+             (20000.0, 5000.0, 2000.0, 500.0, 200.0), (2000.0, 200.0),
+             "shrinking pixel full-well capacity"),
+    Scenario("read_noise", "noise", "noise", "read_noise_electrons",
+             (5.0, 10.0, 40.0, 80.0), (10.0, 40.0),
+             "read-out chain RMS noise"),
+    Scenario("adc_bits", "noise", "noise", "adc_bits",
+             (6, 5, 4, 3), (5, 3),
+             "coarser ADC quantisation"),
+    # -- serving-path faults -------------------------------------------
+    Scenario("corrupt_payloads", "serving", "serving", "corrupt_fraction",
+             (0.125, 0.25, 0.5), (0.125, 0.5),
+             "clips poisoned with NaN/Inf samples"),
+    Scenario("negative_payloads", "serving", "serving", "negative_fraction",
+             (0.25, 0.5), (0.25,),
+             "clips with negative light intensities"),
+    Scenario("bursty_arrivals", "serving", "serving", "burst_size",
+             (2, 4), (4,),
+             "traffic arriving in bursts with idle gaps"),
+    Scenario("slow_clients", "serving", "serving", "slow_client_fraction",
+             (0.25, 0.5), (0.25,),
+             "clients stalling before submission"),
+)
+
+_BY_NAME: Dict[str, Scenario] = {s.name: s for s in SCENARIOS}
+
+
+def get_scenario(name: str) -> Scenario:
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"available: {sorted(_BY_NAME)}")
+    return _BY_NAME[name]
+
+
+def suite(name: str = "quick",
+          categories: Optional[Sequence[str]] = None) -> List[Tuple[Scenario, Severity]]:
+    """The ``(scenario, severity)`` grid of one suite, in registry order."""
+    if categories is not None:
+        unknown = set(categories) - set(CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown categories {sorted(unknown)}; "
+                             f"available: {CATEGORIES}")
+    rows: List[Tuple[Scenario, Severity]] = []
+    for scenario in SCENARIOS:
+        if categories is not None and scenario.category not in categories:
+            continue
+        for severity in scenario.grid(name):
+            rows.append((scenario, severity))
+    return rows

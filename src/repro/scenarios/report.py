@@ -1,0 +1,162 @@
+"""Degradation report: classification thresholds and the matrix payload.
+
+Every scenario row is classified against the clean reference:
+
+- **pass** — the fault is absorbed: retention >= ``pass_retention``
+  (serving rows: every fault-isolation invariant held);
+- **degrade** — measurable loss but still clearly above chance:
+  retention >= ``degrade_retention``;
+- **fail** — accuracy collapsed to (or below) chance level, went
+  non-finite, or a serving invariant broke.
+
+The thresholds are calibrated to the anchor cell's geometry: the
+``ucf101`` analog has 4 classes (chance accuracy 0.25) and the clean
+reference scores 0.40, so chance-level collapse is retention 0.625 and
+the default ``degrade_retention=0.40`` only fails rows that fall *below*
+chance — the quick suite is expected to contain no ``fail`` rows, and a
+``fail`` anywhere marks genuine collapse, not mere degradation.
+
+The JSON payload carries no timestamps or timings, so a report is
+byte-identical across runs and across ``--workers`` settings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+DEFAULT_SCENARIO_RESULTS_PATH = (Path("benchmarks") / "results"
+                                 / "scenario_matrix.json")
+
+#: Retention thresholds of the pass/degrade/fail classification.
+DEFAULT_THRESHOLDS: Dict[str, float] = {
+    "pass_retention": 0.75,
+    "degrade_retention": 0.40,
+}
+
+CLASSIFICATIONS = ("pass", "degrade", "fail")
+
+
+def classify_row(row: Dict[str, Any],
+                 thresholds: Optional[Dict[str, float]] = None) -> str:
+    """Classify one scenario row as ``pass``/``degrade``/``fail``."""
+    thresholds = thresholds or DEFAULT_THRESHOLDS
+    if row["category"] == "serving":
+        return "pass" if row.get("invariants_ok") else "fail"
+    retention = row.get("retention")
+    accuracy = row.get("accuracy")
+    if retention is None or accuracy is None:
+        return "fail"
+    if not (_finite(retention) and _finite(accuracy)):
+        return "fail"
+    if retention >= thresholds["pass_retention"]:
+        return "pass"
+    if retention >= thresholds["degrade_retention"]:
+        return "degrade"
+    return "fail"
+
+
+def _finite(value: float) -> bool:
+    return value == value and value not in (float("inf"), float("-inf"))
+
+
+def build_report(reference: Dict[str, Any], rows: Sequence[Dict[str, Any]],
+                 suite: str, seed: int, backend: str,
+                 thresholds: Optional[Dict[str, float]] = None) -> Dict[str, Any]:
+    """Assemble the scenario-matrix payload with summary and worst cases."""
+    thresholds = dict(thresholds or DEFAULT_THRESHOLDS)
+    classified: List[Dict[str, Any]] = []
+    for row in rows:
+        row = dict(row)
+        row["classification"] = classify_row(row, thresholds)
+        classified.append(row)
+
+    counts = {name: 0 for name in CLASSIFICATIONS}
+    worst_by_category: Dict[str, Dict[str, Any]] = {}
+    for row in classified:
+        counts[row["classification"]] += 1
+        category = row["category"]
+        retention = row.get("retention")
+        if retention is None:
+            # Serving rows rank by invariant health, not retention.
+            rank = 0.0 if row["classification"] == "fail" else 1.0
+        else:
+            rank = retention if _finite(retention) else float("-inf")
+        current = worst_by_category.get(category)
+        if current is None or rank < current["_rank"]:
+            worst_by_category[category] = {
+                "_rank": rank,
+                "scenario": row["scenario"],
+                "severity": row["severity"],
+                "retention": retention,
+                "classification": row["classification"],
+            }
+    for entry in worst_by_category.values():
+        entry.pop("_rank")
+
+    return {
+        "suite": suite,
+        "seed": seed,
+        "backend": backend,
+        "thresholds": thresholds,
+        "reference": {
+            "model": reference["config"]["model"],
+            "dataset": reference["config"]["dataset"],
+            "clean_accuracy": reference["clean_accuracy"],
+            "config": dict(reference["config"]),
+        },
+        "rows": classified,
+        "summary": {
+            "num_rows": len(classified),
+            "counts": counts,
+            "worst_case_by_category": {
+                category: worst_by_category[category]
+                for category in sorted(worst_by_category)},
+        },
+    }
+
+
+def write_scenario_matrix(payload: Dict[str, Any],
+                          path=DEFAULT_SCENARIO_RESULTS_PATH) -> Path:
+    """Persist the matrix as JSON; refuses non-finite values.
+
+    ``allow_nan=False`` is deliberate: a NaN that sneaks into the
+    payload must fail the writer, not silently serialise to the
+    non-standard ``NaN`` token and break the byte-identity guarantee.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, allow_nan=False)
+        handle.write("\n")
+    return path
+
+
+def format_scenario_table(payload: Dict[str, Any]) -> str:
+    """Human-readable fixed-width rendering of the matrix."""
+    lines = []
+    reference = payload["reference"]
+    lines.append(f"suite={payload['suite']}  reference="
+                 f"{reference['model']}/{reference['dataset']}  "
+                 f"clean_accuracy={reference['clean_accuracy']:.3f}")
+    header = (f"{'scenario':<22} {'category':<14} {'severity':>9} "
+              f"{'accuracy':>9} {'retention':>10} {'snr_db':>8} {'class':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in payload["rows"]:
+        accuracy = row.get("accuracy")
+        retention = row.get("retention")
+        snr = row.get("capture_snr_db")
+        lines.append(
+            f"{row['scenario']:<22} {row['category']:<14} "
+            f"{row['severity']!s:>9} "
+            f"{'-' if accuracy is None else format(accuracy, '.3f'):>9} "
+            f"{'-' if retention is None else format(retention, '.3f'):>10} "
+            f"{'-' if snr is None else format(snr, '.1f'):>8} "
+            f"{row['classification']:>8}")
+    counts = payload["summary"]["counts"]
+    lines.append(f"rows={payload['summary']['num_rows']}  "
+                 f"pass={counts['pass']}  degrade={counts['degrade']}  "
+                 f"fail={counts['fail']}")
+    return "\n".join(lines)

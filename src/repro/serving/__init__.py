@@ -22,14 +22,17 @@ libraries:
   behind the ``repro serve`` CLI (:mod:`repro.serving.loadgen`).
 """
 
-from .batcher import BatcherClosed, MicroBatcher, RequestRejected
+from .batcher import BatcherClosed, MicroBatcher, RequestFailure, RequestRejected
 from .loadgen import (
     DEFAULT_SERVING_RESULTS_PATH,
     FULL_PROFILE,
     SMOKE_PROFILE,
+    TrafficFaults,
     benchmark_bundle,
     benchmark_serving,
     generate_clips,
+    poison_clips,
+    run_fault_injection,
     run_load_test,
     write_serving_results,
 )
@@ -41,13 +44,15 @@ from .registry import (
     quantize_bundle,
     save_servable,
 )
-from .server import InferenceServer, Prediction
+from .server import InferenceServer, InvalidRequest, Prediction
 from .stats import ServerStats
 
 __all__ = [
     "MicroBatcher",
     "RequestRejected",
+    "RequestFailure",
     "BatcherClosed",
+    "InvalidRequest",
     "ModelRegistry",
     "ServableBundle",
     "save_servable",
@@ -59,6 +64,9 @@ __all__ = [
     "ServerStats",
     "generate_clips",
     "run_load_test",
+    "TrafficFaults",
+    "poison_clips",
+    "run_fault_injection",
     "benchmark_bundle",
     "benchmark_serving",
     "write_serving_results",

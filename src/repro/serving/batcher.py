@@ -49,6 +49,29 @@ class BatcherClosed(RuntimeError):
     """Raised by :meth:`MicroBatcher.submit` after :meth:`MicroBatcher.close`."""
 
 
+class RequestFailure:
+    """Per-request failure sentinel a ``run_batch`` callable may return.
+
+    A batch-level exception from ``run_batch`` fails *every* request in
+    the batch — correct for infrastructure faults (the forward pass
+    itself died), but wrong for a single poisoned payload: one bad edge
+    device must not take down a batch of good ones.  ``run_batch``
+    instead returns ``RequestFailure(error)`` in that payload's result
+    slot; the batcher sets ``error`` on just that request's future and
+    resolves the rest normally.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        if not isinstance(error, BaseException):
+            raise TypeError("RequestFailure wraps an exception instance")
+        self.error = error
+
+    def __repr__(self) -> str:
+        return f"RequestFailure({self.error!r})"
+
+
 class _Request:
     __slots__ = ("payload", "future")
 
@@ -245,7 +268,14 @@ class MicroBatcher:
             for request in batch:
                 request.future.set_exception(error)
             return
+        request_failures = sum(
+            1 for result in results if isinstance(result, RequestFailure))
         with self._lock:
-            self._stats.completed += len(batch)
+            self._stats.completed += len(batch) - request_failures
+            self._stats.failed += request_failures
+            self._stats.request_failures += request_failures
         for request, result in zip(batch, results):
-            request.future.set_result(result)
+            if isinstance(result, RequestFailure):
+                request.future.set_exception(result.error)
+            else:
+                request.future.set_result(result)

@@ -16,13 +16,14 @@ import json
 import platform
 import threading
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .registry import ServableBundle, fresh_bundle, quantize_bundle
-from .server import InferenceServer, Prediction
+from .server import InferenceServer, InvalidRequest, Prediction
 
 DEFAULT_SERVING_RESULTS_PATH = (Path("benchmarks") / "results"
                                 / "serving_bench.json")
@@ -202,3 +203,157 @@ def write_serving_results(payload: Dict,
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, default=float)
     return path
+
+
+# ----------------------------------------------------------------------
+# Fault-injection traffic
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrafficFaults:
+    """Adversarial traffic shape for serving-path fault injection.
+
+    Attributes
+    ----------
+    corrupt_fraction:
+        Fraction of clips poisoned with NaN/Inf samples (a flaky edge
+        device streaming garbage).
+    negative_fraction:
+        Fraction of clips shifted to negative light intensities
+        (mis-calibrated black-level subtraction upstream).
+    burst_size, burst_pause_s:
+        Submit in bursts of ``burst_size`` with a pause between bursts
+        (0 = one continuous burst); exercises deadline flushes between
+        size flushes.
+    slow_client_fraction, slow_client_delay_s:
+        Fraction of requests whose client stalls before submitting,
+        stretching batch assembly windows.
+    seed:
+        Seed of every structural draw (which clips are poisoned, which
+        clients are slow) — fault traffic is fully deterministic.
+    """
+
+    corrupt_fraction: float = 0.0
+    negative_fraction: float = 0.0
+    burst_size: int = 0
+    burst_pause_s: float = 0.0
+    slow_client_fraction: float = 0.0
+    slow_client_delay_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.corrupt_fraction <= 1.0:
+            raise ValueError("corrupt_fraction must be in [0, 1]")
+        if not 0.0 <= self.negative_fraction <= 1.0:
+            raise ValueError("negative_fraction must be in [0, 1]")
+        if self.corrupt_fraction + self.negative_fraction > 1.0:
+            raise ValueError("poisoned fractions exceed the traffic")
+        if self.burst_size < 0 or self.burst_pause_s < 0:
+            raise ValueError("burst parameters must be non-negative")
+        if not 0.0 <= self.slow_client_fraction <= 1.0:
+            raise ValueError("slow_client_fraction must be in [0, 1]")
+        if self.slow_client_delay_s < 0:
+            raise ValueError("slow_client_delay_s must be non-negative")
+
+
+def poison_clips(clips: np.ndarray,
+                 faults: TrafficFaults) -> Tuple[List[np.ndarray], List[Optional[str]]]:
+    """Deterministically poison a subset of the traffic.
+
+    Returns the (possibly poisoned) clips and a per-clip kind:
+    ``"corrupt"`` (NaN/Inf), ``"negative"``, or ``None`` for healthy
+    traffic.  The poisoned subset is drawn from ``faults.seed`` alone,
+    so the same faults poison the same clips on every run.
+    """
+    clips = np.asarray(clips, dtype=np.float64)
+    num = len(clips)
+    rng = np.random.default_rng([faults.seed, 17])
+    num_corrupt = int(round(faults.corrupt_fraction * num))
+    num_negative = int(round(faults.negative_fraction * num))
+    order = rng.permutation(num)
+    corrupt = set(order[:num_corrupt].tolist())
+    negative = set(order[num_corrupt:num_corrupt + num_negative].tolist())
+    poisoned: List[np.ndarray] = []
+    kinds: List[Optional[str]] = []
+    for index in range(num):
+        clip = clips[index].copy()
+        if index in corrupt:
+            flat = clip.reshape(-1)
+            flat[::max(1, flat.size // 7)] = np.nan
+            flat[-1] = np.inf
+            kinds.append("corrupt")
+        elif index in negative:
+            clip -= float(clip.max()) + 0.5
+            kinds.append("negative")
+        else:
+            kinds.append(None)
+        poisoned.append(clip)
+    return poisoned, kinds
+
+
+def run_fault_injection(server: InferenceServer, clips: np.ndarray,
+                        faults: TrafficFaults) -> Dict:
+    """Drive a server with poisoned/bursty/slow traffic; check invariants.
+
+    The returned row separates *deterministic* fields (request/poison
+    counts, whether every poisoned request failed with the typed
+    :class:`~repro.serving.server.InvalidRequest`, whether every valid
+    request's label matched the sequential reference, and whether the
+    server still served after the storm) from the one timing field
+    (``elapsed_s``), so callers needing reproducible reports can drop
+    the latter.
+    """
+    poisoned, kinds = poison_clips(clips, faults)
+    slow = (np.random.default_rng([faults.seed, 23]).random(len(poisoned))
+            < faults.slow_client_fraction)
+    start = time.perf_counter()
+    futures = []
+    for index, clip in enumerate(poisoned):
+        if (faults.burst_size and index
+                and index % faults.burst_size == 0 and faults.burst_pause_s > 0):
+            time.sleep(faults.burst_pause_s)
+        if slow[index] and faults.slow_client_delay_s > 0:
+            time.sleep(faults.slow_client_delay_s)
+        futures.append(server.submit(clip))
+    outcomes: List[object] = []
+    for future in futures:
+        try:
+            outcomes.append(future.result())
+        except Exception as error:  # noqa: BLE001 — outcome classification
+            outcomes.append(error)
+    elapsed = time.perf_counter() - start
+
+    valid_indices = [i for i, kind in enumerate(kinds) if kind is None]
+    poisoned_indices = [i for i, kind in enumerate(kinds) if kind is not None]
+    reference = server.predict_sequential(
+        [poisoned[i] for i in valid_indices])
+    valid_completed = sum(1 for i in valid_indices
+                          if isinstance(outcomes[i], Prediction))
+    valid_labels_match = all(
+        isinstance(outcomes[i], Prediction)
+        and outcomes[i].label == ref.label
+        for i, ref in zip(valid_indices, reference))
+    typed_errors = sum(1 for i in poisoned_indices
+                       if isinstance(outcomes[i], InvalidRequest))
+    errors_all_typed = typed_errors == len(poisoned_indices)
+    # The server must keep serving after the fault storm.
+    try:
+        probe = server.predict(np.asarray(clips[0], dtype=np.float64))
+        served_after_faults = isinstance(probe, Prediction)
+    except Exception:  # noqa: BLE001 — probe failure is the signal
+        served_after_faults = False
+    return {
+        "num_requests": len(poisoned),
+        "num_poisoned": len(poisoned_indices),
+        "num_corrupt": sum(1 for kind in kinds if kind == "corrupt"),
+        "num_negative": sum(1 for kind in kinds if kind == "negative"),
+        "typed_errors": typed_errors,
+        "untyped_errors": sum(
+            1 for i in poisoned_indices
+            if isinstance(outcomes[i], Exception)
+            and not isinstance(outcomes[i], InvalidRequest)),
+        "valid_completed": valid_completed,
+        "valid_labels_match": bool(valid_labels_match),
+        "errors_all_typed": bool(errors_all_typed),
+        "served_after_faults": bool(served_after_faults),
+        "elapsed_s": elapsed,
+    }

@@ -36,10 +36,21 @@ from ..ce.operator import exposure_counts
 from ..hardware import StackedCESensor
 from ..nn import no_grad
 from ..runtime import BatchEncoder
-from .batcher import MicroBatcher
+from .batcher import MicroBatcher, RequestFailure
 from .registry import ServableBundle
 
 CAPTURE_MODES = ("operator", "hardware")
+
+
+class InvalidRequest(ValueError):
+    """Typed per-request rejection: this payload cannot be inferred.
+
+    Raised synchronously by :meth:`InferenceServer.submit` for
+    malformed shapes, and set on the *individual* request future when a
+    well-shaped but poisoned clip (NaN/Inf, negative light, wrong
+    dtype for an integer-input bundle) reaches the batch worker — the
+    other requests coalesced into the same micro-batch still complete.
+    """
 
 
 @dataclass(frozen=True)
@@ -126,10 +137,34 @@ class InferenceServer:
         clip = np.asarray(clip)
         expected = self._clip_shape()
         if clip.shape != expected:
-            raise ValueError(
+            raise InvalidRequest(
                 f"clip shape {clip.shape} != expected {expected} for "
                 f"servable '{self.bundle.name}'")
         return clip
+
+    def _screen_clip(self, clip: np.ndarray) -> Optional[InvalidRequest]:
+        """Content screening of one well-shaped clip; ``None`` when servable.
+
+        Runs on the batch worker (content checks scan the whole clip, so
+        they are deferred off the submit path): a poisoned clip here
+        must fail *alone*, not poison the stacked batch — the hardware
+        capture path rejects a whole batch on any negative sample, and
+        NaN/Inf would propagate through every logit of the batch.
+        """
+        if not np.issubdtype(clip.dtype, np.number) \
+                or np.issubdtype(clip.dtype, np.complexfloating):
+            return InvalidRequest(
+                f"clip dtype {clip.dtype} is not real-numeric")
+        if np.issubdtype(clip.dtype, np.floating) \
+                and not np.isfinite(clip).all():
+            return InvalidRequest("clip contains non-finite values (NaN/Inf)")
+        if self.integer_input and not np.issubdtype(clip.dtype, np.integer):
+            return InvalidRequest(
+                f"servable '{self.bundle.name}' serves the integer path; "
+                f"got {clip.dtype} clip")
+        if self.bundle.input_kind == "ce" and bool((clip < 0).any()):
+            return InvalidRequest("clip contains negative light intensities")
+        return None
 
     def submit(self, clip) -> "Future[Prediction]":
         """Enqueue one raw ``(T, H, W)`` clip; returns a prediction future.
@@ -195,14 +230,31 @@ class InferenceServer:
         with no_grad():
             return self.bundle.model(inputs).data
 
-    def _run_batch(self, clips: List[np.ndarray]) -> List[Prediction]:
-        batch = np.stack(clips)
-        if self.bundle.input_kind == "ce":
-            batch = self._encode(batch)
-        logits = self._forward(batch)
-        labels = logits.argmax(axis=-1)
-        return [Prediction(label=int(labels[i]), logits=logits[i])
-                for i in range(len(clips))]
+    def _run_batch(self, clips: List[np.ndarray]) -> List[object]:
+        """Encode + forward one coalesced batch; one result per clip.
+
+        Poisoned clips resolve to :class:`RequestFailure` sentinels
+        (their futures get the typed :class:`InvalidRequest`); the valid
+        subset of the batch is stacked, encoded, and inferred as usual.
+        """
+        results: List[object] = [None] * len(clips)
+        valid: List[int] = []
+        for index, clip in enumerate(clips):
+            error = self._screen_clip(clip)
+            if error is None:
+                valid.append(index)
+            else:
+                results[index] = RequestFailure(error)
+        if valid:
+            batch = np.stack([clips[index] for index in valid])
+            if self.bundle.input_kind == "ce":
+                batch = self._encode(batch)
+            logits = self._forward(batch)
+            labels = logits.argmax(axis=-1)
+            for position, index in enumerate(valid):
+                results[index] = Prediction(label=int(labels[position]),
+                                            logits=logits[position])
+        return results
 
     # ------------------------------------------------------------------
     def predict_sequential(self, clips: Sequence) -> List[Prediction]:
@@ -210,9 +262,15 @@ class InferenceServer:
 
         Bypasses the queue and the batcher entirely; the serving tests
         assert the micro-batched path produces identical argmax labels.
+        Poisoned clips raise their :class:`InvalidRequest` directly.
         """
-        return [self._run_batch([self._validate_clip(clip)])[0]
-                for clip in clips]
+        predictions: List[Prediction] = []
+        for clip in clips:
+            result = self._run_batch([self._validate_clip(clip)])[0]
+            if isinstance(result, RequestFailure):
+                raise result.error
+            predictions.append(result)
+        return predictions
 
     # ------------------------------------------------------------------
     # Telemetry / lifecycle

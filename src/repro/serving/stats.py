@@ -27,6 +27,9 @@ class ServerStats:
     completed: int = 0
     #: Requests whose batch failed (future carries the exception).
     failed: int = 0
+    #: Subset of ``failed`` rejected individually (poisoned payload) while
+    #: the rest of their batch completed normally.
+    request_failures: int = 0
     #: Requests refused because the bounded queue was full (backpressure).
     rejected: int = 0
     #: Requests whose future the client cancelled while still queued.
@@ -75,6 +78,7 @@ class ServerStats:
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
+            "request_failures": self.request_failures,
             "rejected": self.rejected,
             "cancelled": self.cancelled,
             "batches": self.batches,

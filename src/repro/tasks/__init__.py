@@ -16,11 +16,12 @@ from .training import (
     measure_inference_throughput,
 )
 from .reconstruction import ReconstructionHistory, ReconstructionTrainer
-from .robustness import accuracy_retention, evaluate_under_noise
+from .robustness import accuracy_retention, evaluate_under_noise, predict_logits
 
 __all__ = [
     "evaluate_under_noise",
     "accuracy_retention",
+    "predict_logits",
     "top1_accuracy",
     "topk_accuracy",
     "per_class_accuracy",

@@ -1,7 +1,26 @@
-"""Shared pytest fixtures for the SnapPix reproduction test suite."""
+"""Shared pytest fixtures for the SnapPix reproduction test suite.
+
+Hypothesis settings are tiered into named profiles (quick/standard/slow)
+instead of per-test ``max_examples`` overrides, so the example budget is
+selected per environment: ``HYPOTHESIS_PROFILE=quick pytest`` for a fast
+smoke pass, ``standard`` (the default) for CI, ``slow`` for a deeper
+local soak.  Property tests inherit the loaded profile by simply not
+carrying their own ``@settings`` decorator.
+"""
+
+import os
 
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# Tiered Hypothesis profiles.  ``deadline=None`` everywhere: the CE
+# kernels are NumPy-vectorised and a cold first call (thread-pool
+# spin-up in the threaded backend) would trip a wall-clock deadline.
+settings.register_profile("quick", max_examples=10, deadline=None)
+settings.register_profile("standard", max_examples=25, deadline=None)
+settings.register_profile("slow", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "standard"))
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ce import (
@@ -28,7 +28,6 @@ def _random_mask(rng, num_slots, size):
 
 class TestCodedExposureInvariants:
     @given(st.integers(min_value=1, max_value=6), st.integers(min_value=4, max_value=8))
-    @settings(max_examples=25, deadline=None)
     def test_matches_direct_sum_formula(self, num_slots, size):
         rng = np.random.default_rng(num_slots * 100 + size)
         video = rng.random((2, num_slots, size, size))
@@ -38,7 +37,6 @@ class TestCodedExposureInvariants:
         assert np.allclose(coded, direct)
 
     @given(st.integers(min_value=2, max_value=6))
-    @settings(max_examples=20, deadline=None)
     def test_linearity_without_normalisation(self, num_slots):
         rng = np.random.default_rng(num_slots)
         size = 8
@@ -89,14 +87,12 @@ class TestCodedExposureInvariants:
                 assert coded[0, row, col] == pytest.approx(video[0, slot, row, col])
 
     @given(st.integers(min_value=1, max_value=64))
-    @settings(max_examples=20, deadline=None)
     def test_compression_ratio_equals_t(self, num_slots):
         assert compression_ratio(num_slots) == pytest.approx(float(num_slots))
 
 
 class TestTilePatternExpansion:
     @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
-    @settings(max_examples=20, deadline=None)
     def test_expansion_is_periodic(self, reps_h, reps_w):
         rng = np.random.default_rng(reps_h * 10 + reps_w)
         tile = 4
@@ -116,7 +112,6 @@ class TestTilePatternExpansion:
 
 class TestStraightThroughBinarisation:
     @given(st.floats(min_value=-5.0, max_value=5.0))
-    @settings(max_examples=30, deadline=None)
     def test_output_is_binary(self, logit):
         from repro.nn import Tensor
 

@@ -1,0 +1,235 @@
+"""Tests for the sensor defect layer (repro.hardware.defects)."""
+
+import numpy as np
+import pytest
+
+from repro.ce import CEConfig, CodedExposureSensor, make_pattern
+from repro.hardware import (
+    DefectiveSensor,
+    SensorDefectModel,
+    SensorNoiseModel,
+    healthy_defects,
+    with_severity,
+)
+
+
+@pytest.fixture
+def config():
+    return CEConfig(num_slots=8, tile_size=4, frame_height=16, frame_width=16)
+
+
+@pytest.fixture
+def pattern(rng):
+    return make_pattern("random", 8, 4, rng=rng)
+
+
+class TestSensorDefectModelValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            SensorDefectModel(dead_pixel_fraction=-0.1)
+        with pytest.raises(ValueError):
+            SensorDefectModel(hot_pixel_fraction=1.5)
+        with pytest.raises(ValueError):
+            SensorDefectModel(dead_pixel_fraction=0.6, hot_pixel_fraction=0.6)
+
+    def test_magnitude_bounds(self):
+        with pytest.raises(ValueError):
+            SensorDefectModel(hot_pixel_level=-0.5)
+        with pytest.raises(ValueError):
+            SensorDefectModel(tile_gain_sigma=-0.1)
+        with pytest.raises(ValueError):
+            SensorDefectModel(column_offset_sigma=-0.1)
+        with pytest.raises(ValueError):
+            SensorDefectModel(dropped_slots=-1)
+        with pytest.raises(ValueError):
+            SensorDefectModel(slot_jitter=1.1)
+        with pytest.raises(ValueError):
+            SensorDefectModel(frame_rate_factor=0.0)
+
+    def test_healthy_and_with_severity_helpers(self):
+        healthy = healthy_defects(seed=3)
+        assert not healthy.has_temporal_faults
+        assert not healthy.has_readout_faults
+        harsh = with_severity(healthy, dead_pixel_fraction=0.1)
+        assert harsh.dead_pixel_fraction == 0.1
+        assert harsh.seed == 3
+        # The original is untouched (frozen dataclass + replace).
+        assert healthy.dead_pixel_fraction == 0.0
+
+
+class TestStructuralMaps:
+    def test_pixel_masks_round_trip_and_disjoint(self):
+        defects = SensorDefectModel(dead_pixel_fraction=0.1,
+                                    hot_pixel_fraction=0.05, seed=11)
+        dead, hot = defects.pixel_defect_masks(20, 20)
+        assert dead.shape == hot.shape == (20, 20)
+        assert dead.sum() == round(0.1 * 400)
+        assert hot.sum() == round(0.05 * 400)
+        assert not (dead & hot).any()
+        # Bit-identical re-derivation from equal fields (cacheability).
+        dead2, hot2 = SensorDefectModel(
+            dead_pixel_fraction=0.1, hot_pixel_fraction=0.05,
+            seed=11).pixel_defect_masks(20, 20)
+        assert np.array_equal(dead, dead2)
+        assert np.array_equal(hot, hot2)
+
+    def test_substreams_are_independent(self):
+        base = SensorDefectModel(dead_pixel_fraction=0.05,
+                                 tile_gain_sigma=0.1, seed=5)
+        config = CEConfig(num_slots=8, tile_size=4,
+                          frame_height=16, frame_width=16)
+        gains_before = base.tile_gain_map(config)
+        # Raising the dead fraction must not reshuffle the tile gains.
+        harsher = with_severity(base, dead_pixel_fraction=0.2)
+        assert np.array_equal(gains_before, harsher.tile_gain_map(config))
+
+    def test_tile_gain_map_bounds_and_structure(self, config):
+        sigma = 0.2
+        defects = SensorDefectModel(tile_gain_sigma=sigma, seed=2)
+        gains = defects.tile_gain_map(config)
+        assert gains.shape == (16, 16)
+        assert (gains >= 0.0).all()
+        # Constant within each tile.
+        tiles = gains.reshape(4, 4, 4, 4).swapaxes(1, 2).reshape(16, 4, 4)
+        for tile in tiles:
+            assert np.ptp(tile) == 0.0
+        # Centred on 1.0 with the requested spread (16 draws: loose check).
+        unique = np.unique(gains)
+        assert abs(unique.mean() - 1.0) < 4 * sigma
+        assert (np.abs(unique - 1.0) < 6 * sigma).all()
+
+    def test_zero_sigma_gain_is_identity(self, config):
+        gains = SensorDefectModel(seed=0).tile_gain_map(config)
+        assert np.array_equal(gains, np.ones((16, 16)))
+
+    def test_column_offsets(self):
+        offsets = SensorDefectModel(column_offset_sigma=0.1,
+                                    seed=4).column_offsets(32)
+        assert offsets.shape == (32,)
+        assert np.abs(offsets).max() < 0.1 * 6
+
+    def test_dropped_slot_indices_sorted_unique_clamped(self):
+        defects = SensorDefectModel(dropped_slots=3, seed=9)
+        picks = defects.dropped_slot_indices(8)
+        assert picks.shape == (3,)
+        assert len(set(picks.tolist())) == 3
+        assert np.array_equal(picks, np.sort(picks))
+        # More drops than slots: every slot is dropped, no error.
+        assert len(SensorDefectModel(dropped_slots=10,
+                                     seed=9).dropped_slot_indices(4)) == 4
+
+    def test_slot_source_frames(self):
+        # Matched rates + no jitter: identity gather.
+        identity = SensorDefectModel(seed=0).slot_source_frames(8)
+        assert np.array_equal(identity, np.arange(8))
+        # Frame-rate mismatch: floor(t * factor), clamped to the clip.
+        doubled = SensorDefectModel(frame_rate_factor=2.0,
+                                    seed=0).slot_source_frames(8)
+        assert np.array_equal(doubled, np.minimum(np.arange(8) * 2, 7))
+        # Dropped slots gather nothing (-1 sentinel).
+        dropped = SensorDefectModel(dropped_slots=2, seed=1)
+        source = dropped.slot_source_frames(8)
+        assert (source[dropped.dropped_slot_indices(8)] == -1).all()
+        # Full jitter moves every slot by exactly one frame (post-clip).
+        jittered = SensorDefectModel(slot_jitter=1.0,
+                                     seed=3).slot_source_frames(8)
+        assert (np.abs(jittered - np.arange(8)) <= 1).all()
+
+
+class TestDefectiveSensorCapture:
+    def test_identity_defects_match_clean_capture(self, config, pattern, rng):
+        sensor = DefectiveSensor(config, pattern, healthy_defects())
+        videos = rng.random((3, 8, 16, 16))
+        assert np.array_equal(sensor.capture(videos),
+                              sensor.capture_clean(videos))
+
+    def test_dead_pixels_read_zero_hot_read_level(self, config, pattern, rng):
+        defects = SensorDefectModel(dead_pixel_fraction=0.1,
+                                    hot_pixel_fraction=0.1,
+                                    hot_pixel_level=0.9, seed=6)
+        sensor = DefectiveSensor(config, pattern, defects)
+        videos = rng.random((2, 8, 16, 16)) * 0.5 + 0.25
+        coded = sensor.capture(videos)
+        dead, hot = defects.pixel_defect_masks(16, 16)
+        assert (coded[..., dead] == 0.0).all()
+        # Hot pixels read the configured level wherever the pixel saw
+        # at least one exposure (zero-exposure pixels normalise to 0/1).
+        counts = sensor.exposure_counts_map
+        exposed_hot = hot & (counts > 0)
+        assert np.allclose(coded[..., exposed_hot], 0.9)
+
+    def test_dropped_slots_equal_zeroed_pattern_raw(self, config, rng):
+        """A dropped strobe integrates like a pattern with that slot zeroed.
+
+        The equivalence holds for RAW (un-normalised) charge: the defect
+        path still normalises by the *believed* exposure counts, while a
+        genuinely zeroed pattern normalises by the true (smaller) counts.
+        """
+        pattern = np.ones((8, 4, 4))
+        defects = SensorDefectModel(dropped_slots=3, seed=12)
+        sensor = DefectiveSensor(config, pattern, defects)
+        videos = rng.random((2, 8, 16, 16))
+
+        zeroed = pattern.copy()
+        zeroed[defects.dropped_slot_indices(8)] = 0.0
+        reference = CodedExposureSensor(config, zeroed)
+        assert np.allclose(sensor.capture_raw(videos),
+                           reference.capture_raw(videos))
+
+    def test_gain_drift_scales_raw_capture(self, config, pattern, rng):
+        defects = SensorDefectModel(tile_gain_sigma=0.2, seed=8)
+        sensor = DefectiveSensor(config, pattern, defects)
+        videos = rng.random((2, 8, 16, 16))
+        clean_raw = CodedExposureSensor(config, pattern).capture_raw(videos)
+        assert np.allclose(sensor.capture_raw(videos),
+                           clean_raw * defects.tile_gain_map(config))
+
+    def test_column_fpn_adds_per_column_offsets(self, config, pattern, rng):
+        defects = SensorDefectModel(column_offset_sigma=0.1, seed=13)
+        sensor = DefectiveSensor(config, pattern, defects)
+        videos = rng.random((1, 8, 16, 16))
+        clean_raw = CodedExposureSensor(config, pattern).capture_raw(videos)
+        assert np.allclose(sensor.capture_raw(videos),
+                           clean_raw + defects.column_offsets(16))
+
+    def test_capture_is_deterministic(self, config, pattern, rng):
+        defects = SensorDefectModel(dead_pixel_fraction=0.05,
+                                    tile_gain_sigma=0.1,
+                                    dropped_slots=1, seed=21)
+        videos = rng.random((2, 8, 16, 16))
+        first = DefectiveSensor(config, pattern, defects).capture(videos)
+        second = DefectiveSensor(config, pattern, defects).capture(videos)
+        assert np.array_equal(first, second)
+
+    def test_hardware_sim_path_matches_operator(self, config, pattern, rng):
+        defects = SensorDefectModel(dead_pixel_fraction=0.05,
+                                    dropped_slots=1, seed=2)
+        videos = rng.random((2, 8, 16, 16))
+        operator = DefectiveSensor(config, pattern, defects)
+        hardware = DefectiveSensor(config, pattern, defects,
+                                   hardware_sim=True)
+        assert np.allclose(operator.capture(videos),
+                           hardware.capture(videos))
+
+    def test_noise_composes_with_defects(self, config, pattern, rng):
+        defects = SensorDefectModel(dead_pixel_fraction=0.1, seed=1)
+        noise = SensorNoiseModel(seed=5)
+        sensor = DefectiveSensor(config, pattern, defects, noise=noise)
+        videos = rng.random((2, 8, 16, 16))
+        first = sensor.capture(videos)
+        # Dead pixels override whatever the noise drew.
+        dead, _ = defects.pixel_defect_masks(16, 16)
+        assert (first[..., dead] == 0.0).all()
+        # Session stream: a second capture sees fresh noise draws.
+        second = sensor.capture(videos)
+        assert not np.array_equal(first, second)
+        # But the first capture of a fresh sensor is reproducible.
+        again = DefectiveSensor(config, pattern, defects,
+                                noise=SensorNoiseModel(seed=5)).capture(videos)
+        assert np.array_equal(first, again)
+
+    def test_single_clip_capture_shape(self, config, pattern, rng):
+        sensor = DefectiveSensor(config, pattern,
+                                 SensorDefectModel(dropped_slots=1, seed=0))
+        coded = sensor.capture(rng.random((8, 16, 16)))
+        assert coded.shape == (16, 16)

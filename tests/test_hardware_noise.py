@@ -110,6 +110,45 @@ class TestNoisyCodedExposureSensor:
         assert counts.shape == (16, 16)
         assert counts.max() <= 8
 
+    def test_session_captures_draw_fresh_noise(self, config, rng):
+        """Regression: repeated captures in one sensor session must not
+        replay identical noise (the old default hit ``_rng()`` twice)."""
+        pattern = make_pattern("random", 8, 4, rng=rng)
+        sensor = NoisyCodedExposureSensor(config, pattern,
+                                          noise=SensorNoiseModel(seed=0))
+        videos = rng.random((2, 8, 16, 16))
+        first = sensor.capture(videos)
+        second = sensor.capture(videos)
+        assert not np.array_equal(first, second)
+
+    def test_first_session_capture_matches_fresh_sensor(self, config, rng):
+        """The session stream starts where the one-shot default starts,
+        so adopting it cannot change any previously published capture."""
+        pattern = make_pattern("random", 8, 4, rng=rng)
+        videos = rng.random((2, 8, 16, 16))
+        session = NoisyCodedExposureSensor(
+            config, pattern, noise=SensorNoiseModel(seed=0)).capture(videos)
+        fresh = NoisyCodedExposureSensor(
+            config, pattern, noise=SensorNoiseModel(seed=0)).capture(videos)
+        assert np.array_equal(session, fresh)
+
+    def test_explicit_rng_bypasses_the_session_stream(self, config, rng):
+        pattern = make_pattern("random", 8, 4, rng=rng)
+        sensor = NoisyCodedExposureSensor(config, pattern,
+                                          noise=SensorNoiseModel(seed=0))
+        videos = rng.random((1, 8, 16, 16))
+        first = sensor.capture(videos, rng=np.random.default_rng(42))
+        second = sensor.capture(videos, rng=np.random.default_rng(42))
+        assert np.array_equal(first, second)
+
+    def test_stream_is_seeded_like_the_one_shot_default(self):
+        model = SensorNoiseModel(seed=3)
+        signal = np.random.default_rng(0).random((1, 8, 8))
+        exposures = np.ones((8, 8))
+        assert np.array_equal(model.apply(signal, exposures),
+                              model.apply(signal, exposures,
+                                          rng=model.stream()))
+
     def test_capture_snr_validation(self, rng):
         with pytest.raises(ValueError):
             capture_snr_db(rng.random((2, 4, 4)), rng.random((2, 5, 5)))

@@ -10,6 +10,7 @@ from repro.tasks import (
     ActionRecognitionTrainer,
     accuracy_retention,
     evaluate_under_noise,
+    predict_logits,
 )
 
 
@@ -29,6 +30,37 @@ def trained_setup():
     return model, dataset, config, pattern
 
 
+class TestPredictLogits:
+    def test_chunked_matches_single_call_bitwise(self, trained_setup):
+        """Micro-batched evaluation must be BIT-identical to the one-shot
+        forward — the memory fix cannot move any published number."""
+        model, dataset, config, pattern = trained_setup
+        sensor = CodedExposureSensor(config, pattern)
+        coded = sensor.capture(np.asarray(dataset.test_videos, dtype=np.float64))
+        single = predict_logits(model, coded, batch_size=len(coded))
+        for batch_size in (2, 3, 5):
+            chunked = predict_logits(model, coded, batch_size=batch_size)
+            assert np.array_equal(single, chunked)
+        # batch_size=1 routes BLAS through single-row kernels whose
+        # summation order may differ by 1 ulp; identical argmax still.
+        one = predict_logits(model, coded, batch_size=1)
+        assert np.allclose(single, one, rtol=0, atol=1e-12)
+        assert np.array_equal(single.argmax(axis=-1), one.argmax(axis=-1))
+
+    def test_leaves_no_autograd_graph(self, trained_setup):
+        model, dataset, config, pattern = trained_setup
+        coded = CodedExposureSensor(config, pattern).capture(
+            np.asarray(dataset.test_videos, dtype=np.float64))
+        logits = predict_logits(model, coded, batch_size=2)
+        assert isinstance(logits, np.ndarray)
+        assert logits.shape == (len(coded), dataset.num_classes)
+
+    def test_validation(self, trained_setup):
+        model, *_ = trained_setup
+        with pytest.raises(ValueError):
+            predict_logits(model, np.zeros((2, 16, 16)), batch_size=0)
+
+
 class TestEvaluateUnderNoise:
     def test_rows_structure(self, trained_setup):
         model, dataset, config, pattern = trained_setup
@@ -40,6 +72,18 @@ class TestEvaluateUnderNoise:
         assert rows[0]["capture_snr_db"] == float("inf")
         for row in rows:
             assert 0.0 <= row["accuracy"] <= 1.0
+
+    def test_eval_batch_size_does_not_change_results(self, trained_setup):
+        model, dataset, config, pattern = trained_setup
+        kwargs = dict(full_well_values=(50000.0, 500.0), seed=0)
+        large = evaluate_under_noise(model, dataset.test_videos,
+                                     dataset.test_labels, config, pattern,
+                                     eval_batch_size=64, **kwargs)
+        small = evaluate_under_noise(model, dataset.test_videos,
+                                     dataset.test_labels, config, pattern,
+                                     eval_batch_size=2, **kwargs)
+        for row_large, row_small in zip(large, small):
+            assert row_large == row_small
 
     def test_snr_decreases_with_full_well(self, trained_setup):
         model, dataset, config, pattern = trained_setup

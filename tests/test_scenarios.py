@@ -1,0 +1,264 @@
+"""Tests for the scenario fleet (repro.scenarios).
+
+The engine tests share one trained reference anchor (module-scoped,
+cached to disk) and re-run only the cheap perturbed-capture rows, so
+the suite stays fast while still exercising the real stage pipeline.
+"""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.runtime import ArtifactStore
+from repro.scenarios import (
+    CATEGORIES,
+    CLASSIFICATIONS,
+    DEFAULT_THRESHOLDS,
+    SCENARIOS,
+    ScenarioReferenceStage,
+    build_report,
+    classify_row,
+    format_scenario_table,
+    get_scenario,
+    make_row_stage,
+    row_seed,
+    run_scenario_grid,
+    run_scenario_matrix,
+    suite,
+)
+from repro.scenarios.registry import Scenario
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_every_scenario_is_well_formed(self):
+        for scenario in SCENARIOS:
+            assert scenario.category in CATEGORIES
+            assert set(scenario.quick_severities) <= set(scenario.severities)
+            assert scenario.description
+
+    def test_every_category_is_covered(self):
+        covered = {scenario.category for scenario in SCENARIOS}
+        assert covered == set(CATEGORIES)
+
+    def test_quick_suite_has_at_least_20_rows(self):
+        assert len(suite("quick")) >= 20
+
+    def test_full_suite_extends_quick(self):
+        assert len(suite("full")) > len(suite("quick"))
+
+    def test_suite_category_filter(self):
+        rows = suite("quick", categories=["serving"])
+        assert rows
+        assert all(s.category == "serving" for s, _ in rows)
+        with pytest.raises(ValueError):
+            suite("quick", categories=["nonsense"])
+        with pytest.raises(ValueError):
+            suite("weekly")
+
+    def test_get_scenario(self):
+        assert get_scenario("dead_pixels").param == "dead_pixel_fraction"
+        with pytest.raises(KeyError):
+            get_scenario("phantom")
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            Scenario("x", "bogus", "defect", "dead_pixel_fraction",
+                     (0.1,), (0.1,), "d")
+        with pytest.raises(ValueError):
+            Scenario("x", "noise", "bogus", "p", (0.1,), (0.1,), "d")
+        with pytest.raises(ValueError):  # quick not a subset of full
+            Scenario("x", "noise", "noise", "adc_bits", (4,), (3,), "d")
+        with pytest.raises(ValueError):  # empty grid
+            Scenario("x", "noise", "noise", "adc_bits", (), (), "d")
+
+    def test_perturbation_hooks_build_the_right_object(self):
+        defects = get_scenario("dead_pixels").build_defects(0.05, seed=9)
+        assert defects.dead_pixel_fraction == 0.05
+        assert defects.seed == 9
+        noise = get_scenario("adc_bits").build_noise(5, seed=9)
+        assert noise.adc_bits == 5  # int-cast, not 5.0
+        faults = get_scenario("bursty_arrivals").build_faults(4, seed=9)
+        assert faults.burst_size == 4
+        assert faults.burst_pause_s > 0
+        with pytest.raises(ValueError):
+            get_scenario("dead_pixels").build_noise(0.05, seed=0)
+        with pytest.raises(ValueError):
+            get_scenario("adc_bits").build_faults(5, seed=0)
+
+    def test_row_seed_is_stable_and_distinct(self):
+        scenario = get_scenario("dead_pixels")
+        seeds = [row_seed(0, scenario, sev) for sev in scenario.severities]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [row_seed(0, scenario, sev)
+                         for sev in scenario.severities]
+        # Quick and full runs of the same cell share the seed (the
+        # severity index comes from the FULL grid), so they share cache.
+        assert row_seed(0, scenario, 0.05) == row_seed(0, scenario, 0.05)
+        # Different base seed moves every row.
+        assert row_seed(1, scenario, 0.05) != row_seed(0, scenario, 0.05)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+def _capture_row(retention, accuracy=0.3, category="noise"):
+    return {"scenario": "read_noise", "category": category,
+            "severity": 10.0, "accuracy": accuracy,
+            "retention": retention, "capture_snr_db": 12.0}
+
+
+class TestClassification:
+    def test_threshold_bands(self):
+        assert classify_row(_capture_row(1.0)) == "pass"
+        assert classify_row(_capture_row(0.75)) == "pass"
+        assert classify_row(_capture_row(0.74)) == "degrade"
+        assert classify_row(_capture_row(0.40)) == "degrade"
+        assert classify_row(_capture_row(0.39)) == "fail"
+
+    def test_custom_thresholds(self):
+        strict = {"pass_retention": 0.95, "degrade_retention": 0.80}
+        assert classify_row(_capture_row(0.9), strict) == "degrade"
+
+    def test_missing_or_non_finite_retention_fails(self):
+        assert classify_row(_capture_row(None)) == "fail"
+        assert classify_row(_capture_row(float("nan"))) == "fail"
+        assert classify_row(_capture_row(float("inf"))) == "fail"
+
+    def test_serving_rows_classify_by_invariants(self):
+        row = {"scenario": "corrupt_payloads", "category": "serving",
+               "severity": 0.5, "retention": None, "accuracy": None,
+               "invariants_ok": True}
+        assert classify_row(row) == "pass"
+        row["invariants_ok"] = False
+        assert classify_row(row) == "fail"
+
+
+class TestBuildReport:
+    REFERENCE = {"clean_accuracy": 0.4,
+                 "config": {"model": "snappix_s", "dataset": "ucf101"}}
+
+    def test_payload_schema_and_counts(self):
+        rows = [_capture_row(1.0), _capture_row(0.5),
+                {"scenario": "corrupt_payloads", "category": "serving",
+                 "severity": 0.5, "retention": None, "accuracy": None,
+                 "invariants_ok": True}]
+        payload = build_report(self.REFERENCE, rows, suite="quick",
+                               seed=0, backend="numpy")
+        assert payload["suite"] == "quick"
+        assert payload["thresholds"] == DEFAULT_THRESHOLDS
+        assert payload["reference"]["clean_accuracy"] == 0.4
+        assert payload["summary"]["num_rows"] == 3
+        assert payload["summary"]["counts"] == {"pass": 2, "degrade": 1,
+                                                "fail": 0}
+        for row in payload["rows"]:
+            assert row["classification"] in CLASSIFICATIONS
+
+    def test_worst_case_by_category(self):
+        rows = [_capture_row(1.0), _capture_row(0.5),
+                _capture_row(0.9, category="exposure")]
+        payload = build_report(self.REFERENCE, rows, suite="quick",
+                               seed=0, backend="numpy")
+        worst = payload["summary"]["worst_case_by_category"]
+        assert worst["noise"]["retention"] == 0.5
+        assert worst["exposure"]["retention"] == 0.9
+        assert "_rank" not in worst["noise"]
+
+    def test_payload_is_json_clean(self):
+        payload = build_report(self.REFERENCE, [_capture_row(0.8)],
+                               suite="quick", seed=0, backend="numpy")
+        encoded = json.dumps(payload, allow_nan=False)
+        assert json.loads(encoded) == payload
+
+    def test_format_table_renders_every_row(self):
+        payload = build_report(self.REFERENCE, [_capture_row(0.8)],
+                               suite="quick", seed=0, backend="numpy")
+        table = format_scenario_table(payload)
+        assert "read_noise" in table
+        assert "pass=1" in table
+
+
+# ----------------------------------------------------------------------
+# Engine (shares one trained reference anchor on disk)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def reference_cache(tmp_path_factory):
+    """Train the clean anchor once; later stores copy the cached artifact."""
+    cache = tmp_path_factory.mktemp("scenario-cache") / "reference"
+    store = ArtifactStore(cache)
+    from repro.runtime import PipelineRunner
+    PipelineRunner(store).run([ScenarioReferenceStage(seed=0)])
+    return cache
+
+
+def _store_with_reference(reference_cache, tmp_path, name):
+    """A fresh store pre-seeded with ONLY the reference artifact, so row
+    stages run for real while the 2.7s training is a cache hit."""
+    cache = tmp_path / name
+    shutil.copytree(reference_cache, cache)
+    return ArtifactStore(cache)
+
+
+class TestEngine:
+    def test_stage_signatures_separate_rows(self):
+        stage_a = make_row_stage(get_scenario("dead_pixels"), 0.01, seed=0)
+        stage_b = make_row_stage(get_scenario("dead_pixels"), 0.05, seed=0)
+        stage_c = make_row_stage(get_scenario("dead_pixels"), 0.01, seed=1)
+        assert stage_a.signature() != stage_b.signature()
+        assert stage_a.signature() != stage_c.signature()
+        serving = make_row_stage(get_scenario("corrupt_payloads"), 0.5)
+        assert serving.name == stage_a.name == "scenario_row"
+
+    def test_grid_rows_are_deterministic_across_workers(
+            self, reference_cache, tmp_path):
+        kwargs = dict(suite_name="quick", categories=["exposure"], seed=0)
+        serial = run_scenario_grid(
+            workers=1,
+            store=_store_with_reference(reference_cache, tmp_path, "w1"),
+            **kwargs)
+        parallel = run_scenario_grid(
+            workers=3,
+            store=_store_with_reference(reference_cache, tmp_path, "w3"),
+            **kwargs)
+        assert json.dumps(serial["rows"]) == json.dumps(parallel["rows"])
+        assert serial["reference"]["clean_accuracy"] == \
+            parallel["reference"]["clean_accuracy"]
+
+    def test_capture_rows_carry_the_expected_fields(
+            self, reference_cache, tmp_path):
+        store = _store_with_reference(reference_cache, tmp_path, "fields")
+        outcome = run_scenario_grid(suite_name="quick",
+                                    categories=["exposure"],
+                                    workers=1, store=store, seed=0)
+        rows = outcome["rows"]
+        assert len(rows) == len(suite("quick", categories=["exposure"]))
+        for row in rows:
+            assert row["category"] == "exposure"
+            assert 0.0 <= row["accuracy"] <= 1.0
+            assert row["retention"] is not None
+            snr = row["capture_snr_db"]
+            assert snr is None or np.isfinite(snr)
+
+    def test_matrix_report_end_to_end(self, reference_cache, tmp_path):
+        store = _store_with_reference(reference_cache, tmp_path, "matrix")
+        payload = run_scenario_matrix(suite_name="quick",
+                                      categories=["exposure"],
+                                      workers=1, store=store, seed=0)
+        assert payload["reference"]["model"] == "snappix_s"
+        assert payload["summary"]["num_rows"] == len(payload["rows"])
+        for row in payload["rows"]:
+            assert row["classification"] in CLASSIFICATIONS
+
+    def test_second_run_is_pure_cache_hit(self, reference_cache, tmp_path):
+        store = _store_with_reference(reference_cache, tmp_path, "twice")
+        first = run_scenario_grid(suite_name="quick", categories=["exposure"],
+                                  workers=1, store=store, seed=0)
+        stats_after_first = store.stats.misses
+        second = run_scenario_grid(suite_name="quick", categories=["exposure"],
+                                   workers=1, store=store, seed=0)
+        assert store.stats.misses == stats_after_first
+        assert json.dumps(first["rows"]) == json.dumps(second["rows"])

@@ -22,16 +22,22 @@ from repro.runtime import BatchEncoder
 from repro.serving import (
     BatcherClosed,
     InferenceServer,
+    InvalidRequest,
     MicroBatcher,
     ModelRegistry,
+    RequestFailure,
     RequestRejected,
     ServerStats,
+    TrafficFaults,
     fresh_bundle,
     generate_clips,
     load_servable,
+    poison_clips,
+    run_fault_injection,
     run_load_test,
     save_servable,
 )
+from repro.serving.server import Prediction
 
 
 # ----------------------------------------------------------------------
@@ -534,3 +540,119 @@ class TestEncodeStreamDtypeRegression:
         encoder = self._encoder(rng)
         with pytest.raises(ValueError):
             list(encoder.encode_stream([rng.random((16, 16))]))
+
+
+# ----------------------------------------------------------------------
+# Fault injection: poisoned requests fail alone, the batch survives
+# ----------------------------------------------------------------------
+class TestFaultIsolation:
+    def test_poisoned_request_fails_typed_while_batchmates_succeed(
+            self, ce_bundle):
+        """The acceptance invariant: a NaN clip coalesced into a micro-batch
+        gets a typed per-request error; every valid clip in the SAME batch
+        still returns its correct label; the server keeps serving after."""
+        clips = generate_clips(8, 8, 16, seed=3)
+        poisoned = np.array(clips)
+        poisoned[2].reshape(-1)[::5] = np.nan
+        poisoned[5].reshape(-1)[-1] = np.inf
+        with InferenceServer(ce_bundle, max_batch_size=8,
+                             max_delay_s=5.0) as server:
+            reference = server.predict_sequential(
+                [clips[i] for i in (0, 1, 3, 4, 6, 7)])
+            # max_batch_size == number of requests and a long deadline:
+            # all eight coalesce into ONE batch.
+            futures = server.submit_many(list(poisoned))
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result(timeout=30))
+                except Exception as error:  # noqa: BLE001
+                    outcomes.append(error)
+            stats = server.stats()
+            # Poisoned slots fail with the typed error...
+            assert isinstance(outcomes[2], InvalidRequest)
+            assert isinstance(outcomes[5], InvalidRequest)
+            # ...while every valid batch-mate completes correctly.
+            valid = [outcomes[i] for i in (0, 1, 3, 4, 6, 7)]
+            assert all(isinstance(o, Prediction) for o in valid)
+            assert [o.label for o in valid] == [r.label for r in reference]
+            assert stats["request_failures"] == 2
+            # The server still serves after the poisoned batch.
+            probe = server.predict(clips[0])
+            assert isinstance(probe, Prediction)
+
+    def test_predict_sequential_raises_on_poisoned_clip(self, ce_bundle):
+        clip = generate_clips(1, 8, 16, seed=4)[0]
+        clip.reshape(-1)[0] = np.nan
+        with InferenceServer(ce_bundle) as server:
+            with pytest.raises(InvalidRequest):
+                server.predict_sequential([clip])
+
+    def test_negative_light_rejected_for_ce_bundle(self, ce_bundle):
+        clip = generate_clips(1, 8, 16, seed=5)[0] - 2.0
+        with InferenceServer(ce_bundle, max_delay_s=0.01) as server:
+            with pytest.raises(InvalidRequest):
+                server.submit(clip).result(timeout=30)
+
+    def test_request_failure_sentinel_validates(self):
+        failure = RequestFailure(InvalidRequest("bad"))
+        assert isinstance(failure.error, InvalidRequest)
+        assert "InvalidRequest" in repr(failure)
+        with pytest.raises(TypeError):
+            RequestFailure("not an exception")
+
+
+class TestTrafficFaults:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficFaults(corrupt_fraction=1.5)
+        with pytest.raises(ValueError):
+            TrafficFaults(corrupt_fraction=0.6, negative_fraction=0.6)
+        with pytest.raises(ValueError):
+            TrafficFaults(burst_size=-1)
+        with pytest.raises(ValueError):
+            TrafficFaults(slow_client_delay_s=-0.1)
+
+    def test_poison_clips_is_deterministic(self):
+        clips = generate_clips(12, 8, 16, seed=0)
+        faults = TrafficFaults(corrupt_fraction=0.25, negative_fraction=0.25,
+                               seed=9)
+        first, kinds_first = poison_clips(clips, faults)
+        second, kinds_second = poison_clips(clips, faults)
+        assert kinds_first == kinds_second
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b, equal_nan=True)
+        assert kinds_first.count("corrupt") == 3
+        assert kinds_first.count("negative") == 3
+
+    def test_poison_kinds_match_content(self):
+        clips = generate_clips(8, 8, 16, seed=1)
+        faults = TrafficFaults(corrupt_fraction=0.25, negative_fraction=0.25,
+                               seed=2)
+        poisoned, kinds = poison_clips(clips, faults)
+        for clip, kind in zip(poisoned, kinds):
+            if kind == "corrupt":
+                assert not np.isfinite(clip).all()
+            elif kind == "negative":
+                assert (clip < 0).any()
+            else:
+                assert np.isfinite(clip).all()
+                assert (clip >= 0).all()
+
+    def test_run_fault_injection_invariants(self, ce_bundle):
+        clips = generate_clips(12, 8, 16, seed=6)
+        faults = TrafficFaults(corrupt_fraction=0.25, negative_fraction=0.25,
+                               burst_size=4, burst_pause_s=0.001,
+                               slow_client_fraction=0.25,
+                               slow_client_delay_s=0.001, seed=6)
+        with InferenceServer(ce_bundle, max_batch_size=4,
+                             max_delay_s=0.01) as server:
+            outcome = run_fault_injection(server, clips, faults)
+        assert outcome["num_requests"] == 12
+        assert outcome["num_poisoned"] == 6
+        assert outcome["typed_errors"] == 6
+        assert outcome["untyped_errors"] == 0
+        assert outcome["errors_all_typed"]
+        assert outcome["valid_labels_match"]
+        assert outcome["served_after_faults"]
+        assert outcome["valid_completed"] == 6
