@@ -43,7 +43,7 @@ def test_micro_batched_serving_beats_sequential(benchmark, record_rows):
         # Timing on shared hosts is noisy; one re-measurement keeps a
         # descheduled round from failing the gate (perf_engine idiom).
         payload = _run_profile(seed=0)
-    record_rows("serving_load", "Micro-batched serving vs sequential",
+    record_rows("serving_microbatch", "Micro-batched serving vs sequential",
                 payload["rows"])
     write_serving_results(payload)
 

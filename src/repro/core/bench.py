@@ -103,7 +103,7 @@ _THREAD_ENV_VARS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
                     "NUMEXPR_NUM_THREADS")
 
 
-def _environment() -> Dict:
+def environment_metadata() -> Dict:
     """Host metadata recorded with every benchmark payload."""
     return {
         "python": platform.python_version(),
@@ -115,6 +115,10 @@ def _environment() -> Dict:
                        if var in os.environ},
         "timestamp": time.time(),
     }
+
+
+#: Backwards-compatible alias (pre-dates the public name).
+_environment = environment_metadata
 
 
 def _best_seconds(fn: Callable[[], object], repeats: int, rounds: int) -> float:

@@ -11,6 +11,7 @@ Exposes the main entry points of the library without writing Python::
     python -m repro correlation --num-slots 16
     python -m repro bench     --quick --train --quant
     python -m repro serve     --smoke --quant
+    python -m repro serve     --load --quick --lanes 4
     python -m repro quantize  --model snappix_s --out snappix_s_int8.npz
     python -m repro scenarios --suite quick --workers 0
 
@@ -54,6 +55,7 @@ from ..hardware import (
 from ..nn.backend import BACKEND_ENV_VAR, available_backends, use_backend
 from ..runtime import ArtifactStore, resolve_workers
 from ..serving import (
+    DEFAULT_LOAD_RESULTS_PATH,
     DEFAULT_SERVING_RESULTS_PATH,
     FULL_PROFILE,
     SMOKE_PROFILE,
@@ -62,7 +64,9 @@ from ..serving import (
     benchmark_serving,
     fresh_bundle,
     quantize_bundle,
+    run_serving_load_matrix,
     save_servable,
+    write_load_results,
     write_serving_results,
 )
 from .bench import (
@@ -290,18 +294,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the synthetic-traffic serving load test and persist the report.
 
-    Measures p50/p95 latency and throughput of the micro-batched
+    Measures p50/p95/p99 latency and throughput of the micro-batched
     :class:`~repro.serving.server.InferenceServer` at several max batch
     sizes against the sequential single-clip reference, printing the
     rows and writing ``serving_bench.json`` (the CI artifact).  With
     ``--checkpoint``, serves a registry bundle exported by
     ``SnapPixSystem.export_servable`` / ``repro.serving.save_servable``
-    instead of a freshly initialised model.
+    instead of a freshly initialised model.  ``--lanes N`` widens every
+    server to an N-lane fleet; ``--load`` runs the fleet load matrix
+    (lane scaling, arrival scenarios, admission probe) and writes
+    ``serving_load.json`` instead.
     """
     if args.checkpoint and args.models:
         print("ERROR: --checkpoint and --models are mutually exclusive "
               "(a checkpoint fixes the served model)")
         return 2
+    if args.lanes < 1:
+        print("ERROR: --lanes must be >= 1")
+        return 2
+    if args.load:
+        return _cmd_serve_load(args)
     profile = SMOKE_PROFILE if args.smoke else FULL_PROFILE
     models = args.models.split(",") if args.models else list(profile["models"])
     batch_sizes = ([int(b) for b in args.batch_sizes.split(",")]
@@ -317,7 +329,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 bundle = quantize_bundle(bundle, seed=args.seed)
             rows = benchmark_bundle(bundle, batch_sizes, num_requests,
                                     max_delay_s=max_delay_s,
-                                    capture_mode=args.capture, seed=args.seed)
+                                    capture_mode=args.capture, seed=args.seed,
+                                    lanes=args.lanes)
             payload = {"geometry": {"checkpoint": args.checkpoint,
                                     "num_requests": num_requests,
                                     "capture_mode": args.capture,
@@ -330,7 +343,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 image_size=args.image_size or profile["image_size"],
                 num_frames=args.num_slots or profile["num_frames"],
                 max_delay_s=max_delay_s, capture_mode=args.capture,
-                seed=args.seed, quantize=args.quant)
+                seed=args.seed, quantize=args.quant, lanes=args.lanes)
     print(format_text_table([
         {key: row[key] for key in
          ("model", "max_batch_size", "inference_per_second",
@@ -344,6 +357,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if mismatched:
         print("ERROR: micro-batched labels diverged from the sequential "
               f"reference for {[row['model'] for row in mismatched]}")
+        return 1
+    return 0
+
+
+def _cmd_serve_load(args: argparse.Namespace) -> int:
+    """``repro serve --load``: the fleet load matrix -> serving_load.json.
+
+    Lane-scaling closed bursts, the arrival-profile scenario matrix
+    (uniform/bursty/slow clients/quantized/mixed models) with p50/p95/p99
+    tails, and the deterministic admission shed-ordering probe.  Exits
+    non-zero on a correctness violation (label divergence or broken
+    shed ordering); scaling numbers are reported, not gated — the
+    benchmark suite gates them on multi-core hosts.
+    """
+    lane_counts = (tuple(sorted({1, 2, args.lanes})) if args.lanes > 1
+                   else None)
+    with use_backend(_resolve_backend(args.backend)):
+        payload = run_serving_load_matrix(quick=args.quick, seed=args.seed,
+                                          lane_counts=lane_counts)
+    print(format_text_table([
+        {key: row[key] for key in
+         ("scenario", "lanes", "inference_per_second", "latency_p50_ms",
+          "latency_p99_ms", "mean_batch_size", "labels_match_sequential")}
+        for row in payload["lane_scaling"] + payload["scenarios"]]))
+    admission = payload["admission"]
+    print(f"admission: shed {admission['shed_sequential']} sequential / "
+          f"{admission['rejected_batched']} batched queue-full rejections, "
+          f"ordering_ok={admission['admission_ordering_ok']}")
+    path = write_load_results(payload, args.load_out)
+    print(f"serving load matrix written to {path}")
+    mismatched = [row["scenario"]
+                  for row in payload["lane_scaling"] + payload["scenarios"]
+                  if not row["labels_match_sequential"]]
+    if mismatched:
+        print(f"ERROR: labels diverged from the sequential reference in "
+              f"{mismatched}")
+        return 1
+    if not admission["admission_ordering_ok"]:
+        print("ERROR: a batched request was rejected before any "
+              "sequential traffic was shed")
         return 1
     return 0
 
@@ -600,6 +653,20 @@ def build_parser() -> argparse.ArgumentParser:
                        default="operator",
                        help="CE front-end: vectorised operator or "
                             "protocol-exact stacked-sensor simulation")
+    serve.add_argument("--lanes", type=int, default=1,
+                       help="micro-batcher lanes per served model "
+                            "(least-loaded dispatch across lanes)")
+    serve.add_argument("--load", action="store_true",
+                       help="run the fleet load matrix (lane scaling, "
+                            "arrival scenarios, admission probe) and write "
+                            "serving_load.json instead of the batch-size "
+                            "sweep")
+    serve.add_argument("--quick", action="store_true",
+                       help="with --load: the CI-sized quick profile")
+    serve.add_argument("--load-out", type=str,
+                       default=str(DEFAULT_LOAD_RESULTS_PATH),
+                       help="output path of the --load matrix "
+                            "(default: benchmarks/results/serving_load.json)")
     serve.add_argument("--smoke", action="store_true",
                        help="CI-sized profile (small geometry, seconds)")
     serve.add_argument("--out", type=str,

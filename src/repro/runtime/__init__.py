@@ -32,7 +32,7 @@ serial schedule.
 from .artifacts import ArtifactStore, StoreStats
 from .batch import BatchEncoder
 from .hashing import fingerprint
-from .parallel import ParallelSweepExecutor, resolve_workers
+from .parallel import ParallelSweepExecutor, WorkerGroup, resolve_workers
 from .runner import PipelineRunner, PipelineRunResult, StageExecution
 from .stage import FunctionStage, Stage
 from .stages import (
@@ -52,6 +52,7 @@ __all__ = [
     "BatchEncoder",
     "fingerprint",
     "ParallelSweepExecutor",
+    "WorkerGroup",
     "resolve_workers",
     "PipelineRunner",
     "PipelineRunResult",

@@ -56,9 +56,61 @@ def active_worker_count() -> int:
 
     ``1`` means the thread is not inside any parallel region (the main
     thread, or a serial pipeline), so a compute backend may use its full
-    thread budget.
+    thread budget.  A thread inside a :class:`WorkerGroup` member scope
+    additionally multiplies by the group's *currently active* member
+    count, so the budget tracks real concurrency instead of the
+    worst-case width.
     """
-    return getattr(_worker_state, "workers", 1)
+    static = getattr(_worker_state, "workers", 1)
+    group = getattr(_worker_state, "group", None)
+    if group is not None:
+        return max(1, static * max(1, group.active))
+    return static
+
+
+class WorkerGroup:
+    """Dynamic sibling accounting for long-lived worker threads.
+
+    ``worker_scope(W)`` declares a *static* width — right for a pool
+    mapping a closed set of tasks, where all W workers are presumed
+    busy.  Serving lanes are different: N batcher threads exist for the
+    life of the server but are mostly idle, and dividing the backend
+    budget by N whenever *one* lane runs a batch would waste the host.
+    A ``WorkerGroup`` is shared by the N lanes; each wraps its batch
+    execution in :meth:`member`, and :func:`active_worker_count` sees
+    only the members *concurrently inside* that scope.  One busy lane
+    gets the full backend budget; four concurrently busy lanes each get
+    a quarter — capped, never multiplied, exactly when contention is
+    real.
+    """
+
+    def __init__(self, name: str = "worker-group"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._active = 0
+
+    @property
+    def active(self) -> int:
+        """Members currently inside a :meth:`member` scope."""
+        with self._lock:
+            return self._active
+
+    @contextmanager
+    def member(self):
+        """Mark the current thread as an active member for the duration."""
+        with self._lock:
+            self._active += 1
+        previous = getattr(_worker_state, "group", None)
+        _worker_state.group = self
+        try:
+            yield
+        finally:
+            _worker_state.group = previous
+            with self._lock:
+                self._active -= 1
+
+    def __repr__(self) -> str:
+        return f"WorkerGroup(name={self.name!r}, active={self.active})"
 
 
 @contextmanager

@@ -39,7 +39,7 @@ from ..runtime import (ArtifactStore, ParallelSweepExecutor, PipelineRunner,
                        resolve_workers)
 from ..runtime.stage import Stage
 from ..serving.loadgen import generate_clips, run_fault_injection
-from ..serving.registry import ServableBundle
+from ..serving.registry import ServableBundle, quantize_bundle
 from ..serving.server import InferenceServer
 from ..tasks import ActionRecognitionTrainer
 from ..tasks.metrics import top1_accuracy
@@ -247,10 +247,12 @@ class ScenarioServingStage(Stage):
                 "kind": scenario.kind, "param": scenario.param,
                 "severity": self.severity, "seed": self.seed,
                 "backend": self.backend,
-                "num_requests": SERVING_REQUESTS}
+                "num_requests": SERVING_REQUESTS,
+                "serving_options": dict(scenario.serving_options)}
 
     def run(self, scenario_reference: Dict[str, Any]) -> Dict[str, Any]:
         scenario = get_scenario(self.scenario_name)
+        options = scenario.options
         seed = row_seed(self.seed, scenario, self.severity)
         ce_config = _reference_ce_config()
         sensor = CodedExposureSensor(ce_config,
@@ -260,13 +262,18 @@ class ScenarioServingStage(Stage):
                                 model=model,
                                 spec=scenario_reference["spec"],
                                 sensor=sensor)
+        quantized = bool(options.get("quantized"))
+        lanes = int(options.get("lanes", 1))
+        if quantized:
+            bundle = quantize_bundle(bundle, seed=seed)
         clips = generate_clips(SERVING_REQUESTS,
                                REFERENCE_CONFIG["num_slots"],
-                               REFERENCE_CONFIG["frame_size"], seed=seed)
+                               REFERENCE_CONFIG["frame_size"], seed=seed,
+                               integer=quantized)
         faults = scenario.build_faults(self.severity, seed)
         with use_backend(self.backend):
             with InferenceServer(bundle, max_batch_size=8,
-                                 max_delay_s=0.01) as server:
+                                 max_delay_s=0.01, lanes=lanes) as server:
                 outcome = run_fault_injection(server, clips, faults)
         invariants_ok = bool(outcome["errors_all_typed"]
                              and outcome["valid_labels_match"]
@@ -286,6 +293,7 @@ class ScenarioServingStage(Stage):
             "retention": None,
             "capture_snr_db": None,
             "serving": deterministic,
+            "serving_options": options,
             "invariants_ok": invariants_ok,
             "description": scenario.description,
         }

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..hardware.defects import SensorDefectModel
 from ..hardware.noise import SensorNoiseModel
@@ -62,6 +62,12 @@ class Scenario:
         The quick-suite subset (must be drawn from ``severities``).
     description:
         One-line operator-facing description of the physical fault.
+    serving_options:
+        Extra serving-stage configuration as a tuple of ``(key, value)``
+        pairs (kept as a tuple so the frozen scenario stays hashable and
+        its cache signature is plain data).  Recognised keys:
+        ``"lanes"`` (fleet width of the scenario server) and
+        ``"quantized"`` (serve the int8 bundle with uint8 traffic).
     """
 
     name: str
@@ -71,6 +77,7 @@ class Scenario:
     severities: Tuple[Severity, ...]
     quick_severities: Tuple[Severity, ...]
     description: str
+    serving_options: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self):
         if self.category not in CATEGORIES:
@@ -85,6 +92,11 @@ class Scenario:
                 f"subset of the full grid")
 
     # ------------------------------------------------------------------
+    @property
+    def options(self) -> Dict[str, Any]:
+        """The :attr:`serving_options` pairs as a plain dict."""
+        return dict(self.serving_options)
+
     def grid(self, suite: str) -> Tuple[Severity, ...]:
         if suite not in SUITES:
             raise ValueError(f"suite must be one of {SUITES}, got {suite!r}")
@@ -169,6 +181,14 @@ SCENARIOS: Tuple[Scenario, ...] = (
     Scenario("slow_clients", "serving", "serving", "slow_client_fraction",
              (0.25, 0.5), (0.25,),
              "clients stalling before submission"),
+    Scenario("multi_lane_storm", "serving", "serving", "burst_size",
+             (4, 8), (4,),
+             "burst storms fanned across a 4-lane serving fleet",
+             serving_options=(("lanes", 4),)),
+    Scenario("quantized_corrupt", "serving", "serving", "corrupt_fraction",
+             (0.25, 0.5), (0.25,),
+             "poisoned uint8 traffic on the dequantize-free int8 path",
+             serving_options=(("quantized", True),)),
 )
 
 _BY_NAME: Dict[str, Scenario] = {s.name: s for s in SCENARIOS}

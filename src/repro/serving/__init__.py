@@ -15,25 +15,41 @@ libraries:
   capture -> CE encode -> batched ``no_grad`` forward -> decoded labels,
   with a sequential reference path for equivalence testing
   (:mod:`repro.serving.server`).
-- :class:`ServerStats` — queue/batch telemetry in the ``StoreStats``
-  idiom (:mod:`repro.serving.stats`).
+- :class:`LaneRouter` / :class:`AdmissionController` — queue-depth-aware
+  dispatch across N micro-batcher lanes, with priority-class load
+  shedding under overload (:mod:`repro.serving.router`).
+- :class:`ServingFleet` — name-addressed multi-model serving over the
+  warm registry, with live checkpoint hot-swap
+  (:mod:`repro.serving.fleet`).
+- :class:`ServerStats` / :class:`LatencyHistogram` — queue/batch/latency
+  telemetry in the ``StoreStats`` idiom (:mod:`repro.serving.stats`).
 - :func:`benchmark_serving` and friends — synthetic-traffic load
   generation and the ``serving_bench.json`` latency/throughput report
   behind the ``repro serve`` CLI (:mod:`repro.serving.loadgen`).
 """
 
 from .batcher import BatcherClosed, MicroBatcher, RequestFailure, RequestRejected
+from .fleet import ServingFleet
 from .loadgen import (
+    DEFAULT_LOAD_RESULTS_PATH,
     DEFAULT_SERVING_RESULTS_PATH,
+    FULL_LOAD_PROFILE,
     FULL_PROFILE,
+    QUICK_LOAD_PROFILE,
     SMOKE_PROFILE,
     TrafficFaults,
+    arrival_offsets,
     benchmark_bundle,
     benchmark_serving,
     generate_clips,
     poison_clips,
+    run_admission_probe,
+    run_arrival_scenarios,
     run_fault_injection,
+    run_lane_scaling,
     run_load_test,
+    run_serving_load_matrix,
+    write_load_results,
     write_serving_results,
 )
 from .registry import (
@@ -44,8 +60,15 @@ from .registry import (
     quantize_bundle,
     save_servable,
 )
-from .server import InferenceServer, InvalidRequest, Prediction
-from .stats import ServerStats
+from .router import (
+    PRIORITY_BATCHED,
+    PRIORITY_SEQUENTIAL,
+    AdmissionController,
+    LaneRouter,
+    Overloaded,
+)
+from .server import BundleExecutor, InferenceServer, InvalidRequest, Prediction
+from .stats import LatencyHistogram, ServerStats
 
 __all__ = [
     "MicroBatcher",
@@ -60,8 +83,16 @@ __all__ = [
     "fresh_bundle",
     "quantize_bundle",
     "InferenceServer",
+    "BundleExecutor",
     "Prediction",
+    "LaneRouter",
+    "AdmissionController",
+    "Overloaded",
+    "PRIORITY_BATCHED",
+    "PRIORITY_SEQUENTIAL",
+    "ServingFleet",
     "ServerStats",
+    "LatencyHistogram",
     "generate_clips",
     "run_load_test",
     "TrafficFaults",
@@ -73,4 +104,13 @@ __all__ = [
     "DEFAULT_SERVING_RESULTS_PATH",
     "SMOKE_PROFILE",
     "FULL_PROFILE",
+    "arrival_offsets",
+    "run_lane_scaling",
+    "run_arrival_scenarios",
+    "run_admission_probe",
+    "run_serving_load_matrix",
+    "write_load_results",
+    "DEFAULT_LOAD_RESULTS_PATH",
+    "QUICK_LOAD_PROFILE",
+    "FULL_LOAD_PROFILE",
 ]

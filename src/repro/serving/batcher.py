@@ -13,8 +13,13 @@ A batch is dispatched as soon as **either**
 
 - ``max_batch_size`` payloads have been collected (*flush on size*), or
 - ``max_delay_s`` has elapsed since the first payload of the batch
-  arrived (*flush on deadline*) — this bounds the queueing latency a
-  lone request can suffer under light traffic.
+  was *enqueued* (*flush on deadline*) — this bounds the queueing
+  latency a lone request can suffer under light traffic.  The deadline
+  is anchored at the payload's enqueue timestamp, not at the moment the
+  worker dequeues it, so time a request spends waiting behind an
+  earlier batch counts against its delay budget: the worst-case hold
+  time of a partial batch is ``max_delay_s`` plus one batch execution,
+  never the drifting multiple the dequeue-anchored deadline allowed.
 
 Backpressure
 ------------
@@ -73,11 +78,12 @@ class RequestFailure:
 
 
 class _Request:
-    __slots__ = ("payload", "future")
+    __slots__ = ("payload", "future", "enqueued_at")
 
     def __init__(self, payload: Any):
         self.payload = payload
         self.future: "Future[Any]" = Future()
+        self.enqueued_at = time.monotonic()
 
 
 class MicroBatcher:
@@ -118,6 +124,7 @@ class MicroBatcher:
         self._closed = False
         self._lock = threading.Lock()
         self._stats = ServerStats()
+        self._in_flight = 0
         self._worker = threading.Thread(target=self._run, name=name,
                                         daemon=True)
         self._worker.start()
@@ -178,12 +185,29 @@ class MicroBatcher:
         return self._queue.qsize()
 
     @property
+    def in_flight(self) -> int:
+        """Requests currently inside a ``run_batch`` call."""
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def load(self) -> int:
+        """Queued plus in-flight requests — the router's dispatch signal."""
+        with self._lock:
+            return self._queue.qsize() + self._in_flight
+
+    @property
     def stats(self) -> ServerStats:
         return self._stats
 
     def stats_snapshot(self) -> dict:
         with self._lock:
             return self._stats.as_dict()
+
+    def merge_stats_into(self, target: ServerStats) -> None:
+        """Accumulate this lane's counters into ``target`` atomically."""
+        with self._lock:
+            target.merge(self._stats)
 
     # ------------------------------------------------------------------
     # Worker side
@@ -204,10 +228,22 @@ class MicroBatcher:
                     return
                 continue
             batch = [first]
-            deadline = time.monotonic() + self.max_delay_s
+            # Deadline anchored at the first payload's *enqueue* time:
+            # queue-wait behind a prior batch spends the delay budget, so
+            # a request already held for max_delay_s flushes immediately.
+            deadline = first.enqueued_at + self.max_delay_s
             while len(batch) < self.max_batch_size and not self.closed:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    # Deadline already spent (backlog): still coalesce
+                    # whatever is queued right now — without waiting —
+                    # so an expired deadline costs latency headroom, not
+                    # batching efficiency.
+                    while len(batch) < self.max_batch_size:
+                        try:
+                            batch.append(self._queue.get_nowait())
+                        except queue.Empty:
+                            break
                     break
                 # Companion waits are sliced so close() is observed
                 # within the poll interval instead of stalling a
@@ -256,24 +292,39 @@ class MicroBatcher:
             return
         with self._lock:
             self._stats.observe_batch(len(batch), reason)
+            self._in_flight += len(batch)
         try:
-            results = self._run_batch([request.payload for request in batch])
-            if len(results) != len(batch):
-                raise RuntimeError(
-                    f"run_batch returned {len(results)} results for "
-                    f"{len(batch)} payloads")
-        except BaseException as error:  # noqa: BLE001 — forwarded to futures
+            try:
+                results = self._run_batch(
+                    [request.payload for request in batch])
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"run_batch returned {len(results)} results for "
+                        f"{len(batch)} payloads")
+            except BaseException as error:  # noqa: BLE001 — forwarded to futures
+                now = time.monotonic()
+                with self._lock:
+                    self._stats.failed += len(batch)
+                    for request in batch:
+                        self._stats.observe_latency(now - request.enqueued_at)
+                for request in batch:
+                    request.future.set_exception(error)
+                return
+            request_failures = sum(
+                1 for result in results if isinstance(result, RequestFailure))
+            # Latencies are recorded under the lock *before* the futures
+            # resolve, so a client reading stats right after
+            # future.result() always sees its own sample counted.
+            now = time.monotonic()
             with self._lock:
-                self._stats.failed += len(batch)
-            for request in batch:
-                request.future.set_exception(error)
-            return
-        request_failures = sum(
-            1 for result in results if isinstance(result, RequestFailure))
-        with self._lock:
-            self._stats.completed += len(batch) - request_failures
-            self._stats.failed += request_failures
-            self._stats.request_failures += request_failures
+                self._stats.completed += len(batch) - request_failures
+                self._stats.failed += request_failures
+                self._stats.request_failures += request_failures
+                for request in batch:
+                    self._stats.observe_latency(now - request.enqueued_at)
+        finally:
+            with self._lock:
+                self._in_flight -= len(batch)
         for request, result in zip(batch, results):
             if isinstance(result, RequestFailure):
                 request.future.set_exception(result.error)

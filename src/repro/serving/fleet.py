@@ -1,0 +1,183 @@
+"""Per-model serving fleet with live checkpoint hot-swap.
+
+:class:`ServingFleet` composes the serving layers into the deployment
+surface: a :class:`~repro.serving.registry.ModelRegistry` of warm
+bundles underneath, one multi-lane :class:`~repro.serving.server.InferenceServer`
+per served model on top.  Clients address models by name
+(``fleet.submit("snappix_s", clip)``); lane groups spin up lazily on
+first traffic and stay warm.
+
+Hot-swap
+--------
+:meth:`ServingFleet.register` replaces a model's checkpoint *under
+live traffic* without dropping a request, in the
+replace-under-operation posture of redundant LLRF station upgrades:
+
+1. the new bundle is loaded and a fresh lane group is built on it
+   (cold, no traffic yet);
+2. the name is atomically repointed at the new server — submissions
+   from this instant serve the new checkpoint;
+3. the old lane group drains in the background: its queues empty, its
+   in-flight futures complete **on the old model**, then its worker
+   threads join.
+
+A submission racing step 2 may reach a lane that just began draining;
+:meth:`submit` absorbs that by retrying against the current server, so
+the swap is invisible to clients apart from which checkpoint answered.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence, Union
+
+from .batcher import BatcherClosed
+from .registry import ModelRegistry, ServableBundle
+from .router import AdmissionController, PRIORITY_BATCHED
+from .server import InferenceServer, Prediction
+
+
+class ServingFleet:
+    """Name-addressed multi-model serving over warm lane groups.
+
+    Parameters
+    ----------
+    registry:
+        Bundle source for name lookups; a fresh empty
+        :class:`~repro.serving.registry.ModelRegistry` when ``None``
+        (models then arrive via :meth:`register`).
+    lanes, max_batch_size, max_delay_s, max_queue, capture_mode:
+        Per-model :class:`~repro.serving.server.InferenceServer`
+        configuration, applied to every lane group the fleet builds.
+    shed_occupancy:
+        Admission threshold for sequential-priority shedding, or
+        ``None`` to serve without admission control.
+    """
+
+    def __init__(self, registry: Optional[ModelRegistry] = None,
+                 lanes: int = 1, max_batch_size: int = 32,
+                 max_delay_s: float = 0.002, max_queue: int = 1024,
+                 capture_mode: str = "operator",
+                 shed_occupancy: Optional[float] = 0.5):
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.lanes = lanes
+        self.max_batch_size = max_batch_size
+        self.max_delay_s = max_delay_s
+        self.max_queue = max_queue
+        self.capture_mode = capture_mode
+        self.shed_occupancy = shed_occupancy
+        self._lock = threading.Lock()
+        self._servers: Dict[str, InferenceServer] = {}
+        self._drains: List[threading.Thread] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _build_server(self, bundle: ServableBundle) -> InferenceServer:
+        admission = (AdmissionController(self.shed_occupancy)
+                     if self.shed_occupancy is not None else None)
+        return InferenceServer(bundle, max_batch_size=self.max_batch_size,
+                               max_delay_s=self.max_delay_s,
+                               max_queue=self.max_queue,
+                               capture_mode=self.capture_mode,
+                               lanes=self.lanes, admission=admission)
+
+    def server(self, name: str) -> InferenceServer:
+        """The current lane group for ``name`` (built on first use)."""
+        with self._lock:
+            if self._closed:
+                raise BatcherClosed("fleet is closed")
+            server = self._servers.get(name)
+            if server is None:
+                server = self._build_server(self.registry.get(name))
+                self._servers[name] = server
+            return server
+
+    @property
+    def served_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._servers)
+
+    # ------------------------------------------------------------------
+    def submit(self, name: str, clip,
+               priority: str = PRIORITY_BATCHED) -> "Future[Prediction]":
+        """Submit one clip to model ``name`` on its least-loaded lane.
+
+        Retries transparently when a hot-swap closes the lane group
+        between lookup and enqueue — the retry lands on the
+        replacement server, so a racing client never sees
+        :class:`~repro.serving.batcher.BatcherClosed` mid-swap.
+        """
+        while True:
+            server = self.server(name)
+            try:
+                return server.submit(clip, priority=priority)
+            except BatcherClosed:
+                # The group was swapped out after we fetched it; loop to
+                # pick up its replacement (or the fleet's own closed
+                # error from server()).
+                continue
+
+    def submit_many(self, name: str, clips: Sequence,
+                    priority: str = PRIORITY_BATCHED) -> List["Future[Prediction]"]:
+        return [self.submit(name, clip, priority=priority) for clip in clips]
+
+    def predict(self, name: str, clip,
+                timeout: Optional[float] = None) -> Prediction:
+        return self.submit(name, clip).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def register(self, name: str,
+                 source: Union[str, "object", ServableBundle]) -> None:
+        """Hot-swap model ``name`` to a new checkpoint, draining the old.
+
+        ``source`` is a checkpoint path (loaded through the registry) or
+        an in-memory :class:`ServableBundle`.  The replacement lane
+        group is fully constructed *before* the name is repointed, old
+        in-flight futures complete on the old bundle, and no accepted
+        request is dropped.
+        """
+        if isinstance(source, ServableBundle):
+            bundle = ServableBundle(name=name, model=source.model,
+                                    spec=source.spec, sensor=source.sensor,
+                                    metadata=source.metadata)
+            self.registry.register_bundle(bundle)
+        else:
+            self.registry.register(name, source)
+            bundle = self.registry.get(name)
+        replacement = self._build_server(bundle)
+        with self._lock:
+            if self._closed:
+                replacement.close()
+                raise BatcherClosed("fleet is closed")
+            old = self._servers.get(name)
+            self._servers[name] = replacement
+            if old is not None:
+                drain = threading.Thread(
+                    target=old.close, name=f"drain-{name}", daemon=True)
+                drain.start()
+                self._drains.append(drain)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, dict]:
+        """Per-model telemetry snapshots of the *current* lane groups."""
+        with self._lock:
+            servers = dict(self._servers)
+        return {name: server.stats() for name, server in servers.items()}
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain every lane group (including in-progress swap drains)."""
+        with self._lock:
+            self._closed = True
+            servers = list(self._servers.values())
+            drains = list(self._drains)
+        for server in servers:
+            server.close(timeout=timeout)
+        for drain in drains:
+            drain.join(timeout=timeout)
+
+    def __enter__(self) -> "ServingFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,13 +1,22 @@
 """Synthetic-traffic load generator and latency/throughput reporting.
 
-Drives an :class:`~repro.serving.server.InferenceServer` with a burst of
-synthetic clips, measures per-request latency (submit to future
-completion) and aggregate throughput, and compares the micro-batched
-path against the sequential single-clip reference — both for speed
-(inf/s vs. max batch size) and for correctness (identical argmax
-labels).  The measured payload is persisted as
-``benchmarks/results/serving_bench.json`` so CI tracks the serving
-baseline per PR, next to ``perf_engine.json``.
+Drives an :class:`~repro.serving.server.InferenceServer` with synthetic
+clip traffic, measures per-request latency (submit to future
+completion, read off the server's lock-protected
+:class:`~repro.serving.stats.LatencyHistogram`) and aggregate
+throughput, and compares the micro-batched path against the sequential
+single-clip reference — both for speed and for correctness (identical
+argmax labels).
+
+Two report families are persisted for CI:
+
+- ``benchmarks/results/serving_bench.json`` — the PR 4 micro-batching
+  baseline (:func:`benchmark_serving`, batch-size sweep on one lane);
+- ``benchmarks/results/serving_load.json`` — the fleet load matrix
+  (:func:`run_serving_load_matrix`): lane scaling, arrival-profile
+  scenarios (uniform / bursty / slow clients / mixed models / quantized
+  traffic) with p50/p95/p99 tails at a fixed offered rate, and the
+  admission-control shed-ordering probe.
 """
 
 from __future__ import annotations
@@ -18,15 +27,27 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .registry import ServableBundle, fresh_bundle, quantize_bundle
+from .fleet import ServingFleet
+from .registry import ModelRegistry, ServableBundle, fresh_bundle, quantize_bundle
+from .router import (
+    PRIORITY_BATCHED,
+    PRIORITY_SEQUENTIAL,
+    AdmissionController,
+    LaneRouter,
+    Overloaded,
+    RequestRejected,
+)
 from .server import InferenceServer, InvalidRequest, Prediction
+from .stats import ServerStats
 
 DEFAULT_SERVING_RESULTS_PATH = (Path("benchmarks") / "results"
                                 / "serving_bench.json")
+DEFAULT_LOAD_RESULTS_PATH = (Path("benchmarks") / "results"
+                             / "serving_load.json")
 
 #: Geometry and traffic of the CI smoke profile (runs in seconds).
 SMOKE_PROFILE = {"models": ("snappix_s",), "batch_sizes": (1, 8),
@@ -35,6 +56,14 @@ SMOKE_PROFILE = {"models": ("snappix_s",), "batch_sizes": (1, 8),
 FULL_PROFILE = {"models": ("snappix_s", "snappix_b"),
                 "batch_sizes": (1, 8, 32), "num_requests": 64,
                 "image_size": 32, "num_frames": 16}
+
+#: Fleet load-matrix profiles (``repro serve --load [--quick]``).
+QUICK_LOAD_PROFILE = {"model": "snappix_s", "image_size": 16,
+                      "num_frames": 8, "num_requests": 48,
+                      "max_batch_size": 8, "lane_counts": (1, 2, 4)}
+FULL_LOAD_PROFILE = {"model": "snappix_s", "image_size": 32,
+                     "num_frames": 16, "num_requests": 128,
+                     "max_batch_size": 16, "lane_counts": (1, 2, 4)}
 
 
 def generate_clips(num_requests: int, num_frames: int, image_size: int,
@@ -52,47 +81,30 @@ def generate_clips(num_requests: int, num_frames: int, image_size: int,
     return rng.random(shape)
 
 
-def _percentile_ms(latencies: Sequence[float], q: float) -> float:
-    return float(np.percentile(np.asarray(latencies), q) * 1e3)
-
-
 def run_load_test(server: InferenceServer,
                   clips: np.ndarray) -> Tuple[Dict, List[Prediction]]:
     """Fire all clips at the server as one burst; measure latency/throughput.
 
     Returns the measurement row and the predictions (in submit order).
-    Per-request latency is submit-to-completion, recorded by a done
-    callback on each future so queueing and batching delay are included.
+    Per-request latency is enqueue-to-completion, read from the server's
+    lock-protected latency histogram (the batcher records every sample
+    *before* resolving the request's future, so by the time the last
+    ``result()`` returns the histogram is complete) — queueing and
+    batching delay are included.
     """
     num = len(clips)
-    latencies: List[Optional[float]] = [None] * num
-    # future.result() can return before the done callback has run (the
-    # waiter is notified first), so completion of *all* callbacks is
-    # tracked explicitly before the percentiles are computed.
-    recorded = threading.Semaphore(0)
-    futures = []
     start_wall = time.perf_counter()
-    for i in range(num):
-        submit_time = time.perf_counter()
-
-        def _record(future, index=i, submitted=submit_time):
-            latencies[index] = time.perf_counter() - submitted
-            recorded.release()
-
-        future = server.submit(clips[i])
-        future.add_done_callback(_record)
-        futures.append(future)
+    futures = [server.submit(clip) for clip in clips]
     predictions = [future.result() for future in futures]
     elapsed = time.perf_counter() - start_wall
-    for _ in range(num):
-        recorded.acquire()
     stats = server.stats()
     row = {
         "num_requests": num,
         "total_s": elapsed,
         "inference_per_second": num / elapsed if elapsed > 0 else float("inf"),
-        "latency_p50_ms": _percentile_ms(latencies, 50),
-        "latency_p95_ms": _percentile_ms(latencies, 95),
+        "latency_p50_ms": stats["latency"]["p50_ms"],
+        "latency_p95_ms": stats["latency"]["p95_ms"],
+        "latency_p99_ms": stats["latency"]["p99_ms"],
         "mean_batch_size": stats["mean_batch_size"],
         "batches": stats["batches"],
         "rejected": stats["rejected"],
@@ -120,13 +132,14 @@ def _time_sequential(server: InferenceServer,
 def benchmark_bundle(bundle: ServableBundle, batch_sizes: Sequence[int],
                      num_requests: int, max_delay_s: float = 0.02,
                      capture_mode: str = "operator",
-                     seed: int = 0) -> List[Dict]:
+                     seed: int = 0, lanes: int = 1) -> List[Dict]:
     """Measure one bundle at several micro-batch limits vs. sequential.
 
-    Each row carries p50/p95 latency, throughput, the speedup over the
-    sequential single-clip reference, and whether the batched argmax
+    Each row carries p50/p95/p99 latency, throughput, the speedup over
+    the sequential single-clip reference, and whether the batched argmax
     labels were identical to the reference (the serving equivalence
-    gate).
+    gate).  ``lanes > 1`` serves every batch limit through a multi-lane
+    fleet instead of a single batcher.
     """
     clips = generate_clips(num_requests, bundle.num_frames,
                            bundle.image_size, seed=seed,
@@ -140,11 +153,11 @@ def benchmark_bundle(bundle: ServableBundle, batch_sizes: Sequence[int],
         server = InferenceServer(bundle, max_batch_size=batch_size,
                                  max_delay_s=max_delay_s,
                                  max_queue=max(num_requests * 2, 64),
-                                 capture_mode=capture_mode)
+                                 capture_mode=capture_mode, lanes=lanes)
         with server:
             row, predictions = run_load_test(server, clips)
         row = {"model": bundle.spec["name"], "max_batch_size": batch_size,
-               "quantized": bundle.quantized,
+               "lanes": lanes, "quantized": bundle.quantized,
                **row,
                "sequential_inference_per_second":
                    sequential["inference_per_second"],
@@ -162,12 +175,13 @@ def benchmark_serving(models: Sequence[str] = ("snappix_s",),
                       num_frames: int = 16, tile_size: int = 8,
                       num_classes: int = 6, max_delay_s: float = 0.02,
                       capture_mode: str = "operator", seed: int = 0,
-                      quantize: bool = False) -> Dict:
+                      quantize: bool = False, lanes: int = 1) -> Dict:
     """Run the serving load benchmark across models and batch limits.
 
     ``quantize=True`` serves int8 post-training-quantised bundles
     instead of float ones (CE-input models then receive raw uint8 byte
-    traffic through the dequantize-free path).
+    traffic through the dequantize-free path).  ``lanes`` widens every
+    server to a multi-lane fleet.
     """
     rows: List[Dict] = []
     for model_name in models:
@@ -178,7 +192,8 @@ def benchmark_serving(models: Sequence[str] = ("snappix_s",),
             bundle = quantize_bundle(bundle, seed=seed)
         rows.extend(benchmark_bundle(bundle, batch_sizes, num_requests,
                                      max_delay_s=max_delay_s,
-                                     capture_mode=capture_mode, seed=seed))
+                                     capture_mode=capture_mode, seed=seed,
+                                     lanes=lanes))
     return {
         "environment": {
             "python": platform.python_version(),
@@ -263,8 +278,17 @@ def poison_clips(clips: np.ndarray,
     ``"corrupt"`` (NaN/Inf), ``"negative"``, or ``None`` for healthy
     traffic.  The poisoned subset is drawn from ``faults.seed`` alone,
     so the same faults poison the same clips on every run.
+
+    Integer traffic (the dequantize-free int8 serving path) is handled
+    without breaking the healthy clips: healthy clips keep their
+    integer dtype, corrupt clips become float NaN/Inf payloads (which
+    the integer path rejects as wrong-dtype *and* non-finite), and
+    negative clips are shifted in a signed integer dtype.
     """
-    clips = np.asarray(clips, dtype=np.float64)
+    clips = np.asarray(clips)
+    integer = np.issubdtype(clips.dtype, np.integer)
+    if not integer:
+        clips = clips.astype(np.float64)
     num = len(clips)
     rng = np.random.default_rng([faults.seed, 17])
     num_corrupt = int(round(faults.corrupt_fraction * num))
@@ -277,12 +301,17 @@ def poison_clips(clips: np.ndarray,
     for index in range(num):
         clip = clips[index].copy()
         if index in corrupt:
+            clip = clip.astype(np.float64)
             flat = clip.reshape(-1)
             flat[::max(1, flat.size // 7)] = np.nan
             flat[-1] = np.inf
             kinds.append("corrupt")
         elif index in negative:
-            clip -= float(clip.max()) + 0.5
+            if integer:
+                clip = clip.astype(np.int64)
+                clip -= int(clip.max()) + 1
+            else:
+                clip -= float(clip.max()) + 0.5
             kinds.append("negative")
         else:
             kinds.append(None)
@@ -335,9 +364,14 @@ def run_fault_injection(server: InferenceServer, clips: np.ndarray,
     typed_errors = sum(1 for i in poisoned_indices
                        if isinstance(outcomes[i], InvalidRequest))
     errors_all_typed = typed_errors == len(poisoned_indices)
-    # The server must keep serving after the fault storm.
+    # The server must keep serving after the fault storm.  The probe
+    # keeps integer traffic integer — the dequantize-free path rejects
+    # float clips by dtype.
+    probe_clip = np.asarray(clips[0])
+    if not np.issubdtype(probe_clip.dtype, np.integer):
+        probe_clip = probe_clip.astype(np.float64)
     try:
-        probe = server.predict(np.asarray(clips[0], dtype=np.float64))
+        probe = server.predict(probe_clip)
         served_after_faults = isinstance(probe, Prediction)
     except Exception:  # noqa: BLE001 — probe failure is the signal
         served_after_faults = False
@@ -357,3 +391,372 @@ def run_fault_injection(server: InferenceServer, clips: np.ndarray,
         "served_after_faults": bool(served_after_faults),
         "elapsed_s": elapsed,
     }
+
+
+# ----------------------------------------------------------------------
+# Fleet load matrix (serving_load.json)
+# ----------------------------------------------------------------------
+ARRIVAL_PROFILES = ("uniform", "bursty")
+
+
+def arrival_offsets(num_requests: int, rate: float, profile: str = "uniform",
+                    burst_size: int = 8) -> List[float]:
+    """Submit-time offsets (seconds from start) at a fixed offered rate.
+
+    ``"uniform"`` spaces requests evenly at ``1/rate``; ``"bursty"``
+    releases them in back-to-back groups of ``burst_size`` whose group
+    starts keep the *same* offered load (``burst_size/rate`` apart), so
+    the two profiles are directly comparable: identical request count
+    and identical mean arrival rate, different burstiness.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    if profile == "uniform":
+        return [index / rate for index in range(num_requests)]
+    if profile == "bursty":
+        if burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        return [(index // burst_size) * burst_size / rate
+                for index in range(num_requests)]
+    raise ValueError(
+        f"unknown arrival profile {profile!r}; expected one of {ARRIVAL_PROFILES}")
+
+
+def _run_open_loop(submit: Callable[[np.ndarray], "object"],
+                   clips: Sequence[np.ndarray],
+                   offsets: Sequence[float]) -> Tuple[List[object], float]:
+    """Open-loop driver: submit each clip at its offset, wait for all.
+
+    Unlike the closed burst of :func:`run_load_test`, arrival times are
+    dictated by the offset schedule, not by the server's completion
+    pace — the load generator keeps pushing even when the server falls
+    behind, which is what exposes tail latency under bursts.
+    """
+    start = time.perf_counter()
+    futures = []
+    for clip, offset in zip(clips, offsets):
+        delay = start + offset - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        futures.append(submit(clip))
+    results = [future.result() for future in futures]
+    elapsed = time.perf_counter() - start
+    return results, elapsed
+
+
+def _scenario_row(name: str, stats: ServerStats, num_requests: int,
+                  elapsed: float, offered_rate: float, lanes: int,
+                  labels_match: bool, **extra) -> Dict:
+    row = {
+        "scenario": name,
+        "lanes": lanes,
+        "num_requests": num_requests,
+        "offered_rate": offered_rate,
+        "elapsed_s": elapsed,
+        "inference_per_second": (num_requests / elapsed
+                                 if elapsed > 0 else float("inf")),
+        "latency_p50_ms": stats.latency_p50_ms,
+        "latency_p95_ms": stats.latency_p95_ms,
+        "latency_p99_ms": stats.latency_p99_ms,
+        "mean_batch_size": stats.mean_batch_size,
+        "mean_queue_depth": stats.mean_queue_depth,
+        "rejected": stats.rejected,
+        "labels_match_sequential": bool(labels_match),
+    }
+    row.update(extra)
+    return row
+
+
+def run_lane_scaling(bundle: ServableBundle, clips: Sequence[np.ndarray],
+                     lane_counts: Sequence[int] = (1, 2, 4),
+                     max_batch_size: int = 8,
+                     max_delay_s: float = 0.002) -> List[Dict]:
+    """Closed-burst throughput at several lane widths, vs. sequential.
+
+    Every width serves the *same* clips on a fresh server and is
+    label-checked against the sequential reference, so a scaling win
+    that corrupts results cannot pass.
+    """
+    reference = InferenceServer(bundle, max_batch_size=1)
+    try:
+        start = time.perf_counter()
+        ref_labels = [p.label for p in reference.predict_sequential(clips)]
+        sequential_rate = len(clips) / (time.perf_counter() - start)
+    finally:
+        reference.close()
+    rows = []
+    for lanes in lane_counts:
+        with InferenceServer(bundle, max_batch_size=max_batch_size,
+                             max_delay_s=max_delay_s,
+                             max_queue=max(2 * len(clips), 64),
+                             lanes=lanes) as server:
+            start = time.perf_counter()
+            futures = [server.submit(clip) for clip in clips]
+            labels = [future.result().label for future in futures]
+            elapsed = time.perf_counter() - start
+            stats = server.stats_object()
+        rows.append(_scenario_row(
+            f"closed_burst_{lanes}_lanes", stats, len(clips), elapsed,
+            offered_rate=float("inf"), lanes=lanes,
+            labels_match=labels == ref_labels,
+            sequential_inference_per_second=sequential_rate,
+            speedup_vs_sequential=(len(clips) / elapsed / sequential_rate
+                                   if elapsed > 0 else float("inf"))))
+    return rows
+
+
+def run_arrival_scenarios(bundle: ServableBundle, clips: Sequence[np.ndarray],
+                          rate: float, lanes: int = 2,
+                          max_batch_size: int = 8,
+                          max_delay_s: float = 0.005, burst_size: int = 8,
+                          slow_client_fraction: float = 0.25,
+                          slow_client_delay_s: float = 0.004,
+                          quantized_bundle: Optional[ServableBundle] = None,
+                          quantized_clips: Optional[Sequence[np.ndarray]] = None,
+                          seed: int = 0) -> List[Dict]:
+    """The arrival-profile scenario matrix at one fixed offered rate.
+
+    Scenarios: ``uniform`` and ``bursty`` arrivals (same offered load —
+    the p99 comparison the tail-latency gate consumes), ``slow_clients``
+    (a deterministic fraction of clients stall before submitting),
+    ``mixed_models`` (float and int8 bundles behind one fleet, traffic
+    interleaved), and ``quantized`` (uint8 traffic through the
+    dequantize-free path) when a quantised bundle is supplied.
+    """
+    def fresh_server(serve_bundle, serve_lanes=lanes):
+        return InferenceServer(serve_bundle, max_batch_size=max_batch_size,
+                               max_delay_s=max_delay_s,
+                               max_queue=max(2 * len(clips), 64),
+                               lanes=serve_lanes)
+
+    with InferenceServer(bundle, max_batch_size=1) as reference:
+        ref_labels = [p.label for p in reference.predict_sequential(clips)]
+
+    rows: List[Dict] = []
+    for profile in ARRIVAL_PROFILES:
+        offsets = arrival_offsets(len(clips), rate, profile,
+                                  burst_size=burst_size)
+        with fresh_server(bundle) as server:
+            predictions, elapsed = _run_open_loop(server.submit, clips,
+                                                  offsets)
+            stats = server.stats_object()
+        rows.append(_scenario_row(
+            profile, stats, len(clips), elapsed, rate, lanes,
+            labels_match=[p.label for p in predictions] == ref_labels,
+            arrival=profile, burst_size=burst_size if profile == "bursty"
+            else 1))
+
+    # Slow clients: uniform arrivals, but a deterministic fraction of
+    # clients stall before submitting, stretching batch assembly.
+    offsets = arrival_offsets(len(clips), rate, "uniform")
+    slow = (np.random.default_rng([seed, 31]).random(len(clips))
+            < slow_client_fraction)
+    offsets = [offset + (slow_client_delay_s if is_slow else 0.0)
+               for offset, is_slow in zip(offsets, slow)]
+    with fresh_server(bundle) as server:
+        predictions, elapsed = _run_open_loop(server.submit, clips, offsets)
+        stats = server.stats_object()
+    rows.append(_scenario_row(
+        "slow_clients", stats, len(clips), elapsed, rate, lanes,
+        labels_match=[p.label for p in predictions] == ref_labels,
+        arrival="uniform", slow_client_fraction=slow_client_fraction,
+        slow_client_delay_s=slow_client_delay_s))
+
+    if quantized_bundle is not None and quantized_clips is not None:
+        # Quantized traffic: raw uint8 byte video through the
+        # dequantize-free int8 path, same offered rate.
+        with InferenceServer(quantized_bundle, max_batch_size=1) as reference:
+            quant_ref = [p.label
+                         for p in reference.predict_sequential(quantized_clips)]
+        offsets = arrival_offsets(len(quantized_clips), rate, "uniform")
+        with fresh_server(quantized_bundle) as server:
+            predictions, elapsed = _run_open_loop(server.submit,
+                                                  quantized_clips, offsets)
+            stats = server.stats_object()
+        rows.append(_scenario_row(
+            "quantized", stats, len(quantized_clips), elapsed, rate, lanes,
+            labels_match=[p.label for p in predictions] == quant_ref,
+            arrival="uniform", quantized=True))
+
+        # Mixed models: float and int8 bundles behind one fleet,
+        # traffic strictly interleaved between the two names.
+        registry = ModelRegistry()
+        float_bundle = ServableBundle(name="load_float", model=bundle.model,
+                                      spec=bundle.spec, sensor=bundle.sensor,
+                                      metadata=bundle.metadata)
+        int8_bundle = ServableBundle(name="load_int8",
+                                     model=quantized_bundle.model,
+                                     spec=quantized_bundle.spec,
+                                     sensor=quantized_bundle.sensor,
+                                     metadata=quantized_bundle.metadata)
+        registry.register_bundle(float_bundle)
+        registry.register_bundle(int8_bundle)
+        plan = [("load_float", clip) for clip in clips]
+        plan += [("load_int8", clip) for clip in quantized_clips]
+        plan = [plan[i // 2] if i % 2 == 0 else plan[len(clips) + i // 2]
+                for i in range(2 * min(len(clips), len(quantized_clips)))]
+        offsets = arrival_offsets(len(plan), rate, "uniform")
+        with ServingFleet(registry=registry, lanes=lanes,
+                          max_batch_size=max_batch_size,
+                          max_delay_s=max_delay_s,
+                          max_queue=max(2 * len(plan), 64),
+                          shed_occupancy=None) as fleet:
+            def submit_mixed(item):
+                name, clip = item
+                return fleet.submit(name, clip)
+
+            predictions, elapsed = _run_open_loop(submit_mixed, plan, offsets)
+            mixed_ok = all(isinstance(p, Prediction) for p in predictions)
+            stats = ServerStats()
+            for name in fleet.served_names:
+                stats.merge(fleet.server(name).stats_object())
+        rows.append(_scenario_row(
+            "mixed_models", stats, len(plan), elapsed, rate, lanes,
+            labels_match=mixed_ok, arrival="uniform",
+            models=["load_float", "load_int8"]))
+    return rows
+
+
+def run_admission_probe(lanes: int = 2, max_queue: int = 8,
+                        shed_occupancy: float = 0.5) -> Dict:
+    """Deterministic shed-ordering probe of the admission controller.
+
+    Lanes are wedged on a gate so occupancy only rises, then three times
+    the fleet capacity is submitted alternating sequential/batched
+    priority.  The invariant under test: every refused batched request
+    was refused by *queue-full backpressure* only after sequential
+    traffic had already been shed by admission policy — the cheap class
+    absorbs the overload first.
+    """
+    gate = threading.Event()
+
+    def wedged(payloads):
+        gate.wait()
+        return [None] * len(payloads)
+
+    admission = AdmissionController(shed_occupancy=shed_occupancy)
+    router = LaneRouter(lambda index: wedged, lanes=lanes,
+                        max_batch_size=max_queue, max_delay_s=0.0,
+                        max_queue=max_queue, admission=admission,
+                        name="admission-probe")
+    events: List[Tuple[str, str]] = []
+    try:
+        for index in range(3 * router.capacity):
+            priority = (PRIORITY_SEQUENTIAL if index % 2 == 0
+                        else PRIORITY_BATCHED)
+            try:
+                router.submit(index, priority=priority)
+                events.append(("accepted", priority))
+            except Overloaded:
+                events.append(("shed", priority))
+            except RequestRejected:
+                events.append(("rejected", priority))
+    finally:
+        gate.set()
+        router.close()
+    first_shed = next((i for i, (event, _) in enumerate(events)
+                       if event == "shed"), None)
+    first_batched_rejection = next(
+        (i for i, (event, priority) in enumerate(events)
+         if event == "rejected" and priority == PRIORITY_BATCHED), None)
+    sheds_before_first_batched_rejection = sum(
+        1 for event, _ in
+        events[:first_batched_rejection if first_batched_rejection is not None
+               else len(events)]
+        if event == "shed")
+    return {
+        "lanes": lanes,
+        "max_queue": max_queue,
+        "capacity": lanes * max_queue,
+        "shed_occupancy": shed_occupancy,
+        "submitted": len(events),
+        "accepted": sum(1 for event, _ in events if event == "accepted"),
+        "shed_sequential": sum(1 for event, priority in events
+                               if event == "shed"
+                               and priority == PRIORITY_SEQUENTIAL),
+        "shed_batched": sum(1 for event, priority in events
+                            if event == "shed"
+                            and priority == PRIORITY_BATCHED),
+        "rejected_batched": sum(1 for event, priority in events
+                                if event == "rejected"
+                                and priority == PRIORITY_BATCHED),
+        "first_shed_index": first_shed,
+        "first_batched_rejection_index": first_batched_rejection,
+        "sheds_before_first_batched_rejection":
+            sheds_before_first_batched_rejection,
+        "admission_ordering_ok": bool(
+            first_batched_rejection is None
+            or (first_shed is not None
+                and first_shed < first_batched_rejection)),
+        "admission": admission.as_dict(),
+    }
+
+
+def run_serving_load_matrix(quick: bool = False, seed: int = 0,
+                            lane_counts: Optional[Sequence[int]] = None) -> Dict:
+    """The full fleet load matrix behind ``repro serve --load``.
+
+    Sections of the payload:
+
+    - ``environment`` — host metadata (shared with ``core.bench``);
+    - ``lane_scaling`` — closed-burst throughput at 1/2/4 lanes with
+      label equivalence and speedup vs. the sequential reference;
+    - ``scenarios`` — the arrival matrix (uniform / bursty /
+      slow_clients / quantized / mixed_models) at one offered rate,
+      calibrated to ~50% of the single-lane closed-loop throughput so
+      the comparison stresses queueing, not saturation;
+    - ``admission`` — the deterministic shed-ordering probe.
+    """
+    # Late import: core.cli imports repro.serving, so importing
+    # core.bench at module scope would be circular.
+    from ..core.bench import environment_metadata
+
+    profile = dict(QUICK_LOAD_PROFILE if quick else FULL_LOAD_PROFILE)
+    if lane_counts is not None:
+        profile["lane_counts"] = tuple(lane_counts)
+    bundle = fresh_bundle(profile["model"], num_classes=6,
+                          image_size=profile["image_size"],
+                          num_frames=profile["num_frames"], seed=seed)
+    quantized_bundle = quantize_bundle(bundle, seed=seed)
+    clips = list(generate_clips(profile["num_requests"],
+                                profile["num_frames"],
+                                profile["image_size"], seed=seed))
+    quantized_clips = list(generate_clips(profile["num_requests"],
+                                          profile["num_frames"],
+                                          profile["image_size"],
+                                          seed=seed, integer=True))
+
+    lane_scaling = run_lane_scaling(bundle, clips,
+                                    lane_counts=profile["lane_counts"],
+                                    max_batch_size=profile["max_batch_size"])
+    single_lane = next(row for row in lane_scaling if row["lanes"] == 1)
+    # Offered rate for the arrival scenarios: half the single-lane
+    # closed-loop throughput, so the open-loop schedule is sustainable
+    # and the uniform-vs-bursty comparison measures queueing delay.
+    rate = max(1.0, 0.5 * single_lane["inference_per_second"])
+    scenario_lanes = min(2, max(profile["lane_counts"]))
+    scenarios = run_arrival_scenarios(
+        bundle, clips, rate, lanes=scenario_lanes,
+        max_batch_size=profile["max_batch_size"],
+        quantized_bundle=quantized_bundle,
+        quantized_clips=quantized_clips, seed=seed)
+    admission = run_admission_probe()
+    return {
+        "environment": environment_metadata(),
+        "profile": {**profile, "quick": quick, "seed": seed,
+                    "offered_rate": rate,
+                    "scenario_lanes": scenario_lanes},
+        "lane_scaling": lane_scaling,
+        "scenarios": scenarios,
+        "admission": admission,
+    }
+
+
+def write_load_results(payload: Dict,
+                       path=DEFAULT_LOAD_RESULTS_PATH) -> Path:
+    """Persist a fleet load-matrix payload as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path

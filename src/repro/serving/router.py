@@ -1,0 +1,265 @@
+"""Queue-depth-aware routing across a fleet of micro-batcher lanes.
+
+One :class:`~repro.serving.batcher.MicroBatcher` saturates around a
+single core's worth of forward passes; a multi-core host wants N lanes
+pulling batches concurrently.  :class:`LaneRouter` owns those lanes and
+keeps the client contract identical to a single batcher — ``submit``
+returns a future, overload raises a typed rejection — while dispatching
+each request to the *least-loaded* lane (queued + in-flight requests,
+ties to the lowest index, so an idle fleet fills lane 0 first and a
+busy one spreads).
+
+The router never touches payload tensors: lanes own their scratch
+(encoder state, batch stacking) and the router moves only references,
+in the separate-allocation spirit of parallel building-block libraries.
+Every lane executes its batches inside a shared
+:class:`~repro.runtime.parallel.WorkerGroup` member scope, so the
+compute backend's thread budget divides by the number of *concurrently
+busy* lanes — N lanes x backend threads never oversubscribes the host.
+
+Admission control
+-----------------
+Under overload the fleet sheds load by *class*, not arrival order:
+sequential/low-priority traffic (priority ``"sequential"``) is refused
+with a typed :class:`Overloaded` once fleet occupancy crosses the
+admission threshold, while batched traffic (priority ``"batched"``) is
+only ever refused by hard queue-full backpressure.  Sequential traffic
+is therefore always shed *before* the first batched rejection — the
+cheap-to-retry class absorbs the overload.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..runtime.parallel import WorkerGroup
+from .batcher import MicroBatcher, RequestRejected
+from .stats import ServerStats
+
+#: Priority classes understood by :meth:`LaneRouter.submit`.
+PRIORITY_BATCHED = "batched"
+PRIORITY_SEQUENTIAL = "sequential"
+_PRIORITIES = (PRIORITY_BATCHED, PRIORITY_SEQUENTIAL)
+
+
+class Overloaded(RequestRejected):
+    """Typed admission rejection: the fleet chose to shed this request.
+
+    Subclasses :class:`RequestRejected` so existing backpressure
+    handlers keep working, but is distinguishable: an ``Overloaded``
+    request was refused by *policy* (occupancy threshold) while the
+    queues still had room, not by a full queue.
+    """
+
+
+class AdmissionController:
+    """Occupancy-threshold load shedding, cheapest traffic class first.
+
+    Parameters
+    ----------
+    shed_occupancy:
+        Fleet occupancy (queued + in-flight over total queue capacity,
+        in ``[0, 1]``) at or above which sequential-priority requests
+        are refused.  Batched requests are never admission-shed; they
+        fall through to per-lane queue backpressure.
+    """
+
+    def __init__(self, shed_occupancy: float = 0.5):
+        if not 0.0 < shed_occupancy <= 1.0:
+            raise ValueError("shed_occupancy must be in (0, 1]")
+        self.shed_occupancy = float(shed_occupancy)
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._shed = 0
+
+    def admit(self, priority: str, occupancy: float) -> None:
+        """Admit or shed one request; raises :class:`Overloaded` to shed."""
+        if priority not in _PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r}; expected one of {_PRIORITIES}")
+        if (priority == PRIORITY_SEQUENTIAL
+                and occupancy >= self.shed_occupancy):
+            with self._lock:
+                self._shed += 1
+            raise Overloaded(
+                f"shedding {priority!r} traffic at occupancy "
+                f"{occupancy:.2f} >= {self.shed_occupancy:.2f}")
+        with self._lock:
+            self._admitted += 1
+
+    def as_dict(self) -> Dict:
+        with self._lock:
+            return {
+                "shed_occupancy": self.shed_occupancy,
+                "admitted": self._admitted,
+                "shed": self._shed,
+            }
+
+
+class Lane:
+    """One micro-batcher plus its fleet bookkeeping."""
+
+    __slots__ = ("index", "batcher")
+
+    def __init__(self, index: int, batcher: MicroBatcher):
+        self.index = index
+        self.batcher = batcher
+
+    @property
+    def load(self) -> int:
+        """Queued plus in-flight requests on this lane."""
+        return self.batcher.load
+
+
+class LaneRouter:
+    """Fan ``submit`` traffic across N micro-batcher lanes.
+
+    Parameters
+    ----------
+    make_run_batch:
+        Factory called once per lane with the lane index; returns that
+        lane's ``run_batch`` callable.  Per-lane callables let each lane
+        own mutable scratch (e.g. its own encoder) while sharing
+        read-only state (the model weights).
+    lanes:
+        Number of micro-batcher lanes.
+    admission:
+        Optional :class:`AdmissionController`; when ``None`` every
+        request goes straight to lane dispatch (single-lane servers keep
+        PR 4 semantics exactly).
+    max_batch_size / max_delay_s / max_queue:
+        Per-lane :class:`MicroBatcher` parameters (``max_queue`` is per
+        lane; fleet capacity is ``lanes * max_queue``).
+    """
+
+    def __init__(self, make_run_batch: Callable[[int], Callable[[List[Any]], Sequence[Any]]],
+                 lanes: int = 1, max_batch_size: int = 32,
+                 max_delay_s: float = 0.002, max_queue: int = 1024,
+                 admission: Optional[AdmissionController] = None,
+                 name: str = "lane-router"):
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        self.name = name
+        self.admission = admission
+        self.worker_group = WorkerGroup(name=f"{name}-lanes")
+        self._lanes: List[Lane] = []
+        for index in range(lanes):
+            run_batch = make_run_batch(index)
+            scoped = self._in_group(run_batch)
+            self._lanes.append(Lane(index, MicroBatcher(
+                scoped, max_batch_size=max_batch_size,
+                max_delay_s=max_delay_s, max_queue=max_queue,
+                name=f"{name}-lane{index}")))
+        self.max_queue = max_queue
+
+    def _in_group(self, run_batch: Callable[[List[Any]], Sequence[Any]]):
+        group = self.worker_group
+
+        def run_in_group(payloads: List[Any]) -> Sequence[Any]:
+            # Inside member(): active_worker_count() reflects how many
+            # lanes are executing *right now*, so the backend budget
+            # divides by real concurrency, not fleet width.
+            with group.member():
+                return run_batch(payloads)
+
+        return run_in_group
+
+    # ------------------------------------------------------------------
+    @property
+    def lanes(self) -> int:
+        return len(self._lanes)
+
+    @property
+    def capacity(self) -> int:
+        """Total queue slots across the fleet."""
+        return len(self._lanes) * self.max_queue
+
+    @property
+    def load(self) -> int:
+        """Queued plus in-flight requests across all lanes."""
+        return sum(lane.load for lane in self._lanes)
+
+    @property
+    def occupancy(self) -> float:
+        """Fleet load as a fraction of total queue capacity."""
+        return self.load / self.capacity
+
+    @property
+    def closed(self) -> bool:
+        return self._lanes[0].batcher.closed
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any,
+               priority: str = PRIORITY_BATCHED) -> "Future[Any]":
+        """Dispatch one payload to the least-loaded lane.
+
+        Raises :class:`Overloaded` when admission control sheds the
+        request, :class:`RequestRejected` when every candidate lane's
+        queue is full, and :class:`BatcherClosed` after :meth:`close`.
+        """
+        if self.admission is not None:
+            self.admission.admit(priority, self.occupancy)
+        # Least-loaded dispatch; on a full lane fall through to the next
+        # least-loaded so a single hot lane doesn't reject while its
+        # siblings have room.
+        ordered = sorted(self._lanes, key=lambda lane: (lane.load, lane.index))
+        last_error: Optional[RequestRejected] = None
+        for lane in ordered:
+            try:
+                return lane.batcher.submit(payload)
+            except RequestRejected as error:
+                last_error = error
+        raise RequestRejected(
+            f"all {len(self._lanes)} lanes full "
+            f"({self.capacity} pending requests)") from last_error
+
+    def submit_many(self, payloads: Sequence[Any],
+                    priority: str = PRIORITY_BATCHED) -> List["Future[Any]"]:
+        return [self.submit(payload, priority=priority)
+                for payload in payloads]
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain every lane and join their workers."""
+        for lane in self._lanes:
+            lane.batcher.close(timeout=timeout)
+
+    def __enter__(self) -> "LaneRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def aggregate_stats(self) -> ServerStats:
+        """Fleet-wide :class:`ServerStats` (sum of all lanes)."""
+        total = ServerStats()
+        for lane in self._lanes:
+            lane.batcher.merge_stats_into(total)
+        return total
+
+    def lane_stats(self) -> List[Dict]:
+        """Per-lane depth/occupancy snapshot for telemetry."""
+        rows = []
+        for lane in self._lanes:
+            depth = lane.batcher.queue_depth
+            rows.append({
+                "lane": lane.index,
+                "queue_depth": depth,
+                "in_flight": lane.batcher.in_flight,
+                "occupancy": depth / self.max_queue,
+                "submitted": lane.batcher.stats.submitted,
+                "batches": lane.batcher.stats.batches,
+            })
+        return rows
+
+    def stats(self) -> Dict:
+        """Aggregated snapshot: fleet totals + per-lane + admission."""
+        snapshot = self.aggregate_stats().as_dict()
+        snapshot["lanes"] = self.lanes
+        snapshot["per_lane"] = self.lane_stats()
+        if self.admission is not None:
+            snapshot["admission"] = self.admission.as_dict()
+        return snapshot

@@ -15,11 +15,16 @@ bundle:
 3. **Decode** — per-clip argmax labels and logits come back as
    :class:`Prediction` objects through the request futures.
 
-Requests are coalesced by a :class:`~repro.serving.batcher.MicroBatcher`
-(flush on size or deadline, bounded-queue backpressure), so concurrent
-single-clip clients transparently share large, BLAS-friendly batches
-while :meth:`InferenceServer.predict_sequential` provides the
-per-request reference path the equivalence tests compare against.
+The execution half of that path lives in :class:`BundleExecutor`: one
+executor per lane owns the mutable encode scratch (batch encoder,
+stacked-sensor state) while all lanes share the read-only model
+weights.  Requests are fanned across ``lanes`` micro-batcher lanes by a
+:class:`~repro.serving.router.LaneRouter` (least-loaded dispatch, each
+batch under the shared :class:`~repro.runtime.parallel.WorkerGroup`
+budget); ``lanes=1`` with no admission controller is exactly the
+original single-batcher server.
+:meth:`InferenceServer.predict_sequential` provides the per-request
+reference path the equivalence tests compare against.
 """
 
 from __future__ import annotations
@@ -36,8 +41,10 @@ from ..ce.operator import exposure_counts
 from ..hardware import StackedCESensor
 from ..nn import no_grad
 from ..runtime import BatchEncoder
-from .batcher import MicroBatcher, RequestFailure
+from .batcher import RequestFailure
 from .registry import ServableBundle
+from .router import AdmissionController, LaneRouter, PRIORITY_BATCHED
+from .stats import ServerStats
 
 CAPTURE_MODES = ("operator", "hardware")
 
@@ -64,32 +71,19 @@ class Prediction:
         return {"label": self.label, "logits": self.logits.tolist()}
 
 
-class InferenceServer:
-    """Micro-batched serving endpoint over one :class:`ServableBundle`.
+class BundleExecutor:
+    """Per-lane execution engine: screen -> CE encode -> batched forward.
 
-    Parameters
-    ----------
-    bundle:
-        The warm model (+ CE sensor) to serve.
-    max_batch_size, max_delay_s, max_queue:
-        Micro-batching knobs, forwarded to
-        :class:`~repro.serving.batcher.MicroBatcher`: the coalescing
-        limit, the flush deadline of a partially filled batch, and the
-        backpressure bound of the submit queue.
-    capture_mode:
-        ``"operator"`` (default) encodes clip batches with the
-        vectorised CE einsum; ``"hardware"`` runs the per-slot stacked
-        sensor protocol simulation instead — slower, but the served
-        path then exercises the exact Sec. V capture semantics.
-        Ignored for video-input models.
-
-    Use as a context manager (or call :meth:`close`) so the worker
-    thread is joined deterministically.
+    Owns everything a lane mutates while executing a batch — its
+    :class:`~repro.runtime.BatchEncoder` scratch, and in ``"hardware"``
+    capture mode its own :class:`~repro.hardware.StackedCESensor`
+    instance (the simulator's counters are stateful) — so N lanes can
+    run concurrently without sharing anything but the read-only model
+    weights in the bundle.
     """
 
-    def __init__(self, bundle: ServableBundle, max_batch_size: int = 32,
-                 max_delay_s: float = 0.002, max_queue: int = 1024,
-                 capture_mode: str = "operator"):
+    def __init__(self, bundle: ServableBundle, capture_mode: str = "operator",
+                 batch_hint: int = 32):
         if capture_mode not in CAPTURE_MODES:
             raise ValueError(
                 f"capture_mode must be one of {CAPTURE_MODES}, got {capture_mode!r}")
@@ -105,11 +99,11 @@ class InferenceServer:
         if bundle.input_kind == "ce":
             if self.integer_input:
                 self._encoder = BatchEncoder(bundle.sensor,
-                                             batch_size=max(max_batch_size, 1),
+                                             batch_size=max(batch_hint, 1),
                                              integer=True)
             else:
                 self._encoder = BatchEncoder(bundle.sensor,
-                                             batch_size=max(max_batch_size, 1),
+                                             batch_size=max(batch_hint, 1),
                                              dtype=self.dtype)
             if capture_mode == "hardware":
                 self._hw_sensor = StackedCESensor(bundle.sensor.config,
@@ -117,32 +111,12 @@ class InferenceServer:
                 self._exposure_counts = exposure_counts(
                     bundle.sensor.full_mask)
                 # The stacked sensor's state/counters are not internally
-                # locked; the worker thread and predict_sequential
-                # callers may capture concurrently.
+                # locked; batch execution and predict_sequential callers
+                # may capture concurrently.
                 self._hw_lock = threading.Lock()
-        self._batcher = MicroBatcher(self._run_batch,
-                                     max_batch_size=max_batch_size,
-                                     max_delay_s=max_delay_s,
-                                     max_queue=max_queue,
-                                     name=f"serve-{bundle.name}")
 
     # ------------------------------------------------------------------
-    # Request path
-    # ------------------------------------------------------------------
-    def _clip_shape(self) -> tuple:
-        size = self.bundle.image_size
-        return (self.bundle.num_frames, size, size)
-
-    def _validate_clip(self, clip) -> np.ndarray:
-        clip = np.asarray(clip)
-        expected = self._clip_shape()
-        if clip.shape != expected:
-            raise InvalidRequest(
-                f"clip shape {clip.shape} != expected {expected} for "
-                f"servable '{self.bundle.name}'")
-        return clip
-
-    def _screen_clip(self, clip: np.ndarray) -> Optional[InvalidRequest]:
+    def screen_clip(self, clip: np.ndarray) -> Optional[InvalidRequest]:
         """Content screening of one well-shaped clip; ``None`` when servable.
 
         Runs on the batch worker (content checks scan the whole clip, so
@@ -166,47 +140,7 @@ class InferenceServer:
             return InvalidRequest("clip contains negative light intensities")
         return None
 
-    def submit(self, clip) -> "Future[Prediction]":
-        """Enqueue one raw ``(T, H, W)`` clip; returns a prediction future.
-
-        Raises :class:`~repro.serving.batcher.RequestRejected` when the
-        bounded queue is full.
-        """
-        return self._batcher.submit(self._validate_clip(clip))
-
-    def submit_many(self, clips: Sequence) -> List["Future[Prediction]"]:
-        """Submit several clips; futures come back in input order."""
-        return [self.submit(clip) for clip in clips]
-
-    def predict(self, clip, timeout: Optional[float] = None) -> Prediction:
-        """Synchronous single-clip convenience wrapper over :meth:`submit`."""
-        return self.submit(clip).result(timeout=timeout)
-
-    def stream(self, clips: Iterable,
-               window: Optional[int] = None) -> Iterator[Prediction]:
-        """Serve an iterable of clips, yielding predictions in input order.
-
-        Submission runs ``window`` requests ahead of consumption (half
-        the queue bound by default), so the batcher always has material
-        to coalesce while arbitrarily long — even unbounded — streams
-        never overrun the bounded queue's backpressure limit.
-        """
-        if window is None:
-            window = max(1, self._batcher.max_queue // 2)
-        if window < 1:
-            raise ValueError("window must be >= 1")
-        pending: "deque[Future[Prediction]]" = deque()
-        for clip in clips:
-            if len(pending) >= window:
-                yield pending.popleft().result()
-            pending.append(self.submit(clip))
-        while pending:
-            yield pending.popleft().result()
-
-    # ------------------------------------------------------------------
-    # Batched execution (worker thread)
-    # ------------------------------------------------------------------
-    def _encode(self, batch: np.ndarray) -> np.ndarray:
+    def encode(self, batch: np.ndarray) -> np.ndarray:
         """CE-compress a ``(B, T, H, W)`` clip batch into model inputs."""
         if self._hw_sensor is not None:
             with self._hw_lock:
@@ -224,13 +158,13 @@ class InferenceServer:
             return coded.astype(self.dtype, copy=False)
         return self._encoder.encode(batch)
 
-    def _forward(self, inputs: np.ndarray) -> np.ndarray:
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
         if not (self.integer_input and np.issubdtype(inputs.dtype, np.integer)):
             inputs = inputs.astype(self.dtype, copy=False)
         with no_grad():
             return self.bundle.model(inputs).data
 
-    def _run_batch(self, clips: List[np.ndarray]) -> List[object]:
+    def run_batch(self, clips: List[np.ndarray]) -> List[object]:
         """Encode + forward one coalesced batch; one result per clip.
 
         Poisoned clips resolve to :class:`RequestFailure` sentinels
@@ -240,7 +174,7 @@ class InferenceServer:
         results: List[object] = [None] * len(clips)
         valid: List[int] = []
         for index, clip in enumerate(clips):
-            error = self._screen_clip(clip)
+            error = self.screen_clip(clip)
             if error is None:
                 valid.append(index)
             else:
@@ -248,25 +182,175 @@ class InferenceServer:
         if valid:
             batch = np.stack([clips[index] for index in valid])
             if self.bundle.input_kind == "ce":
-                batch = self._encode(batch)
-            logits = self._forward(batch)
+                batch = self.encode(batch)
+            logits = self.forward(batch)
             labels = logits.argmax(axis=-1)
             for position, index in enumerate(valid):
                 results[index] = Prediction(label=int(labels[position]),
                                             logits=logits[position])
         return results
 
+    @property
+    def encoder_stats(self) -> Optional[dict]:
+        return self._encoder.stats if self._encoder is not None else None
+
+
+class InferenceServer:
+    """Micro-batched serving endpoint over one :class:`ServableBundle`.
+
+    Parameters
+    ----------
+    bundle:
+        The warm model (+ CE sensor) to serve.
+    max_batch_size, max_delay_s, max_queue:
+        Per-lane micro-batching knobs, forwarded to each lane's
+        :class:`~repro.serving.batcher.MicroBatcher`: the coalescing
+        limit, the flush deadline of a partially filled batch, and the
+        backpressure bound of the submit queue (fleet capacity is
+        ``lanes * max_queue``).
+    capture_mode:
+        ``"operator"`` (default) encodes clip batches with the
+        vectorised CE einsum; ``"hardware"`` runs the per-slot stacked
+        sensor protocol simulation instead — slower, but the served
+        path then exercises the exact Sec. V capture semantics.
+        Ignored for video-input models.
+    lanes:
+        Number of micro-batcher lanes.  Each lane owns its execution
+        scratch (:class:`BundleExecutor`) and pulls batches
+        concurrently; requests go to the least-loaded lane.
+    admission:
+        Optional :class:`~repro.serving.router.AdmissionController`
+        shedding sequential-priority traffic under overload before any
+        batched request is rejected.
+
+    Use as a context manager (or call :meth:`close`) so the worker
+    threads are joined deterministically.
+    """
+
+    def __init__(self, bundle: ServableBundle, max_batch_size: int = 32,
+                 max_delay_s: float = 0.002, max_queue: int = 1024,
+                 capture_mode: str = "operator", lanes: int = 1,
+                 admission: Optional[AdmissionController] = None):
+        if capture_mode not in CAPTURE_MODES:
+            raise ValueError(
+                f"capture_mode must be one of {CAPTURE_MODES}, got {capture_mode!r}")
+        self.bundle = bundle
+        self.capture_mode = capture_mode
+        self.max_queue = max_queue
+        self._executors: List[BundleExecutor] = []
+
+        def make_run_batch(index: int):
+            executor = BundleExecutor(bundle, capture_mode=capture_mode,
+                                      batch_hint=max_batch_size)
+            self._executors.append(executor)
+            return executor.run_batch
+
+        self._router = LaneRouter(make_run_batch, lanes=lanes,
+                                  max_batch_size=max_batch_size,
+                                  max_delay_s=max_delay_s,
+                                  max_queue=max_queue,
+                                  admission=admission,
+                                  name=f"serve-{bundle.name}")
+        self._sequential_lock = threading.Lock()
+        self._sequential_executor: Optional[BundleExecutor] = None
+
+    # Convenience views over the first lane's executor (all lanes are
+    # configured identically).
+    @property
+    def dtype(self) -> np.dtype:
+        return self._executors[0].dtype
+
+    @property
+    def integer_input(self) -> bool:
+        return self._executors[0].integer_input
+
+    @property
+    def lanes(self) -> int:
+        return self._router.lanes
+
+    @property
+    def admission(self) -> Optional[AdmissionController]:
+        return self._router.admission
+
+    @property
+    def worker_group(self):
+        return self._router.worker_group
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _clip_shape(self) -> tuple:
+        size = self.bundle.image_size
+        return (self.bundle.num_frames, size, size)
+
+    def _validate_clip(self, clip) -> np.ndarray:
+        clip = np.asarray(clip)
+        expected = self._clip_shape()
+        if clip.shape != expected:
+            raise InvalidRequest(
+                f"clip shape {clip.shape} != expected {expected} for "
+                f"servable '{self.bundle.name}'")
+        return clip
+
+    def submit(self, clip,
+               priority: str = PRIORITY_BATCHED) -> "Future[Prediction]":
+        """Enqueue one raw ``(T, H, W)`` clip; returns a prediction future.
+
+        Raises :class:`~repro.serving.batcher.RequestRejected` when
+        every lane's bounded queue is full, and its
+        :class:`~repro.serving.router.Overloaded` subtype when the
+        admission controller sheds the request by priority class.
+        """
+        return self._router.submit(self._validate_clip(clip),
+                                   priority=priority)
+
+    def submit_many(self, clips: Sequence,
+                    priority: str = PRIORITY_BATCHED) -> List["Future[Prediction]"]:
+        """Submit several clips; futures come back in input order."""
+        return [self.submit(clip, priority=priority) for clip in clips]
+
+    def predict(self, clip, timeout: Optional[float] = None) -> Prediction:
+        """Synchronous single-clip convenience wrapper over :meth:`submit`."""
+        return self.submit(clip).result(timeout=timeout)
+
+    def stream(self, clips: Iterable,
+               window: Optional[int] = None) -> Iterator[Prediction]:
+        """Serve an iterable of clips, yielding predictions in input order.
+
+        Submission runs ``window`` requests ahead of consumption (half
+        the fleet's queue capacity by default), so the lanes always have
+        material to coalesce while arbitrarily long — even unbounded —
+        streams never overrun the bounded queues' backpressure limit.
+        """
+        if window is None:
+            window = max(1, self._router.capacity // 2)
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        pending: "deque[Future[Prediction]]" = deque()
+        for clip in clips:
+            if len(pending) >= window:
+                yield pending.popleft().result()
+            pending.append(self.submit(clip))
+        while pending:
+            yield pending.popleft().result()
+
     # ------------------------------------------------------------------
     def predict_sequential(self, clips: Sequence) -> List[Prediction]:
         """Reference path: each clip encoded and inferred alone (batch 1).
 
-        Bypasses the queue and the batcher entirely; the serving tests
+        Bypasses the queues and the lanes entirely, running on a
+        dedicated executor on the calling thread; the serving tests
         assert the micro-batched path produces identical argmax labels.
         Poisoned clips raise their :class:`InvalidRequest` directly.
         """
+        with self._sequential_lock:
+            if self._sequential_executor is None:
+                self._sequential_executor = BundleExecutor(
+                    self.bundle, capture_mode=self.capture_mode, batch_hint=1)
+            executor = self._sequential_executor
         predictions: List[Prediction] = []
         for clip in clips:
-            result = self._run_batch([self._validate_clip(clip)])[0]
+            result = executor.run_batch([self._validate_clip(clip)])[0]
             if isinstance(result, RequestFailure):
                 raise result.error
             predictions.append(result)
@@ -277,20 +361,52 @@ class InferenceServer:
     # ------------------------------------------------------------------
     @property
     def queue_depth(self) -> int:
-        return self._batcher.queue_depth
+        """Requests currently queued across all lanes."""
+        return sum(row["queue_depth"] for row in self._router.lane_stats())
+
+    def stats_object(self) -> "ServerStats":
+        """Fleet-wide :class:`~repro.serving.stats.ServerStats` snapshot.
+
+        The mutable object form (lane counters merged), for callers that
+        aggregate further — e.g. merging several servers' histograms
+        into one tail-latency distribution.
+        """
+        return self._router.aggregate_stats()
 
     def stats(self) -> dict:
-        """Combined serving telemetry: batcher counters + encode counters."""
-        snapshot = self._batcher.stats_snapshot()
+        """Combined serving telemetry: fleet counters + encode counters.
+
+        Top-level keys are the flat :class:`ServerStats` fields summed
+        across lanes (identical layout to the single-lane server), plus
+        ``lanes``/``per_lane``/``admission`` fleet detail and the summed
+        encoder counters.
+        """
+        snapshot = self._router.stats()
         snapshot["capture_mode"] = (self.capture_mode
                                     if self.bundle.input_kind == "ce"
                                     else "none")
-        if self._encoder is not None:
-            snapshot["encoder"] = self._encoder.stats
+        encoder_totals = None
+        executors = list(self._executors)
+        if self._sequential_executor is not None:
+            executors.append(self._sequential_executor)
+        for executor in executors:
+            counters = executor.encoder_stats
+            if counters is None:
+                continue
+            if encoder_totals is None:
+                encoder_totals = dict.fromkeys(counters, 0)
+            for key, value in counters.items():
+                encoder_totals[key] = encoder_totals.get(key, 0) + value
+        if encoder_totals is not None:
+            snapshot["encoder"] = encoder_totals
         return snapshot
 
     def close(self, timeout: Optional[float] = None) -> None:
-        self._batcher.close(timeout=timeout)
+        self._router.close(timeout=timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._router.closed
 
     def __enter__(self) -> "InferenceServer":
         return self

@@ -1,15 +1,110 @@
 """Serving telemetry counters, following the runtime ``StoreStats`` pattern.
 
 One :class:`ServerStats` instance is owned by a :class:`~repro.serving.batcher.MicroBatcher`
-(and surfaced through :class:`~repro.serving.server.InferenceServer`).
-All updates happen under the owner's lock, so the totals stay exact even
-when many request threads submit concurrently.
+(and surfaced through :class:`~repro.serving.server.InferenceServer` /
+:class:`~repro.serving.router.LaneRouter`, which aggregate per-lane
+instances with :meth:`ServerStats.merge`).  All updates happen under the
+owner's lock, so the totals stay exact even when many request threads
+submit concurrently.
+
+:class:`LatencyHistogram` is the latency companion: a fixed log-spaced
+histogram (O(1) memory regardless of traffic volume) with
+p50/p95/p99 accessors, replacing the ad-hoc raw-sample percentile math
+the load generator used to carry.  Like the counters, a histogram is
+mutated only under its owner's lock.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Histogram span: 10 microseconds to 100 seconds of request latency.
+_LATENCY_MIN_S = 1e-5
+_LATENCY_MAX_S = 1e2
+#: Bins per decade of latency.  48 bins/decade is a ~4.9% geometric step,
+#: so any percentile read is within ~2.5% of the true sample value —
+#: far finer than the 1.5x-class tail-latency gates consuming it.
+_BINS_PER_DECADE = 48
+_NUM_BINS = int(round(np.log10(_LATENCY_MAX_S / _LATENCY_MIN_S)
+                      * _BINS_PER_DECADE))
+_EDGES = np.geomspace(_LATENCY_MIN_S, _LATENCY_MAX_S, _NUM_BINS + 1)
+#: Geometric bin midpoints — the value reported for a percentile rank
+#: landing in that bin.
+_MIDPOINTS = np.sqrt(_EDGES[:-1] * _EDGES[1:])
+
+
+class LatencyHistogram:
+    """Log-spaced latency histogram with percentile accessors.
+
+    Records request latencies (seconds) into geometrically spaced bins
+    spanning 10 us .. 100 s; out-of-range samples clamp into the edge
+    bins.  Memory is fixed (``_NUM_BINS`` int64 counts), so a histogram
+    can run for the life of a serving process.  Not internally locked —
+    the owning stats object's lock protects it (``StoreStats`` idiom).
+    """
+
+    __slots__ = ("counts", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self):
+        self.counts = np.zeros(_NUM_BINS, dtype=np.int64)
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    # ------------------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        """Record one latency sample (negative clock skew clamps to 0)."""
+        seconds = max(0.0, float(seconds))
+        index = int(np.searchsorted(_EDGES, seconds, side="right")) - 1
+        index = min(max(index, 0), _NUM_BINS - 1)
+        self.counts[index] += 1
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Accumulate another histogram into this one (lane aggregation)."""
+        self.counts += other.counts
+        self.count += other.count
+        self.total_s += other.total_s
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_s = max(self.max_s, other.max_s)
+
+    # ------------------------------------------------------------------
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile latency in seconds (0.0 when empty)."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(np.ceil(q / 100.0 * self.count)))
+        cumulative = np.cumsum(self.counts)
+        index = int(np.searchsorted(cumulative, rank))
+        # Clamp the bin midpoint to the observed extrema so degenerate
+        # distributions (all samples equal) read back exactly.
+        return float(min(max(_MIDPOINTS[index], self.min_s), self.max_s))
+
+    def percentile_ms(self, q: float) -> float:
+        return self.percentile(q) * 1e3
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_s * 1e3,
+            "p50_ms": self.percentile_ms(50),
+            "p95_ms": self.percentile_ms(95),
+            "p99_ms": self.percentile_ms(99),
+            "max_ms": (self.max_s * 1e3) if self.count else 0.0,
+        }
 
 
 @dataclass
@@ -18,7 +113,8 @@ class ServerStats:
 
     Mirrors :class:`repro.runtime.StoreStats`: a plain counter dataclass
     whose owner updates it under a lock and exposes snapshots via
-    :meth:`as_dict`.
+    :meth:`as_dict`.  Per-lane instances aggregate into a fleet-wide
+    view with :meth:`merge`.
     """
 
     #: Requests accepted into the queue.
@@ -44,8 +140,13 @@ class ServerStats:
     flushed_on_close: int = 0
     #: Highest queue depth observed at submit time.
     max_queue_depth: int = 0
+    #: Sum / sample count of submit-time queue depths (mean occupancy).
+    queue_depth_sum: int = 0
+    queue_depth_samples: int = 0
     #: Histogram of executed batch sizes (``{size: count}``).
     batch_size_hist: Dict[int, int] = field(default_factory=dict)
+    #: Submit-to-completion latency histogram (p50/p95/p99 accessors).
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     # ------------------------------------------------------------------
     def observe_batch(self, size: int, reason: str) -> None:
@@ -64,6 +165,33 @@ class ServerStats:
     def observe_queue_depth(self, depth: int) -> None:
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
+        self.queue_depth_sum += depth
+        self.queue_depth_samples += 1
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latency.record(seconds)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "ServerStats") -> None:
+        """Accumulate another endpoint's counters (fleet aggregation)."""
+        self.submitted += other.submitted
+        self.completed += other.completed
+        self.failed += other.failed
+        self.request_failures += other.request_failures
+        self.rejected += other.rejected
+        self.cancelled += other.cancelled
+        self.batches += other.batches
+        self.flushed_on_size += other.flushed_on_size
+        self.flushed_on_deadline += other.flushed_on_deadline
+        self.flushed_on_close += other.flushed_on_close
+        self.max_queue_depth = max(self.max_queue_depth,
+                                   other.max_queue_depth)
+        self.queue_depth_sum += other.queue_depth_sum
+        self.queue_depth_samples += other.queue_depth_samples
+        for size, count in other.batch_size_hist.items():
+            self.batch_size_hist[size] = (self.batch_size_hist.get(size, 0)
+                                          + count)
+        self.latency.merge(other.latency)
 
     # ------------------------------------------------------------------
     @property
@@ -72,6 +200,25 @@ class ServerStats:
         total = sum(size * count for size, count in self.batch_size_hist.items())
         count = sum(self.batch_size_hist.values())
         return total / count if count else 0.0
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Average submit-time queue depth (0.0 before the first submit)."""
+        if not self.queue_depth_samples:
+            return 0.0
+        return self.queue_depth_sum / self.queue_depth_samples
+
+    @property
+    def latency_p50_ms(self) -> float:
+        return self.latency.percentile_ms(50)
+
+    @property
+    def latency_p95_ms(self) -> float:
+        return self.latency.percentile_ms(95)
+
+    @property
+    def latency_p99_ms(self) -> float:
+        return self.latency.percentile_ms(99)
 
     def as_dict(self) -> Dict:
         return {
@@ -86,6 +233,8 @@ class ServerStats:
             "flushed_on_deadline": self.flushed_on_deadline,
             "flushed_on_close": self.flushed_on_close,
             "max_queue_depth": self.max_queue_depth,
+            "mean_queue_depth": self.mean_queue_depth,
             "mean_batch_size": self.mean_batch_size,
             "batch_size_hist": dict(sorted(self.batch_size_hist.items())),
+            "latency": self.latency.as_dict(),
         }

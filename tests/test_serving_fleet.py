@@ -1,0 +1,517 @@
+"""Unit tests of the multi-lane serving fleet (PR 10).
+
+Covers the fleet layers bottom-up: the latency histogram and merged
+``ServerStats``, the batcher's enqueue-anchored flush deadline (the
+drift regression), dynamic ``WorkerGroup`` budget accounting, the
+``LaneRouter``'s least-loaded dispatch and typed admission shedding,
+the multi-lane ``InferenceServer`` equivalence guarantees, and
+``ServingFleet`` checkpoint hot-swap under live traffic.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.parallel import (
+    WorkerGroup,
+    active_worker_count,
+    backend_thread_budget,
+    worker_scope,
+)
+from repro.scenarios.registry import get_scenario, suite
+from repro.serving import (
+    AdmissionController,
+    InferenceServer,
+    LaneRouter,
+    LatencyHistogram,
+    MicroBatcher,
+    Overloaded,
+    PRIORITY_BATCHED,
+    PRIORITY_SEQUENTIAL,
+    RequestRejected,
+    ServerStats,
+    ServingFleet,
+    fresh_bundle,
+    generate_clips,
+    run_admission_probe,
+)
+from repro.serving.registry import ModelRegistry
+
+
+# ----------------------------------------------------------------------
+# Latency histogram + merged stats
+# ----------------------------------------------------------------------
+class TestLatencyHistogram:
+    def test_percentiles_track_numpy(self):
+        rng = np.random.default_rng(3)
+        samples = rng.lognormal(mean=-5.0, sigma=1.5, size=4000)
+        hist = LatencyHistogram()
+        for sample in samples:
+            hist.record(float(sample))
+        assert hist.count == len(samples)
+        for q in (50, 95, 99):
+            exact = float(np.percentile(samples, q))
+            measured = hist.percentile(q)
+            # Log-spaced bins are ~5% wide; allow a full bin either way.
+            assert measured == pytest.approx(exact, rel=0.12)
+
+    def test_empty_and_degenerate(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(99) == 0.0
+        assert hist.as_dict()["count"] == 0
+        for _ in range(10):
+            hist.record(0.004)
+        # All samples equal: every percentile reads back the sample.
+        assert hist.percentile(50) == pytest.approx(0.004)
+        assert hist.percentile(99) == pytest.approx(0.004)
+
+    def test_merge_equals_union(self):
+        rng = np.random.default_rng(4)
+        a_samples = rng.random(500) * 0.01
+        b_samples = rng.random(300) * 0.1
+        a, b, union = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        for sample in a_samples:
+            a.record(float(sample))
+            union.record(float(sample))
+        for sample in b_samples:
+            b.record(float(sample))
+            union.record(float(sample))
+        a.merge(b)
+        assert a.count == union.count
+        assert a.percentile(95) == union.percentile(95)
+        merged, direct = a.as_dict(), union.as_dict()
+        # mean differs in the last ulp (summation order); everything
+        # else — counts, extrema, percentiles — must be bit-identical.
+        assert merged.pop("mean_ms") == pytest.approx(direct.pop("mean_ms"))
+        assert merged == direct
+
+    def test_out_of_range_clamps(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        hist.record(1e4)
+        assert hist.count == 2
+        assert hist.max_s == 1e4
+
+    def test_stats_merge_sums_counters(self):
+        a, b = ServerStats(), ServerStats()
+        a.submitted, b.submitted = 3, 5
+        a.observe_batch(2, "size")
+        b.observe_batch(2, "deadline")
+        a.observe_queue_depth(4)
+        b.observe_queue_depth(9)
+        a.observe_latency(0.002)
+        b.observe_latency(0.004)
+        a.merge(b)
+        assert a.submitted == 8
+        assert a.batches == 2
+        assert a.batch_size_hist == {2: 2}
+        assert a.max_queue_depth == 9
+        assert a.mean_queue_depth == pytest.approx(6.5)
+        assert a.latency.count == 2
+        snapshot = a.as_dict()
+        assert snapshot["latency"]["count"] == 2
+        assert snapshot["mean_queue_depth"] == pytest.approx(6.5)
+
+
+# ----------------------------------------------------------------------
+# Flush-deadline drift regression
+# ----------------------------------------------------------------------
+class TestDeadlineAnchoredAtEnqueue:
+    def test_queue_wait_spends_the_delay_budget(self):
+        """A request held behind a busy batch must flush on arrival +
+        max_delay, not dequeue + max_delay (the drift bug)."""
+        max_delay = 0.3
+        exec_time = 0.4
+
+        def slow_batch(payloads):
+            time.sleep(exec_time)
+            return payloads
+
+        with MicroBatcher(slow_batch, max_batch_size=8,
+                          max_delay_s=max_delay, max_queue=16) as batcher:
+            first = batcher.submit("a")  # flushes at ~0.3, executes to ~0.7
+            time.sleep(0.35)
+            submitted = time.monotonic()
+            second = batcher.submit("b")  # queued while the worker is busy
+            second.result(timeout=5.0)
+            waited = time.monotonic() - submitted
+        first.result(timeout=1.0)
+        # Enqueue-anchored deadline: b's deadline (0.65) expires before
+        # the worker frees up (~0.7), so b flushes immediately on
+        # dequeue -> ~0.35 queue wait + 0.4 execution ~= 0.75 s.  The
+        # dequeue-anchored deadline would wait a further full max_delay
+        # (~1.05 s).  0.95 splits the two with margin for CI noise.
+        assert waited < 0.95, (
+            f"flush deadline drifted: held {waited:.2f}s, expected ~0.75s")
+        assert waited >= exec_time  # sanity: the batch really executed
+
+    def test_expired_deadline_still_coalesces_backlog(self):
+        """Draining an over-deadline batch must still coalesce whatever
+        is queued — the fix may not degrade into size-1 batches."""
+        release = threading.Event()
+        first_started = threading.Event()
+
+        def gated_batch(payloads):
+            first_started.set()
+            release.wait(timeout=5.0)
+            return payloads
+
+        with MicroBatcher(gated_batch, max_batch_size=4,
+                          max_delay_s=0.005, max_queue=16) as batcher:
+            head = batcher.submit(0)
+            assert first_started.wait(timeout=2.0)
+            backlog = [batcher.submit(i) for i in range(1, 9)]
+            release.set()
+            for future in [head] + backlog:
+                future.result(timeout=5.0)
+            snapshot = batcher.stats_snapshot()
+        # Head flushed alone; the 8 backlogged requests (all far past
+        # deadline by the time the worker frees up) must coalesce into
+        # two full batches of 4, not eight singletons.
+        assert snapshot["batch_size_hist"].get(4) == 2
+        assert snapshot["batches"] == 3
+
+    def test_in_flight_and_load_accounting(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def gated_batch(payloads):
+            started.set()
+            release.wait(timeout=5.0)
+            return payloads
+
+        with MicroBatcher(gated_batch, max_batch_size=2,
+                          max_delay_s=0.0, max_queue=8) as batcher:
+            assert batcher.load == 0
+            future = batcher.submit("x")
+            assert started.wait(timeout=2.0)
+            assert batcher.in_flight == 1
+            assert batcher.load >= 1
+            release.set()
+            future.result(timeout=5.0)
+        assert batcher.in_flight == 0
+
+
+# ----------------------------------------------------------------------
+# WorkerGroup dynamic budget accounting
+# ----------------------------------------------------------------------
+class TestWorkerGroup:
+    def test_single_member_keeps_full_budget(self):
+        group = WorkerGroup()
+        assert active_worker_count() == 1
+        with group.member():
+            # Sole active member: no reason to scale kernels down.
+            assert active_worker_count() == 1
+        assert group.active == 0
+
+    def test_concurrent_members_divide_budget(self):
+        group = WorkerGroup()
+        barrier = threading.Barrier(2)
+        observed = []
+        lock = threading.Lock()
+
+        def busy_member():
+            with group.member():
+                barrier.wait(timeout=5.0)
+                with lock:
+                    observed.append(active_worker_count())
+                barrier.wait(timeout=5.0)
+
+        threads = [threading.Thread(target=busy_member) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert observed == [2, 2]
+        assert group.active == 0
+
+    def test_composes_with_static_worker_scope(self):
+        group = WorkerGroup()
+        with worker_scope(2):
+            with group.member():
+                # 2 static outer workers x 1 active member = 2.
+                assert active_worker_count() == 2
+                assert backend_thread_budget(8) == 4
+
+    def test_lane_router_batches_run_inside_group(self):
+        barrier = threading.Barrier(2)
+        observed = []
+        lock = threading.Lock()
+
+        def make_run_batch(index):
+            def run(payloads):
+                barrier.wait(timeout=5.0)
+                with lock:
+                    observed.append(active_worker_count())
+                barrier.wait(timeout=5.0)
+                return payloads
+            return run
+
+        router = LaneRouter(make_run_batch, lanes=2, max_batch_size=1,
+                            max_delay_s=0.0, max_queue=4)
+        try:
+            futures = [router.submit(i) for i in range(2)]
+            for future in futures:
+                future.result(timeout=5.0)
+        finally:
+            router.close()
+        # Both lanes were executing concurrently (the barrier forces
+        # it), so each saw two active siblings -> half the budget each.
+        assert observed == [2, 2]
+
+
+# ----------------------------------------------------------------------
+# LaneRouter dispatch + admission control
+# ----------------------------------------------------------------------
+class TestLaneRouter:
+    def _wedged_router(self, lanes, max_queue, admission=None):
+        gate = threading.Event()
+
+        def make_run_batch(index):
+            def run(payloads):
+                gate.wait(timeout=10.0)
+                return payloads
+            return run
+
+        router = LaneRouter(make_run_batch, lanes=lanes,
+                            max_batch_size=max_queue, max_delay_s=0.0,
+                            max_queue=max_queue, admission=admission)
+        return router, gate
+
+    def test_least_loaded_dispatch_spreads(self):
+        router, gate = self._wedged_router(lanes=3, max_queue=8)
+        try:
+            for i in range(6):
+                router.submit(i)
+            per_lane = {row["lane"]: row["submitted"]
+                        for row in router.lane_stats()}
+            # Wedged lanes only accumulate load, so least-loaded
+            # dispatch must rotate across all three.
+            assert set(per_lane) == {0, 1, 2}
+            assert all(count == 2 for count in per_lane.values())
+        finally:
+            gate.set()
+            router.close()
+
+    def test_full_fleet_raises_request_rejected(self):
+        router, gate = self._wedged_router(lanes=2, max_queue=2)
+        try:
+            accepted = 0
+            with pytest.raises(RequestRejected, match="all 2 lanes full"):
+                for i in range(32):
+                    router.submit(i)
+                    accepted += 1
+            # Queues (2x2) plus at most one wedged batch per lane.
+            assert 4 <= accepted <= 8
+        finally:
+            gate.set()
+            router.close()
+
+    def test_admission_sheds_sequential_only(self):
+        admission = AdmissionController(shed_occupancy=0.25)
+        router, gate = self._wedged_router(lanes=1, max_queue=8,
+                                           admission=admission)
+        try:
+            # Push occupancy past the shed threshold with batched traffic.
+            for i in range(4):
+                router.submit(i, priority=PRIORITY_BATCHED)
+            with pytest.raises(Overloaded):
+                router.submit("seq", priority=PRIORITY_SEQUENTIAL)
+            # Batched traffic is never admission-shed; it still enqueues.
+            router.submit("batched", priority=PRIORITY_BATCHED)
+            counters = admission.as_dict()
+            assert counters["shed"] == 1
+            assert counters["admitted"] == 5
+        finally:
+            gate.set()
+            router.close()
+
+    def test_overloaded_is_a_typed_rejection(self):
+        assert issubclass(Overloaded, RequestRejected)
+        with pytest.raises(ValueError):
+            AdmissionController(shed_occupancy=0.0)
+        with pytest.raises(ValueError, match="priority"):
+            AdmissionController().admit("bulk", occupancy=0.0)
+
+    def test_admission_probe_ordering_invariant(self):
+        probe = run_admission_probe(lanes=2, max_queue=4)
+        assert probe["admission_ordering_ok"]
+        assert probe["shed_sequential"] > 0
+        assert probe["shed_batched"] == 0
+        assert probe["rejected_batched"] > 0
+        assert probe["sheds_before_first_batched_rejection"] > 0
+        assert probe["first_shed_index"] < probe["first_batched_rejection_index"]
+
+    def test_router_stats_aggregate(self):
+        router = LaneRouter(lambda index: (lambda payloads: payloads),
+                            lanes=2, max_batch_size=4, max_delay_s=0.001,
+                            max_queue=16)
+        try:
+            futures = [router.submit(i) for i in range(10)]
+            for future in futures:
+                future.result(timeout=5.0)
+            snapshot = router.stats()
+        finally:
+            router.close()
+        assert snapshot["lanes"] == 2
+        assert snapshot["submitted"] == 10
+        assert snapshot["completed"] == 10
+        assert snapshot["latency"]["count"] == 10
+        assert len(snapshot["per_lane"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Multi-lane InferenceServer
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ce_bundle():
+    return fresh_bundle("snappix_s", num_classes=4, image_size=16,
+                        num_frames=8, seed=0)
+
+
+class TestMultiLaneServer:
+    def test_lanes_match_sequential_labels(self, ce_bundle):
+        clips = generate_clips(20, 8, 16, seed=5)
+        with InferenceServer(ce_bundle, max_batch_size=4, max_delay_s=0.005,
+                             lanes=2) as server:
+            futures = server.submit_many(clips)
+            labels = [future.result().label for future in futures]
+            reference = [p.label for p in server.predict_sequential(clips)]
+            stats = server.stats()
+        assert labels == reference
+        assert stats["lanes"] == 2
+        assert stats["submitted"] == 20
+        # Flat single-server stat keys survive the fleet aggregation.
+        assert stats["completed"] == 20
+        assert stats["latency"]["count"] >= 20
+        assert sum(row["submitted"] for row in stats["per_lane"]) == 20
+        assert stats["encoder"]["clips_encoded"] >= 20
+
+    def test_stream_preserves_order_across_lanes(self, ce_bundle):
+        clips = generate_clips(30, 8, 16, seed=6)
+        with InferenceServer(ce_bundle, max_batch_size=4, max_delay_s=0.002,
+                             lanes=3) as server:
+            streamed = [p.label for p in server.stream(clips, window=8)]
+            reference = [p.label for p in server.predict_sequential(clips)]
+        assert streamed == reference
+
+    def test_sequential_path_does_not_touch_lanes(self, ce_bundle):
+        with InferenceServer(ce_bundle, max_batch_size=4, lanes=2) as server:
+            server.predict_sequential(generate_clips(4, 8, 16, seed=7))
+            stats = server.stats()
+        assert stats["submitted"] == 0
+        assert stats["batches"] == 0
+
+    def test_admission_controller_plumbs_through(self, ce_bundle):
+        admission = AdmissionController(shed_occupancy=0.5)
+        with InferenceServer(ce_bundle, max_batch_size=4, lanes=2,
+                             admission=admission) as server:
+            assert server.admission is admission
+            clip = generate_clips(1, 8, 16, seed=8)[0]
+            assert server.predict(clip).label >= 0
+            assert "admission" in server.stats()
+
+
+# ----------------------------------------------------------------------
+# ServingFleet hot-swap
+# ----------------------------------------------------------------------
+class TestServingFleetHotSwap:
+    def test_swap_mid_load_drops_nothing(self, ce_bundle):
+        new_bundle = fresh_bundle("snappix_s", num_classes=4, image_size=16,
+                                  num_frames=8, seed=99)
+        clips = list(generate_clips(12, 8, 16, seed=9))
+        with InferenceServer(ce_bundle, max_batch_size=1) as reference:
+            old_labels = [p.label for p in reference.predict_sequential(clips)]
+        with InferenceServer(new_bundle, max_batch_size=1) as reference:
+            new_labels = [p.label for p in reference.predict_sequential(clips)]
+
+        registry = ModelRegistry()
+        registry.register_bundle(ce_bundle)
+        name = ce_bundle.name
+        outcomes = [[] for _ in range(3)]
+        errors = []
+        start = threading.Barrier(4)
+
+        def client(worker):
+            try:
+                start.wait(timeout=5.0)
+                for round_index in range(4):
+                    futures = [fleet.submit(name, clip) for clip in clips]
+                    outcomes[worker].append(
+                        [future.result(timeout=10.0).label
+                         for future in futures])
+            except BaseException as error:  # noqa: BLE001 — asserted below
+                errors.append(error)
+
+        with ServingFleet(registry=registry, lanes=2, max_batch_size=4,
+                          max_delay_s=0.002, shed_occupancy=None) as fleet:
+            threads = [threading.Thread(target=client, args=(worker,))
+                       for worker in range(3)]
+            for thread in threads:
+                thread.start()
+            start.wait(timeout=5.0)
+            # Swap the checkpoint while the three clients hammer away.
+            fleet.register(name, new_bundle)
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert not errors, errors
+
+            # Zero dropped/failed futures: every submitted request
+            # resolved to a prediction...
+            assert all(len(rounds) == 4 for rounds in outcomes)
+            # ...and every label came from one of the two checkpoints
+            # (in-flight old-model requests complete on the old model).
+            for rounds in outcomes:
+                for labels in rounds:
+                    for index, label in enumerate(labels):
+                        assert label in (old_labels[index], new_labels[index])
+
+            # Post-swap, the fleet serves the new checkpoint: labels
+            # match a cold server on the new bundle.
+            post_swap = [fleet.predict(name, clip).label for clip in clips]
+        assert post_swap == new_labels
+
+    def test_register_before_traffic_is_a_plain_load(self, ce_bundle):
+        fleet = ServingFleet(lanes=1, max_batch_size=4)
+        try:
+            fleet.register("fresh", ce_bundle)
+            clip = generate_clips(1, 8, 16, seed=10)[0]
+            assert fleet.predict("fresh", clip).label >= 0
+            assert fleet.served_names == ["fresh"]
+        finally:
+            fleet.close()
+
+    def test_fleet_stats_per_model(self, ce_bundle):
+        registry = ModelRegistry()
+        registry.register_bundle(ce_bundle)
+        with ServingFleet(registry=registry, lanes=2,
+                          max_batch_size=4) as fleet:
+            clips = generate_clips(6, 8, 16, seed=11)
+            for clip in clips:
+                fleet.predict(ce_bundle.name, clip)
+            stats = fleet.stats()
+        assert set(stats) == {ce_bundle.name}
+        assert stats[ce_bundle.name]["submitted"] == 6
+        assert stats[ce_bundle.name]["lanes"] == 2
+
+
+# ----------------------------------------------------------------------
+# Scenario registry: serving fleet rows
+# ----------------------------------------------------------------------
+class TestServingScenarioRows:
+    def test_multi_lane_storm_registered(self):
+        scenario = get_scenario("multi_lane_storm")
+        assert scenario.category == "serving"
+        assert scenario.options == {"lanes": 4}
+        assert (scenario, 4) in suite("quick", categories=["serving"])
+
+    def test_quantized_row_registered(self):
+        scenario = get_scenario("quantized_corrupt")
+        assert scenario.options == {"quantized": True}
+        faults = scenario.build_faults(0.25, seed=0)
+        assert faults.corrupt_fraction == 0.25
+
+    def test_options_default_empty(self):
+        assert get_scenario("corrupt_payloads").options == {}
